@@ -1,0 +1,162 @@
+//! RRAM crossbar processing-element specification.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ArchError, Result};
+
+/// Specification of one crossbar PE.
+///
+/// A crossbar of `rows × cols` RRAM cells performs one analog matrix-vector
+/// multiplication — a `rows`-element input vector against the stored
+/// `rows × cols` conductance matrix — in `t_mvm_ns` nanoseconds (one *cycle*
+/// in the paper's terminology, Sec. V).
+///
+/// # Examples
+///
+/// ```
+/// use cim_arch::CrossbarSpec;
+///
+/// let xbar = CrossbarSpec::wan_nature_2022();
+/// assert_eq!((xbar.rows, xbar.cols), (256, 256));
+/// assert_eq!(xbar.t_mvm_ns, 1_400);
+/// // A 4-bit cell stores an 8-bit weight in 2 slices.
+/// assert_eq!(xbar.bit_slices(8), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrossbarSpec {
+    /// Number of rows (input-vector length; `N` in the paper's Eq. 1).
+    pub rows: usize,
+    /// Number of columns (output-vector length; `M` in the paper's Eq. 1).
+    pub cols: usize,
+    /// Conductance resolution of a single cell in bits (up to 4 for current
+    /// RRAM devices).
+    pub cell_bits: u8,
+    /// Latency of one MVM in nanoseconds (1 cycle).
+    pub t_mvm_ns: u64,
+    /// Energy of one MVM in picojoule (used by the energy extension).
+    pub mvm_energy_pj: f64,
+    /// Energy of programming (writing) one cell in picojoule.
+    pub write_energy_pj: f64,
+    /// Write endurance of a cell (RRAM cells tolerate a limited number of
+    /// SET/RESET cycles; Nail et al., IEDM 2016).
+    pub endurance_writes: u64,
+}
+
+impl CrossbarSpec {
+    /// The paper's case-study crossbar: 256×256, 4-bit cells, 1400 ns per
+    /// MVM, taken from the Wan et al. (Nature 2022) RRAM CIM chip \[4\].
+    ///
+    /// Energy and endurance figures are representative published values for
+    /// that device class; they do not affect latency results.
+    pub const fn wan_nature_2022() -> Self {
+        Self {
+            rows: 256,
+            cols: 256,
+            cell_bits: 4,
+            t_mvm_ns: 1_400,
+            mvm_energy_pj: 4_300.0,
+            write_energy_pj: 10.0,
+            endurance_writes: 100_000,
+        }
+    }
+
+    /// Validates the specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidSpec`] for zero dimensions, zero latency,
+    /// or a zero cell resolution.
+    pub fn validate(&self) -> Result<()> {
+        if self.rows == 0 || self.cols == 0 {
+            return Err(ArchError::InvalidSpec {
+                what: "crossbar",
+                detail: format!(
+                    "dimensions must be non-zero, got {}x{}",
+                    self.rows, self.cols
+                ),
+            });
+        }
+        if self.t_mvm_ns == 0 {
+            return Err(ArchError::InvalidSpec {
+                what: "crossbar",
+                detail: "t_mvm_ns must be non-zero".into(),
+            });
+        }
+        if self.cell_bits == 0 {
+            return Err(ArchError::InvalidSpec {
+                what: "crossbar",
+                detail: "cell_bits must be non-zero".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Number of cells in the crossbar.
+    pub const fn cells(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Number of column slices needed to store a `weight_bits`-bit weight in
+    /// `cell_bits`-bit cells (bit slicing). One weight occupies `bit_slices`
+    /// adjacent columns, effectively dividing the usable crossbar width.
+    pub const fn bit_slices(&self, weight_bits: u8) -> usize {
+        weight_bits.div_ceil(self.cell_bits) as usize
+    }
+
+    /// Usable logical columns when storing `weight_bits`-bit weights.
+    pub const fn effective_cols(&self, weight_bits: u8) -> usize {
+        self.cols / self.bit_slices(weight_bits)
+    }
+}
+
+impl Default for CrossbarSpec {
+    fn default() -> Self {
+        Self::wan_nature_2022()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values() {
+        let x = CrossbarSpec::wan_nature_2022();
+        x.validate().unwrap();
+        assert_eq!(x.cells(), 65_536);
+        assert_eq!(x.t_mvm_ns, 1_400);
+    }
+
+    #[test]
+    fn bit_slicing_arithmetic() {
+        let x = CrossbarSpec {
+            cell_bits: 4,
+            ..CrossbarSpec::wan_nature_2022()
+        };
+        assert_eq!(x.bit_slices(4), 1);
+        assert_eq!(x.bit_slices(5), 2);
+        assert_eq!(x.bit_slices(8), 2);
+        assert_eq!(x.bit_slices(9), 3);
+        assert_eq!(x.effective_cols(4), 256);
+        assert_eq!(x.effective_cols(8), 128);
+        let two_bit = CrossbarSpec { cell_bits: 2, ..x };
+        assert_eq!(two_bit.bit_slices(8), 4);
+        assert_eq!(two_bit.effective_cols(8), 64);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_specs() {
+        let ok = CrossbarSpec::wan_nature_2022();
+        assert!(CrossbarSpec { rows: 0, ..ok }.validate().is_err());
+        assert!(CrossbarSpec { cols: 0, ..ok }.validate().is_err());
+        assert!(CrossbarSpec { t_mvm_ns: 0, ..ok }.validate().is_err());
+        assert!(CrossbarSpec { cell_bits: 0, ..ok }.validate().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let x = CrossbarSpec::wan_nature_2022();
+        let s = serde_json::to_string(&x).unwrap();
+        assert_eq!(serde_json::from_str::<CrossbarSpec>(&s).unwrap(), x);
+    }
+}

@@ -1,0 +1,218 @@
+//! Energy and endurance accounting.
+//!
+//! RRAM cells have limited write endurance (Sec. II-A: "RRAM cells have a
+//! limited endurance. It therefore makes sense to store all NN weights only
+//! once before inference"). This module tracks per-PE programming writes
+//! against the device budget and accumulates inference energy — MVM energy
+//! per crossbar operation plus NoC transfer energy for the data-movement
+//! extension.
+
+use serde::{Deserialize, Serialize};
+
+use crate::arch::Architecture;
+use crate::error::{ArchError, Result};
+
+/// Energy coefficients derived from an [`Architecture`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Energy of one MVM on one PE, picojoule.
+    pub mvm_energy_pj: f64,
+    /// Energy of programming one cell, picojoule.
+    pub write_energy_pj: f64,
+    /// Energy of moving one byte one hop, picojoule.
+    pub hop_energy_pj_per_byte: f64,
+}
+
+impl EnergyModel {
+    /// Extracts the coefficients from an architecture description.
+    pub fn of(arch: &Architecture) -> Self {
+        Self {
+            mvm_energy_pj: arch.crossbar().mvm_energy_pj,
+            write_energy_pj: arch.crossbar().write_energy_pj,
+            hop_energy_pj_per_byte: arch.noc().hop_energy_pj_per_byte,
+        }
+    }
+}
+
+/// Accumulated energy of one inference run.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyLog {
+    /// Number of MVM operations executed.
+    pub mvm_ops: u64,
+    /// Number of byte-hops moved over the NoC.
+    pub byte_hops: u64,
+    /// Number of cell programming writes.
+    pub cell_writes: u64,
+}
+
+impl EnergyLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `n` MVM operations.
+    pub fn record_mvms(&mut self, n: u64) {
+        self.mvm_ops += n;
+    }
+
+    /// Records moving `bytes` over `hops` mesh hops.
+    pub fn record_transfer(&mut self, bytes: u64, hops: u64) {
+        self.byte_hops += bytes * hops;
+    }
+
+    /// Records `n` cell writes (weight programming).
+    pub fn record_writes(&mut self, n: u64) {
+        self.cell_writes += n;
+    }
+
+    /// Total energy in picojoule under `model`.
+    pub fn total_pj(&self, model: &EnergyModel) -> f64 {
+        self.mvm_ops as f64 * model.mvm_energy_pj
+            + self.byte_hops as f64 * model.hop_energy_pj_per_byte
+            + self.cell_writes as f64 * model.write_energy_pj
+    }
+
+    /// Merges another log into this one.
+    pub fn merge(&mut self, other: &EnergyLog) {
+        self.mvm_ops += other.mvm_ops;
+        self.byte_hops += other.byte_hops;
+        self.cell_writes += other.cell_writes;
+    }
+}
+
+/// Per-PE write counters checked against the endurance budget.
+///
+/// # Examples
+///
+/// ```
+/// use cim_arch::{Architecture, EnduranceTracker};
+///
+/// # fn main() -> Result<(), cim_arch::ArchError> {
+/// let arch = Architecture::paper_case_study(4)?;
+/// let mut tracker = EnduranceTracker::new(&arch);
+/// // Programming a full crossbar once: one write per cell.
+/// tracker.record_program(0, 1)?;
+/// assert_eq!(tracker.writes(0)?, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnduranceTracker {
+    writes: Vec<u64>,
+    limit: u64,
+}
+
+impl EnduranceTracker {
+    /// Creates a tracker with zeroed counters for every PE of `arch`.
+    pub fn new(arch: &Architecture) -> Self {
+        Self {
+            writes: vec![0; arch.total_pes()],
+            limit: arch.crossbar().endurance_writes,
+        }
+    }
+
+    /// Records `times` full-crossbar programming passes on PE `pe`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::UnknownUnit`] for an out-of-range PE and
+    /// [`ArchError::EnduranceExceeded`] when the write budget is exhausted.
+    pub fn record_program(&mut self, pe: usize, times: u64) -> Result<()> {
+        let w = self.writes.get_mut(pe).ok_or(ArchError::UnknownUnit {
+            kind: "pe",
+            id: pe as u32,
+        })?;
+        *w += times;
+        if *w > self.limit {
+            return Err(ArchError::EnduranceExceeded {
+                pe: pe as u32,
+                writes: *w,
+                limit: self.limit,
+            });
+        }
+        Ok(())
+    }
+
+    /// Writes recorded on PE `pe`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::UnknownUnit`] for an out-of-range PE.
+    pub fn writes(&self, pe: usize) -> Result<u64> {
+        self.writes.get(pe).copied().ok_or(ArchError::UnknownUnit {
+            kind: "pe",
+            id: pe as u32,
+        })
+    }
+
+    /// Fraction of the endurance budget consumed by the most-written PE.
+    pub fn worst_case_wear(&self) -> f64 {
+        let max = self.writes.iter().copied().max().unwrap_or(0);
+        max as f64 / self.limit as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arch() -> Architecture {
+        Architecture::paper_case_study(4).unwrap()
+    }
+
+    #[test]
+    fn energy_totals() {
+        let model = EnergyModel::of(&arch());
+        let mut log = EnergyLog::new();
+        log.record_mvms(10);
+        log.record_transfer(100, 3);
+        log.record_writes(5);
+        let expect = 10.0 * model.mvm_energy_pj
+            + 300.0 * model.hop_energy_pj_per_byte
+            + 5.0 * model.write_energy_pj;
+        assert!((log.total_pj(&model) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = EnergyLog::new();
+        a.record_mvms(1);
+        let mut b = EnergyLog::new();
+        b.record_mvms(2);
+        b.record_writes(4);
+        a.merge(&b);
+        assert_eq!(a.mvm_ops, 3);
+        assert_eq!(a.cell_writes, 4);
+    }
+
+    #[test]
+    fn endurance_budget_enforced() {
+        let arch = arch();
+        let mut t = EnduranceTracker::new(&arch);
+        let limit = arch.crossbar().endurance_writes;
+        t.record_program(1, limit).unwrap();
+        assert_eq!(t.writes(1).unwrap(), limit);
+        let err = t.record_program(1, 1).unwrap_err();
+        assert!(matches!(err, ArchError::EnduranceExceeded { pe: 1, .. }));
+        assert!(t.worst_case_wear() > 1.0);
+    }
+
+    #[test]
+    fn unknown_pe_rejected() {
+        let mut t = EnduranceTracker::new(&arch());
+        assert!(t.record_program(99, 1).is_err());
+        assert!(t.writes(99).is_err());
+    }
+
+    #[test]
+    fn write_once_wear_is_tiny() {
+        // The paper's deployment model: weights written exactly once.
+        let arch = arch();
+        let mut t = EnduranceTracker::new(&arch);
+        for pe in 0..arch.total_pes() {
+            t.record_program(pe, 1).unwrap();
+        }
+        assert!(t.worst_case_wear() <= 1e-4);
+    }
+}

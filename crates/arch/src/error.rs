@@ -1,0 +1,108 @@
+//! Error type for architecture construction and placement.
+
+use std::fmt;
+
+/// Errors produced when describing an architecture or placing PE groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchError {
+    /// A specification parameter is invalid (zero dimension, zero latency…).
+    InvalidSpec {
+        /// Name of the offending parameter.
+        what: &'static str,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// The requested PE groups do not fit into the architecture.
+    InsufficientPes {
+        /// PEs required by the request.
+        required: usize,
+        /// PEs available in the architecture.
+        available: usize,
+    },
+    /// A tile or PE id is out of range.
+    UnknownUnit {
+        /// Kind of unit ("tile" or "pe").
+        kind: &'static str,
+        /// The offending id.
+        id: u32,
+    },
+    /// An endurance budget was exceeded by weight (re)programming.
+    EnduranceExceeded {
+        /// The PE whose cells wore out.
+        pe: u32,
+        /// Writes performed.
+        writes: u64,
+        /// Writes allowed by the device model.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::InvalidSpec { what, detail } => {
+                write!(f, "invalid {what} specification: {detail}")
+            }
+            ArchError::InsufficientPes {
+                required,
+                available,
+            } => {
+                write!(
+                    f,
+                    "mapping needs {required} PEs but the architecture has {available}"
+                )
+            }
+            ArchError::UnknownUnit { kind, id } => write!(f, "unknown {kind} id {id}"),
+            ArchError::EnduranceExceeded { pe, writes, limit } => {
+                write!(
+                    f,
+                    "pe {pe} exceeded endurance: {writes} writes > limit {limit}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArchError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ArchError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let cases: Vec<ArchError> = vec![
+            ArchError::InvalidSpec {
+                what: "crossbar",
+                detail: "rows must be > 0".into(),
+            },
+            ArchError::InsufficientPes {
+                required: 200,
+                available: 117,
+            },
+            ArchError::UnknownUnit {
+                kind: "tile",
+                id: 9,
+            },
+            ArchError::EnduranceExceeded {
+                pe: 3,
+                writes: 11,
+                limit: 10,
+            },
+        ];
+        for e in cases {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ArchError>();
+    }
+}

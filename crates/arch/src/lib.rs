@@ -1,0 +1,47 @@
+//! # cim-arch — tiled RRAM CIM architecture model
+//!
+//! Parametric description of the hardware substrate assumed by the CLSA-CIM
+//! paper (Sec. II-A): a tiled accelerator whose tiles are interconnected by
+//! a network-on-chip, each tile holding crossbar processing elements (PEs),
+//! input/output buffers, and a general-purpose execution unit (GPEU) for
+//! non-MVM operations.
+//!
+//! The paper's latency results depend on exactly three hardware parameters —
+//! the PE row/column dimensions and the MVM latency `t_MVM` — which
+//! [`Architecture::paper_case_study`] sets to the published values (256×256,
+//! 1400 ns, from Wan et al., Nature 2022). Everything else here (buffers,
+//! NoC geometry, energy, endurance) models the *context* the paper describes
+//! and powers the future-work extensions (Sec. V-C): data-movement cost over
+//! the NoC and per-device accounting.
+//!
+//! # Examples
+//!
+//! ```
+//! use cim_arch::Architecture;
+//!
+//! # fn main() -> Result<(), cim_arch::ArchError> {
+//! let arch = Architecture::paper_case_study(117)?;
+//! assert_eq!(arch.total_pes(), 117);
+//! assert_eq!(arch.crossbar().rows, 256);
+//! assert_eq!(arch.crossbar().t_mvm_ns, 1_400);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod crossbar;
+pub mod energy;
+pub mod error;
+pub mod noc;
+pub mod placement;
+pub mod tile;
+
+pub use arch::Architecture;
+pub use crossbar::CrossbarSpec;
+pub use energy::{EnduranceTracker, EnergyLog, EnergyModel};
+pub use error::{ArchError, Result};
+pub use noc::{NocSpec, TileCoord};
+pub use placement::{place_groups, PeId, Placement, PlacementStrategy};
+pub use tile::{TileId, TileSpec};

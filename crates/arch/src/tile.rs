@@ -1,0 +1,126 @@
+//! Tile specification: crossbar PEs plus buffers and a GPEU.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ArchError, Result};
+
+/// Identifier of a tile within an [`Architecture`](crate::Architecture).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TileId(pub u32);
+
+impl TileId {
+    /// Index into tile arrays.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for TileId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tile{}", self.0)
+    }
+}
+
+/// Specification of one tile (Sec. II-A of the paper).
+///
+/// A tile bundles one or more crossbar PEs with input/output buffers and a
+/// general-purpose execution unit (GPEU) that executes the non-base layers
+/// (pooling, activation, padding, …). All tiles operate in parallel and
+/// exchange data via the NoC and, for larger transfers, a global DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TileSpec {
+    /// Number of crossbar PEs per tile.
+    pub pes_per_tile: usize,
+    /// Capacity of the tile-local input/output buffer in bytes.
+    pub buffer_bytes: usize,
+    /// GPEU throughput in scalar operations per crossbar cycle. The paper's
+    /// peak-performance model treats non-base layers as free; the simulator
+    /// can optionally charge `elements / gpeu_ops_per_cycle` cycles.
+    pub gpeu_ops_per_cycle: usize,
+}
+
+impl TileSpec {
+    /// A representative tile following ISAAC/PUMA-class designs: 8 PEs,
+    /// 64 KiB of buffer, and a GPEU wide enough that element-wise work never
+    /// dominates (matching the paper's zero-cost assumption by default).
+    pub const fn isaac_like() -> Self {
+        Self {
+            pes_per_tile: 8,
+            buffer_bytes: 64 * 1024,
+            gpeu_ops_per_cycle: 4096,
+        }
+    }
+
+    /// Validates the specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidSpec`] when any capacity is zero.
+    pub fn validate(&self) -> Result<()> {
+        if self.pes_per_tile == 0 {
+            return Err(ArchError::InvalidSpec {
+                what: "tile",
+                detail: "pes_per_tile must be non-zero".into(),
+            });
+        }
+        if self.buffer_bytes == 0 {
+            return Err(ArchError::InvalidSpec {
+                what: "tile",
+                detail: "buffer_bytes must be non-zero".into(),
+            });
+        }
+        if self.gpeu_ops_per_cycle == 0 {
+            return Err(ArchError::InvalidSpec {
+                what: "tile",
+                detail: "gpeu_ops_per_cycle must be non-zero".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for TileSpec {
+    fn default() -> Self {
+        Self::isaac_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        TileSpec::default().validate().unwrap();
+        assert_eq!(TileSpec::isaac_like().pes_per_tile, 8);
+    }
+
+    #[test]
+    fn zero_fields_rejected() {
+        let ok = TileSpec::isaac_like();
+        assert!(TileSpec {
+            pes_per_tile: 0,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(TileSpec {
+            buffer_bytes: 0,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(TileSpec {
+            gpeu_ops_per_cycle: 0,
+            ..ok
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn tile_id_display_and_index() {
+        assert_eq!(TileId(3).to_string(), "tile3");
+        assert_eq!(TileId(3).index(), 3);
+    }
+}

@@ -1,0 +1,37 @@
+//! Criterion micro-benchmark: the weight-duplication solvers (Optimization
+//! Problem 1) on real model cost tables.
+
+use cim_arch::CrossbarSpec;
+use cim_frontend::{canonicalize, CanonOptions};
+use cim_mapping::{layer_costs, min_pes, optimize, MappingOptions, Solver};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_solvers(c: &mut Criterion) {
+    let models: Vec<(&str, cim_ir::Graph)> = vec![
+        ("TinyYOLOv4", cim_models::tiny_yolo_v4()),
+        ("VGG16", cim_models::vgg16()),
+        ("ResNet50", cim_models::resnet50()),
+    ];
+    let xbar = CrossbarSpec::wan_nature_2022();
+
+    let mut group = c.benchmark_group("duplication_solver");
+    for (name, graph) in &models {
+        let g = canonicalize(graph, &CanonOptions::default())
+            .expect("model canonicalizes")
+            .into_graph();
+        let costs = layer_costs(&g, &xbar, &MappingOptions::default()).expect("costs");
+        let budget = min_pes(&costs) + 32;
+        group.bench_with_input(BenchmarkId::new("greedy_x32", name), &costs, |b, costs| {
+            b.iter(|| optimize(costs, budget, Solver::Greedy).expect("solves"))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("exact_dp_x32", name),
+            &costs,
+            |b, costs| b.iter(|| optimize(costs, budget, Solver::ExactDp).expect("solves")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

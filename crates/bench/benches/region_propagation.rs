@@ -1,0 +1,74 @@
+//! Criterion micro-benchmark: backward rectangle propagation (the Stage-II
+//! primitive) per operation type, and a full Stage-II pass over VGG16.
+
+use cim_arch::CrossbarSpec;
+use cim_frontend::{canonicalize, CanonOptions};
+use cim_ir::{input_region, Conv2dAttrs, FeatureShape, Op, Padding, PoolAttrs, Rect};
+use cim_mapping::{layer_costs, MappingOptions};
+use clsa_core::{determine_dependencies, determine_sets, SetPolicy};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_primitives(c: &mut Criterion) {
+    let conv = Op::Conv2d(Conv2dAttrs {
+        out_channels: 64,
+        kernel: (3, 3),
+        stride: (2, 2),
+        padding: Padding::Same,
+        use_bias: false,
+    });
+    let pool = Op::MaxPool2d(PoolAttrs {
+        window: (2, 2),
+        stride: (2, 2),
+        padding: Padding::Valid,
+    });
+    let ishape = FeatureShape::new(208, 208, 32);
+    let conv_out = conv.infer_shape(&[ishape]).expect("fits");
+    let pool_out = pool.infer_shape(&[ishape]).expect("fits");
+
+    c.bench_function("input_region_conv_3x3s2", |b| {
+        b.iter(|| {
+            for y in (0..conv_out.h).step_by(7) {
+                black_box(input_region(
+                    &conv,
+                    Rect::new(y, 0, y, conv_out.w - 1),
+                    &[ishape],
+                    0,
+                    conv_out,
+                ));
+            }
+        })
+    });
+    c.bench_function("input_region_pool_2x2", |b| {
+        b.iter(|| {
+            for y in (0..pool_out.h).step_by(7) {
+                black_box(input_region(
+                    &pool,
+                    Rect::new(y, 0, y, pool_out.w - 1),
+                    &[ishape],
+                    0,
+                    pool_out,
+                ));
+            }
+        })
+    });
+}
+
+fn bench_stage2_vgg16(c: &mut Criterion) {
+    let g = canonicalize(&cim_models::vgg16(), &CanonOptions::default())
+        .expect("model canonicalizes")
+        .into_graph();
+    let costs = layer_costs(
+        &g,
+        &CrossbarSpec::wan_nature_2022(),
+        &MappingOptions::default(),
+    )
+    .expect("costs");
+    let layers = determine_sets(&g, &costs, &SetPolicy::finest()).expect("stage I");
+    c.bench_function("stage2_full_vgg16", |b| {
+        b.iter(|| determine_dependencies(&g, &layers).expect("stage II"))
+    });
+}
+
+criterion_group!(benches, bench_primitives, bench_stage2_vgg16);
+criterion_main!(benches);

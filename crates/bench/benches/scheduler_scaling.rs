@@ -1,0 +1,68 @@
+//! Criterion micro-benchmark: scheduler throughput (Stage I + II + IV) as a
+//! function of set granularity, on the TinyYOLOv4 case-study model.
+
+use cim_arch::CrossbarSpec;
+use cim_frontend::{canonicalize, CanonOptions};
+use cim_mapping::{layer_costs, MappingOptions};
+use clsa_core::{
+    cross_layer_schedule, determine_dependencies, determine_sets, EdgeCost, SetPolicy,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_scheduler(c: &mut Criterion) {
+    let g = canonicalize(&cim_models::tiny_yolo_v4(), &CanonOptions::default())
+        .expect("model canonicalizes")
+        .into_graph();
+    let xbar = CrossbarSpec::wan_nature_2022();
+    let costs = layer_costs(&g, &xbar, &MappingOptions::default()).expect("costs");
+
+    let mut group = c.benchmark_group("scheduler_scaling");
+    for (label, policy) in [
+        ("coarse4", SetPolicy::coarse(4)),
+        ("coarse16", SetPolicy::coarse(16)),
+        ("coarse64", SetPolicy::coarse(64)),
+        ("finest", SetPolicy::finest()),
+    ] {
+        let layers = determine_sets(&g, &costs, &policy).expect("stage I");
+        let total_sets: usize = layers.iter().map(|l| l.sets.len()).sum();
+        group.throughput(Throughput::Elements(total_sets as u64));
+
+        group.bench_with_input(
+            BenchmarkId::new("stage2_dependencies", label),
+            &layers,
+            |b, layers| b.iter(|| determine_dependencies(&g, layers).expect("stage II")),
+        );
+        let deps = determine_dependencies(&g, &layers).expect("stage II");
+        group.bench_with_input(
+            BenchmarkId::new("stage4_schedule", label),
+            &(&layers, &deps),
+            |b, (layers, deps)| {
+                b.iter(|| cross_layer_schedule(layers, deps, &EdgeCost::Free).expect("stage IV"))
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Scaling with network depth: full Stage I+II+IV pipeline over synthetic
+/// conv chains of growing depth.
+fn bench_depth_scaling(c: &mut Criterion) {
+    let xbar = CrossbarSpec::wan_nature_2022();
+    let mut group = c.benchmark_group("depth_scaling");
+    for depth in [8usize, 32, 128] {
+        let g = cim_models::conv_chain(depth, 32, 32, 0);
+        let costs = layer_costs(&g, &xbar, &MappingOptions::default()).expect("costs");
+        group.throughput(Throughput::Elements(depth as u64));
+        group.bench_with_input(BenchmarkId::new("full_pipeline", depth), &g, |b, g| {
+            b.iter(|| {
+                let layers = determine_sets(g, &costs, &SetPolicy::finest()).expect("stage I");
+                let deps = determine_dependencies(g, &layers).expect("stage II");
+                cross_layer_schedule(&layers, &deps, &EdgeCost::Free).expect("stage IV")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler, bench_depth_scaling);
+criterion_main!(benches);

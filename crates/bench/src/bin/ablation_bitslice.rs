@@ -1,0 +1,85 @@
+//! Ablation **A4** — RRAM cell resolution / bit slicing: storing
+//! `weight_bits`-bit weights in 4-bit cells multiplies the crossbar columns
+//! a layer needs, inflating `PE_min` (Eq. 1 with the effective width) and
+//! shifting the duplication and scheduling results.
+//!
+//! Usage: `cargo run --release -p cim-bench --bin ablation_bitslice [-- --json <path>]`
+
+use cim_arch::Architecture;
+use cim_bench::{parse_args_json, render_table};
+use cim_frontend::{canonicalize, CanonOptions};
+use cim_mapping::MappingOptions;
+use clsa_core::{run, RunConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Record {
+    model: String,
+    weight_bits: u8,
+    pe_min: usize,
+    xinf_speedup: f64,
+}
+
+fn main() {
+    let json = parse_args_json();
+    let mut records = Vec::new();
+    for info in [cim_models::case_study_model()]
+        .into_iter()
+        .chain(cim_models::table2_models())
+    {
+        let g = canonicalize(&info.build(), &CanonOptions::default())
+            .expect("model canonicalizes")
+            .into_graph();
+        for bits in [4u8, 8, 16] {
+            let mopts = MappingOptions {
+                weight_bits: Some(bits),
+            };
+            // Probe PE_min under this precision.
+            let mut probe_cfg =
+                RunConfig::baseline(Architecture::paper_case_study(1_000_000).unwrap());
+            probe_cfg.mapping_options = mopts;
+            let probe = run(&g, &probe_cfg).expect("probe");
+            let pe_min = probe.pe_min;
+
+            let arch = Architecture::paper_case_study(pe_min).unwrap();
+            let mut lbl_cfg = RunConfig::baseline(arch.clone());
+            lbl_cfg.mapping_options = mopts;
+            let lbl = run(&g, &lbl_cfg).expect("baseline");
+            let mut xinf_cfg = RunConfig::baseline(arch).with_cross_layer();
+            xinf_cfg.mapping_options = mopts;
+            let xinf = run(&g, &xinf_cfg).expect("xinf");
+
+            records.push(Record {
+                model: info.name.to_string(),
+                weight_bits: bits,
+                pe_min,
+                xinf_speedup: lbl.makespan() as f64 / xinf.makespan() as f64,
+            });
+        }
+    }
+
+    println!("Ablation A4 — weight precision vs PE_min and xinf speedup");
+    println!("(4-bit RRAM cells; >4-bit weights are bit-sliced across columns)\n");
+    let rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                r.weight_bits.to_string(),
+                r.pe_min.to_string(),
+                format!("{:.2}x", r.xinf_speedup),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["model", "weight bits", "PE_min", "xinf speedup"], &rows)
+    );
+    println!("4-bit weights reproduce the paper's PE_min values; higher precisions");
+    println!("inflate column demand (P_H) and with it the PE budget.");
+
+    if let Some(path) = json {
+        cim_bench::write_json(&path, &records).expect("write json");
+        println!("wrote {path}");
+    }
+}

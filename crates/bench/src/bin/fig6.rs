@@ -1,0 +1,127 @@
+//! Regenerates the paper's **Fig. 6** — the TinyYOLOv4 case study
+//! (Sec. V-A):
+//!
+//! * part `a`: the `wdup+16` duplication table (which layers are
+//!   duplicated, how often) and the layer-by-layer Gantt chart;
+//! * part `b`: the `wdup+16` + CLSA-CIM Gantt chart;
+//! * part `c`: speedup and utilization for `xinf`, `wdup+{16,32}` and
+//!   `wdup+{16,32}+xinf` (paper: `xinf` Ut = 4.1 %, `wdup+32+xinf`
+//!   Ut = 28.4 %, speedup up to 21.9×).
+//!
+//! Usage: `cargo run --release -p cim-bench --bin fig6 [-- --part a|b|c] [--json <path>]`
+
+use cim_arch::Architecture;
+use cim_bench::{paper_sweep, parse_json_arg, render_table, SweepOptions};
+use cim_frontend::{canonicalize, CanonOptions};
+use cim_ir::Graph;
+use cim_mapping::Solver;
+use clsa_core::{gantt_text, run, RunConfig};
+
+fn case_study_graph() -> Graph {
+    let model = cim_models::tiny_yolo_v4();
+    canonicalize(&model, &CanonOptions::default())
+        .expect("model canonicalizes")
+        .into_graph()
+}
+
+fn part_a(g: &Graph) {
+    println!("Fig. 6a — weight duplication (wdup+16), layer-by-layer\n");
+    let arch = Architecture::paper_case_study(117 + 16).expect("valid arch");
+    let cfg = RunConfig::baseline(arch).with_duplication(Solver::Greedy);
+    let r = run(g, &cfg).expect("pipeline runs");
+    let plan = r.plan.as_ref().expect("duplication requested");
+
+    // Duplication table (the inset table of Fig. 6a).
+    let xbar = cim_arch::CrossbarSpec::wan_nature_2022();
+    let costs =
+        cim_mapping::layer_costs(g, &xbar, &cim_mapping::MappingOptions::default()).expect("costs");
+    let mut rows = Vec::new();
+    for (c, &d) in costs.iter().zip(&plan.duplicates) {
+        if d > 1 {
+            rows.push(vec![c.name.clone(), c.pes.to_string(), d.to_string()]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(&["duplicated layer", "#PE each", "duplicates d"], &rows)
+    );
+    println!("PEs used: {} of {}", plan.pes_used, 117 + 16);
+    println!("paper: for x = 16, the first 6 Conv2D layers are duplicated\n");
+    println!("makespan: {} cycles — Gantt:\n", r.makespan());
+    println!("{}", gantt_text(&r.layers, &r.schedule, 100));
+}
+
+fn part_b(g: &Graph) {
+    println!("Fig. 6b — weight duplication (wdup+16), CLSA-CIM (xinf)\n");
+    let arch = Architecture::paper_case_study(117 + 16).expect("valid arch");
+    let cfg = RunConfig::baseline(arch)
+        .with_duplication(Solver::Greedy)
+        .with_cross_layer();
+    let r = run(g, &cfg).expect("pipeline runs");
+    println!("makespan: {} cycles — Gantt:\n", r.makespan());
+    println!("{}", gantt_text(&r.layers, &r.schedule, 100));
+}
+
+fn part_c(g: &Graph, json: Option<&str>) {
+    println!("Fig. 6c — speedup and utilization (TinyYOLOv4)\n");
+    let opts = SweepOptions {
+        xs: vec![16, 32],
+        ..SweepOptions::default()
+    };
+    let results = paper_sweep("TinyYOLOv4", g, &opts).expect("sweep runs");
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                r.total_pes.to_string(),
+                format!("{:.2}x", r.speedup),
+                format!("{:.1}%", r.utilization * 100.0),
+                format!("{:.2}x", r.eq3_predicted),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "configuration",
+                "#PE",
+                "speedup",
+                "utilization (Eq.2)",
+                "Eq.3 predicted"
+            ],
+            &rows
+        )
+    );
+    println!("paper reference: xinf Ut = 4.1 %; wdup+32+xinf Ut = 28.4 %, S = 21.9x");
+    if let Some(path) = json {
+        cim_bench::write_json(path, &results).expect("write json");
+        println!("wrote {path}");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (rest, json) = parse_json_arg(&args);
+    let part = rest
+        .iter()
+        .position(|a| a == "--part")
+        .and_then(|i| rest.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    let g = case_study_graph();
+    match part {
+        "a" => part_a(&g),
+        "b" => part_b(&g),
+        "c" => part_c(&g, json.as_deref()),
+        _ => {
+            part_a(&g);
+            println!();
+            part_b(&g);
+            println!();
+            part_c(&g, json.as_deref());
+        }
+    }
+}

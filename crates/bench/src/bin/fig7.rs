@@ -1,0 +1,106 @@
+//! Regenerates the paper's **Fig. 7** — inference speedup (7a) and PE
+//! utilization (7b) relative to layer-by-layer scheduling, for all six
+//! Table II benchmarks under `wdup+x`, `xinf`, and `wdup+x+xinf` with
+//! `x ∈ {4, 8, 16, 32}`.
+//!
+//! Paper reference points: best speedup 29.2× and best utilization 20.1 %
+//! (both TinyYOLOv3, `wdup+32+xinf`); pure `wdup` between 1.1× and 1.9× for
+//! large models; `xinf` up to 4.4× for large models; utilization decreasing
+//! with ResNet depth.
+//!
+//! Usage: `cargo run --release -p cim-bench --bin fig7 [-- --json results/fig7.json]`
+
+use cim_bench::{paper_sweep, parse_args_json, render_table, ConfigResult, SweepOptions};
+
+fn main() {
+    let json = parse_args_json();
+    let opts = SweepOptions::default();
+    let mut all: Vec<ConfigResult> = Vec::new();
+    for info in cim_models::table2_models() {
+        let g = info.build();
+        eprintln!("sweeping {} (PE_min {})...", info.name, info.pe_min_256);
+        let results = paper_sweep(info.name, &g, &opts).expect("sweep runs");
+        all.extend(results);
+    }
+
+    let labels: Vec<String> = {
+        let mut v = vec!["layer-by-layer".to_string(), "xinf".to_string()];
+        for &x in &opts.xs {
+            v.push(format!("wdup+{x}"));
+        }
+        for &x in &opts.xs {
+            v.push(format!("wdup+{x}+xinf"));
+        }
+        v
+    };
+    let models: Vec<&str> = cim_models::table2_models().iter().map(|m| m.name).collect();
+    let find = |model: &str, label: &str| {
+        all.iter()
+            .find(|r| r.model == model && r.label == label)
+            .expect("sweep covers the grid")
+    };
+
+    let mut headers: Vec<&str> = vec!["configuration"];
+    headers.extend(models.iter().copied());
+
+    println!("Fig. 7a — inference speedup vs layer-by-layer\n");
+    let rows: Vec<Vec<String>> = labels
+        .iter()
+        .map(|label| {
+            let mut row = vec![label.clone()];
+            row.extend(
+                models
+                    .iter()
+                    .map(|m| format!("{:.2}x", find(m, label).speedup)),
+            );
+            row
+        })
+        .collect();
+    println!("{}", render_table(&headers, &rows));
+
+    println!("\nFig. 7b — PE utilization (Eq. 2)\n");
+    let rows: Vec<Vec<String>> = labels
+        .iter()
+        .map(|label| {
+            let mut row = vec![label.clone()];
+            row.extend(
+                models
+                    .iter()
+                    .map(|m| format!("{:.2}%", find(m, label).utilization * 100.0)),
+            );
+            row
+        })
+        .collect();
+    println!("{}", render_table(&headers, &rows));
+
+    // Headline numbers and Eq. 3 consistency.
+    let best_speedup = all
+        .iter()
+        .max_by(|a, b| a.speedup.total_cmp(&b.speedup))
+        .unwrap();
+    let best_ut = all
+        .iter()
+        .max_by(|a, b| a.utilization.total_cmp(&b.utilization))
+        .unwrap();
+    let worst_eq3 = all
+        .iter()
+        .filter(|r| r.label != "layer-by-layer")
+        .map(|r| (r.eq3_predicted - r.speedup).abs() / r.speedup)
+        .fold(0.0f64, f64::max);
+    println!(
+        "\nbest speedup:     {:.1}x ({} {})   [paper: 29.2x, TinyYOLOv3]",
+        best_speedup.speedup, best_speedup.model, best_speedup.label
+    );
+    println!(
+        "best utilization: {:.1}% ({} {})   [paper: 20.1 %, TinyYOLOv3]",
+        best_ut.utilization * 100.0,
+        best_ut.model,
+        best_ut.label
+    );
+    println!("max Eq. 3 relative deviation: {:.1}%", worst_eq3 * 100.0);
+
+    if let Some(path) = json {
+        cim_bench::write_json(&path, &all).expect("write json");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,158 @@
+//! Interactive inspection tool: run any zoo model under any configuration
+//! and print the cost table, schedule summary, Gantt chart, and critical
+//! path — the "debugger" view of the scheduling stack.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p cim-bench --bin inspect -- <model> [options]
+//!   <model>            TinyYOLOv3|TinyYOLOv4|VGG16|VGG19|ResNet50|ResNet101|ResNet152
+//!   --x <n>            extra PEs over PE_min (default 0)
+//!   --wdup             enable weight duplication (greedy)
+//!   --wdup-exact       enable weight duplication (exact DP)
+//!   --lbl              layer-by-layer scheduling (default: cross-layer)
+//!   --sets <n>         cap sets per OFM (default: finest)
+//!   --gantt <width>    print a Gantt chart
+//!   --critical <n>     print the top-n critical-path layers
+//!   --json <path>      export the schedule rows as JSON
+//! ```
+
+use cim_arch::Architecture;
+use cim_bench::{parse_json_arg, render_table};
+use cim_frontend::{canonicalize, CanonOptions};
+use cim_mapping::Solver;
+use clsa_core::{
+    critical_cycles_per_layer, critical_path, gantt_rows, gantt_text, run, EdgeCost, RunConfig,
+    SetPolicy,
+};
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (args, json) = parse_json_arg(&raw);
+    let model_name = args.first().cloned().unwrap_or_else(|| {
+        eprintln!(
+            "usage: inspect <model> [--x n] [--wdup] [--lbl] [--sets n] [--gantt w] [--critical n]"
+        );
+        std::process::exit(2);
+    });
+    let info = cim_models::all_models()
+        .into_iter()
+        .find(|m| m.name.eq_ignore_ascii_case(&model_name))
+        .unwrap_or_else(|| {
+            eprintln!("unknown model `{model_name}`; known:");
+            for m in cim_models::all_models() {
+                eprintln!("  {}", m.name);
+            }
+            std::process::exit(2);
+        });
+
+    let x: usize = flag_value(&args, "--x")
+        .map(|v| v.parse().expect("--x takes a number"))
+        .unwrap_or(0);
+    let wdup = args.iter().any(|a| a == "--wdup");
+    let wdup_exact = args.iter().any(|a| a == "--wdup-exact");
+    let lbl = args.iter().any(|a| a == "--lbl");
+    let sets: Option<usize> =
+        flag_value(&args, "--sets").map(|v| v.parse().expect("--sets takes a number"));
+    let gantt: Option<usize> =
+        flag_value(&args, "--gantt").map(|v| v.parse().expect("--gantt takes a width"));
+    let critical: Option<usize> =
+        flag_value(&args, "--critical").map(|v| v.parse().expect("--critical takes a count"));
+
+    let g = canonicalize(&info.build(), &CanonOptions::default())
+        .expect("model canonicalizes")
+        .into_graph();
+    let arch = Architecture::paper_case_study(info.pe_min_256 + x).expect("arch");
+    let mut cfg = RunConfig::baseline(arch);
+    if !lbl {
+        cfg = cfg.with_cross_layer();
+    }
+    if wdup_exact {
+        cfg = cfg.with_duplication(Solver::ExactDp);
+    } else if wdup {
+        cfg = cfg.with_duplication(Solver::Greedy);
+    }
+    if let Some(n) = sets {
+        cfg.set_policy = SetPolicy::coarse(n);
+    }
+    let r = run(&g, &cfg).expect("pipeline runs");
+
+    println!(
+        "{} — PE_min {}, architecture {} PEs, {} base-layer groups, {} sets",
+        info.name,
+        r.pe_min,
+        r.report.total_pes,
+        r.layers.len(),
+        r.layers.iter().map(|l| l.sets.len()).sum::<usize>()
+    );
+    println!(
+        "schedule: {} cycles ({:.3} ms at 1400 ns/cycle), utilization {:.2}%",
+        r.makespan(),
+        r.makespan() as f64 * 1400.0 / 1e6,
+        r.report.utilization * 100.0
+    );
+    if let Some(plan) = &r.plan {
+        println!(
+            "duplication: {} layers duplicated, {} of {} PEs used, objective {:.0} cycles",
+            plan.duplicated_layers(),
+            plan.pes_used,
+            r.report.total_pes,
+            plan.objective_cycles
+        );
+    }
+
+    let rows: Vec<Vec<String>> = r
+        .layers
+        .iter()
+        .enumerate()
+        .map(|(li, l)| {
+            vec![
+                l.name.clone(),
+                l.pes.to_string(),
+                l.sets.len().to_string(),
+                r.schedule.times[li]
+                    .first()
+                    .map_or(0, |t| t.start)
+                    .to_string(),
+                r.schedule.times[li]
+                    .last()
+                    .map_or(0, |t| t.finish)
+                    .to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "\n{}",
+        render_table(
+            &["layer", "#PE", "sets", "first start", "last finish"],
+            &rows
+        )
+    );
+
+    if let Some(width) = gantt {
+        println!("{}", gantt_text(&r.layers, &r.schedule, width));
+    }
+    if let Some(n) = critical {
+        let path = critical_path(&r.layers, &r.deps, &r.schedule, &EdgeCost::Free)
+            .expect("schedule came from these stages");
+        let mut per_layer = critical_cycles_per_layer(&r.layers, &path);
+        per_layer.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        println!("critical path — top {n} contributors:");
+        for (name, cycles) in per_layer.into_iter().take(n) {
+            println!(
+                "  {name:<20} {cycles:>8} cycles ({:.1}% of makespan)",
+                cycles as f64 / r.makespan() as f64 * 100.0
+            );
+        }
+    }
+    if let Some(path) = json {
+        cim_bench::write_json(&path, &gantt_rows(&r.layers, &r.schedule)).expect("write json");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,57 @@
+//! Regenerates the paper's **Table I**: the base-layer structure of
+//! TinyYOLOv4 — padded IFM shape, OFM shape, PE count (Eq. 1) and
+//! intra-layer latency `t_init` per convolution, on 256×256 crossbars.
+//!
+//! Usage: `cargo run -p cim-bench --bin table1 [-- --json results/table1.json]`
+
+use cim_arch::CrossbarSpec;
+use cim_bench::{parse_args_json, render_table};
+use cim_frontend::{canonicalize, CanonOptions};
+use cim_mapping::{layer_costs, min_pes, MappingOptions};
+
+fn main() {
+    let json = parse_args_json();
+    let model = cim_models::tiny_yolo_v4();
+    let canon = canonicalize(&model, &CanonOptions::default()).expect("model canonicalizes");
+    let costs = layer_costs(
+        canon.graph(),
+        &CrossbarSpec::wan_nature_2022(),
+        &MappingOptions::default(),
+    )
+    .expect("model has base layers");
+
+    let rows: Vec<Vec<String>> = costs
+        .iter()
+        .map(|c| {
+            vec![
+                c.name.clone(),
+                format!("({}, {}, {})", c.ifm.h, c.ifm.w, c.ifm.c),
+                format!("({}, {}, {})", c.ofm.h, c.ofm.w, c.ofm.c),
+                c.pes.to_string(),
+                c.t_init.to_string(),
+            ]
+        })
+        .collect();
+    println!("Table I — base layer structure of TinyYOLOv4 (256x256 PEs)\n");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Layer",
+                "IFM shape (HWC)",
+                "OFM shape (HWC)",
+                "#PE",
+                "Cycles t_init"
+            ],
+            &rows
+        )
+    );
+    println!("Base layers: {}", costs.len());
+    println!("PE_min (all weights stored once): {}", min_pes(&costs));
+    println!("Paper reference: PE_min = 117");
+
+    if let Some(path) = json {
+        cim_bench::write_json(&path, &costs).expect("write json");
+        println!("wrote {path}");
+    }
+}

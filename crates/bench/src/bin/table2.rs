@@ -1,0 +1,75 @@
+//! Regenerates the paper's **Table II**: the benchmark list — input shape,
+//! base-layer count, and minimum required 256×256 PEs per model.
+//!
+//! Usage: `cargo run -p cim-bench --bin table2 [-- --json results/table2.json]`
+
+use cim_arch::CrossbarSpec;
+use cim_bench::{parse_args_json, render_table};
+use cim_mapping::{layer_costs, min_pes, MappingOptions};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    benchmark: &'static str,
+    input: (usize, usize, usize),
+    base_layers: usize,
+    pe_min_measured: usize,
+    pe_min_paper: usize,
+}
+
+fn main() {
+    let json = parse_args_json();
+    let mut rows = Vec::new();
+    for info in cim_models::table2_models() {
+        let g = info.build();
+        let costs = layer_costs(
+            &g,
+            &CrossbarSpec::wan_nature_2022(),
+            &MappingOptions::default(),
+        )
+        .expect("model has base layers");
+        rows.push(Row {
+            benchmark: info.name,
+            input: info.input,
+            base_layers: g.base_layers().len(),
+            pe_min_measured: min_pes(&costs),
+            pe_min_paper: info.pe_min_256,
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.benchmark.to_string(),
+                format!("({}, {}, {})", r.input.0, r.input.1, r.input.2),
+                r.base_layers.to_string(),
+                r.pe_min_measured.to_string(),
+                if r.pe_min_measured == r.pe_min_paper {
+                    "exact".into()
+                } else {
+                    format!("paper says {}", r.pe_min_paper)
+                },
+            ]
+        })
+        .collect();
+    println!("Table II — list of benchmarks (256x256 PEs)\n");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Benchmark",
+                "Input shape (HWC)",
+                "Base layers",
+                "Min. # required PEs",
+                "vs paper"
+            ],
+            &table
+        )
+    );
+
+    if let Some(path) = json {
+        cim_bench::write_json(&path, &rows).expect("write json");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,78 @@
+//! JSON export of experiment records.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// Serializes `records` as pretty JSON to `path`, creating parent
+/// directories as needed.
+///
+/// # Errors
+///
+/// Returns I/O errors from directory creation or writing; serialization of
+/// the experiment record types is infallible.
+pub fn write_json<T: Serialize>(path: impl AsRef<Path>, records: &T) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let json = serde_json::to_string_pretty(records).expect("experiment records serialize");
+    fs::write(path, json)
+}
+
+/// Reads the process arguments and returns the `--json <path>` value, if
+/// any — the one flag every experiment binary supports.
+pub fn parse_args_json() -> Option<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    parse_json_arg(&args).1
+}
+
+/// Parses an optional `--json <path>` argument pair from a raw argument
+/// list, returning the remaining arguments and the path if present.
+pub fn parse_json_arg(args: &[String]) -> (Vec<String>, Option<String>) {
+    let mut rest = Vec::new();
+    let mut json = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--json" {
+            json = it.next().cloned();
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    (rest, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_creates_dirs() {
+        let dir = std::env::temp_dir().join(format!("cim_bench_test_{}", std::process::id()));
+        let path = dir.join("nested/out.json");
+        write_json(&path, &vec![1, 2, 3]).unwrap();
+        let back: Vec<i32> =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn parses_json_flag() {
+        let args: Vec<String> = ["--part", "a", "--json", "out.json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (rest, json) = parse_json_arg(&args);
+        assert_eq!(rest, vec!["--part".to_string(), "a".to_string()]);
+        assert_eq!(json.as_deref(), Some("out.json"));
+        let (rest, json) = parse_json_arg(&rest);
+        assert_eq!(rest.len(), 2);
+        assert!(json.is_none());
+    }
+}

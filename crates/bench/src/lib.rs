@@ -1,0 +1,33 @@
+//! # cim-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the CLSA-CIM paper's evaluation
+//! (Sec. V), plus ablations for the design choices documented in DESIGN.md.
+//! Each artifact has a dedicated binary:
+//!
+//! | Paper artifact | Binary |
+//! |----------------|--------|
+//! | Table I (TinyYOLOv4 layer table) | `table1` |
+//! | Table II (benchmark list) | `table2` |
+//! | Fig. 5 (worked minimal example) | `fig5_minimal` |
+//! | Fig. 6 (case study: mapping, Gantt, bars) | `fig6` |
+//! | Fig. 7a/7b (speedup & utilization sweep) | `fig7` |
+//! | Ablation: set granularity | `ablation_granularity` |
+//! | Ablation: greedy vs exact duplication | `ablation_duplication` |
+//! | Ablation: NoC hop cost (Sec. V-C) | `ablation_noc` |
+//! | Ablation: cell resolution / bit slicing | `ablation_bitslice` |
+//!
+//! Run e.g. `cargo run --release -p cim-bench --bin fig7`. Every binary
+//! accepts `--json <path>` to additionally export its records.
+//!
+//! The library part hosts the shared sweep driver ([`experiments`]), the
+//! text-table renderer ([`table`]), and JSON export ([`export`]).
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod export;
+pub mod table;
+
+pub use experiments::{paper_sweep, ConfigResult, SweepOptions};
+pub use export::{parse_args_json, parse_json_arg, write_json};
+pub use table::render_table;

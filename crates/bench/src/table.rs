@@ -1,0 +1,95 @@
+//! Minimal fixed-width text-table rendering for the experiment binaries.
+
+/// Renders a text table with right-aligned numeric-looking cells and a
+/// header separator.
+///
+/// # Examples
+///
+/// ```
+/// let t = cim_bench::render_table(
+///     &["layer", "#PE"],
+///     &[vec!["conv2d".into(), "1".into()], vec!["conv2d_1".into(), "2".into()]],
+/// );
+/// assert!(t.contains("conv2d_1"));
+/// assert!(t.lines().count() == 4);
+/// ```
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut width = vec![0usize; cols];
+    for (i, h) in headers.iter().enumerate() {
+        width[i] = h.len();
+    }
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            width[i] = width[i].max(cell.len());
+        }
+    }
+    let is_numeric = |s: &str| {
+        !s.is_empty()
+            && s.chars()
+                .all(|c| c.is_ascii_digit() || ".x%+-eE".contains(c))
+    };
+    let mut out = String::new();
+    let mut line = String::new();
+    for (i, h) in headers.iter().enumerate() {
+        if i > 0 {
+            line.push_str(" | ");
+        }
+        line.push_str(&format!("{h:<w$}", w = width[i]));
+    }
+    out.push_str(line.trim_end());
+    out.push('\n');
+    let mut sep = String::new();
+    for (i, w) in width.iter().enumerate() {
+        if i > 0 {
+            sep.push_str("-+-");
+        }
+        sep.push_str(&"-".repeat(*w));
+    }
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        let mut line = String::new();
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            if i > 0 {
+                line.push_str(" | ");
+            }
+            if is_numeric(cell) {
+                line.push_str(&format!("{cell:>w$}", w = width[i]));
+            } else {
+                line.push_str(&format!("{cell:<w$}", w = width[i]));
+            }
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let t = render_table(
+            &["name", "pes"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "117".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("------"));
+        // Numeric column right-aligned.
+        assert!(lines[2].ends_with("  1"));
+        assert!(lines[3].ends_with("117"));
+    }
+
+    #[test]
+    fn empty_rows_render_headers_only() {
+        let t = render_table(&["a"], &[]);
+        assert_eq!(t.lines().count(), 2);
+    }
+}

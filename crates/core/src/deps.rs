@@ -1,0 +1,516 @@
+//! Stage II — determine dependencies (Sec. IV-2 of the paper, Fig. 5b).
+//!
+//! For every OFM set of every base layer, find the OFM sets of *predecessor*
+//! base layers whose data it needs. The set's rectangle is propagated
+//! backward along the non-base layer path (bias, activation, pooling,
+//! padding, slice, concat, …) using the receptive-field arithmetic of
+//! [`cim_ir::input_region`]; a producer set is a dependency iff the
+//! propagated rectangle intersects it.
+//!
+//! One producer set can influence multiple consumer sets (the paper's `Q`
+//! relation) and one consumer set can require multiple producer sets (`P`).
+
+use std::collections::HashSet;
+
+use cim_ir::{input_region, Graph, NodeId, Op, Rect};
+use serde::{Deserialize, Serialize};
+
+use crate::error::{CoreError, Result};
+use crate::sets::LayerSets;
+
+/// Identifier of a set: layer index (into the Stage-I slice) and set index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SetRef {
+    /// Index of the layer in the Stage-I output.
+    pub layer: usize,
+    /// Index of the set within the layer.
+    pub set: usize,
+}
+
+impl std::fmt::Display for SetRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{}S{}", self.layer, self.set)
+    }
+}
+
+/// The Stage-II result: per consumer set, the producer sets it depends on.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dependencies {
+    /// `deps[l][s]` — producer sets required by set `s` of layer `l`,
+    /// sorted and deduplicated.
+    deps: Vec<Vec<Vec<SetRef>>>,
+}
+
+impl Dependencies {
+    /// Builds a dependency structure directly from `(consumer, producer)`
+    /// edges — for synthetic workloads, failure-injection tests, and users
+    /// bringing their own dependency analysis.
+    ///
+    /// `sets_per_layer[l]` is the number of Stage-I sets of layer `l`.
+    /// Edges are deduplicated and sorted. Note that *topological* sanity
+    /// (producers strictly earlier than consumers) is deliberately not
+    /// enforced here; the schedulers and the simulator detect violations
+    /// themselves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::StageMismatch`] when an edge references a
+    /// nonexistent layer or set.
+    pub fn from_edges(sets_per_layer: &[usize], edges: &[(SetRef, SetRef)]) -> Result<Self> {
+        let mut deps: Vec<Vec<Vec<SetRef>>> = sets_per_layer
+            .iter()
+            .map(|&n| vec![Vec::new(); n])
+            .collect();
+        for &(consumer, producer) in edges {
+            for r in [consumer, producer] {
+                let ok = r.layer < sets_per_layer.len() && r.set < sets_per_layer[r.layer];
+                if !ok {
+                    return Err(CoreError::StageMismatch {
+                        detail: format!("edge endpoint {r} out of range"),
+                    });
+                }
+            }
+            deps[consumer.layer][consumer.set].push(producer);
+        }
+        for sets in &mut deps {
+            for d in sets {
+                d.sort_unstable();
+                d.dedup();
+            }
+        }
+        Ok(Self { deps })
+    }
+
+    /// Producer sets required by set `s` of layer `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn of(&self, l: usize, s: usize) -> &[SetRef] {
+        &self.deps[l][s]
+    }
+
+    /// Number of layers covered.
+    pub fn num_layers(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// Iterates over all `(consumer, producer)` edges.
+    pub fn edges(&self) -> impl Iterator<Item = (SetRef, SetRef)> + '_ {
+        self.deps.iter().enumerate().flat_map(|(l, sets)| {
+            sets.iter()
+                .enumerate()
+                .flat_map(move |(s, ds)| ds.iter().map(move |&p| (SetRef { layer: l, set: s }, p)))
+        })
+    }
+
+    /// Total number of dependency edges.
+    pub fn num_edges(&self) -> usize {
+        self.deps.iter().flatten().map(Vec::len).sum()
+    }
+
+    /// The paper's `P` value for a consumer set: how many producer sets it
+    /// is affected by.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn fan_in(&self, l: usize, s: usize) -> usize {
+        self.deps[l][s].len()
+    }
+
+    /// The paper's `Q` relation, inverted from the stored edges: for every
+    /// producer set, the consumer sets it influences.
+    pub fn fan_out(&self) -> Vec<Vec<Vec<SetRef>>> {
+        let mut out: Vec<Vec<Vec<SetRef>>> = self
+            .deps
+            .iter()
+            .map(|sets| vec![Vec::new(); sets.len()])
+            .collect();
+        for (consumer, producer) in self.edges() {
+            out[producer.layer][producer.set].push(consumer);
+        }
+        out
+    }
+}
+
+/// Runs Stage II on the Stage-I output.
+///
+/// # Errors
+///
+/// Returns [`CoreError::StageMismatch`] when `layers` does not correspond to
+/// `graph` and propagates graph access errors.
+///
+/// # Examples
+///
+/// See the crate-level documentation for the worked Fig. 5 example.
+pub fn determine_dependencies(graph: &Graph, layers: &[LayerSets]) -> Result<Dependencies> {
+    // Map node id -> layer index for base layers.
+    let mut layer_of = vec![usize::MAX; graph.len()];
+    for (i, l) in layers.iter().enumerate() {
+        let node = graph.node(l.node)?;
+        if !node.op.is_base() {
+            return Err(CoreError::StageMismatch {
+                detail: format!("layer entry `{}` is not a base layer", l.name),
+            });
+        }
+        layer_of[l.node.index()] = i;
+    }
+
+    let mut deps: Vec<Vec<Vec<SetRef>>> = layers
+        .iter()
+        .map(|l| vec![Vec::new(); l.sets.len()])
+        .collect();
+
+    for (li, layer) in layers.iter().enumerate() {
+        let node = graph.node(layer.node)?;
+        let in_shapes: Vec<_> = node
+            .inputs
+            .iter()
+            .map(|&i| graph.node(i).map(|n| n.out_shape))
+            .collect::<std::result::Result<_, _>>()?;
+        for (si, set) in layer.sets.iter().enumerate() {
+            // The IFM region this conv/dense set needs.
+            let mut found: HashSet<SetRef> = HashSet::new();
+            for (idx, &inp) in node.inputs.iter().enumerate() {
+                if let Some(r) = input_region(&node.op, set.rect, &in_shapes, idx, node.out_shape) {
+                    back_propagate(graph, &layer_of, layers, inp, r, &mut found)?;
+                }
+            }
+            let mut v: Vec<SetRef> = found.into_iter().collect();
+            v.sort_unstable();
+            deps[li][si] = v;
+        }
+    }
+    Ok(Dependencies { deps })
+}
+
+/// Propagates `rect` (a region of `node`'s output) backwards until base
+/// layers or graph inputs are reached, recording intersecting producer sets.
+fn back_propagate(
+    graph: &Graph,
+    layer_of: &[usize],
+    layers: &[LayerSets],
+    node: NodeId,
+    rect: Rect,
+    found: &mut HashSet<SetRef>,
+) -> Result<()> {
+    let n = graph.node(node)?;
+    if n.op.is_base() {
+        let li = layer_of[node.index()];
+        if li == usize::MAX {
+            return Err(CoreError::StageMismatch {
+                detail: format!("base layer `{}` has no Stage-I sets", n.name),
+            });
+        }
+        for (si, set) in layers[li].sets.iter().enumerate() {
+            if set.rect.intersects(&rect) {
+                found.insert(SetRef { layer: li, set: si });
+            }
+        }
+        return Ok(());
+    }
+    if matches!(n.op, Op::Input { .. }) {
+        return Ok(());
+    }
+    let in_shapes: Vec<_> = n
+        .inputs
+        .iter()
+        .map(|&i| graph.node(i).map(|x| x.out_shape))
+        .collect::<std::result::Result<_, _>>()?;
+    for (idx, &inp) in n.inputs.iter().enumerate() {
+        if let Some(r) = input_region(&n.op, rect, &in_shapes, idx, n.out_shape) {
+            back_propagate(graph, layer_of, layers, inp, r, found)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_arch::CrossbarSpec;
+    use cim_ir::{ActFn, Conv2dAttrs, FeatureShape, PadSpec, Padding, PoolAttrs};
+    use cim_mapping::{layer_costs, MappingOptions};
+
+    use crate::sets::{determine_sets, SetPolicy};
+
+    fn conv_op(oc: usize, k: usize, st: usize) -> Op {
+        Op::Conv2d(Conv2dAttrs {
+            out_channels: oc,
+            kernel: (k, k),
+            stride: (st, st),
+            padding: Padding::Valid,
+            use_bias: false,
+        })
+    }
+
+    fn stages(g: &Graph, policy: &SetPolicy) -> (Vec<LayerSets>, Dependencies) {
+        let costs = layer_costs(
+            g,
+            &CrossbarSpec::wan_nature_2022(),
+            &MappingOptions::default(),
+        )
+        .unwrap();
+        let layers = determine_sets(g, &costs, policy).unwrap();
+        let deps = determine_dependencies(g, &layers).unwrap();
+        (layers, deps)
+    }
+
+    /// The paper's Fig. 5 minimal example: two Conv2D layers with a
+    /// bias → activation → pooling → padding non-base path in between.
+    fn fig5_graph() -> Graph {
+        let mut g = Graph::new("fig5");
+        let x = g
+            .add(
+                "input",
+                Op::Input {
+                    shape: FeatureShape::new(10, 10, 3),
+                },
+                &[],
+            )
+            .unwrap();
+        let c1 = g.add("conv1", conv_op(8, 3, 1), &[x]).unwrap(); // 8×8
+        let b = g.add("bias", Op::Bias, &[c1]).unwrap();
+        let a = g.add("act", Op::Activation(ActFn::Relu), &[b]).unwrap();
+        let p = g
+            .add(
+                "pool",
+                Op::MaxPool2d(PoolAttrs {
+                    window: (2, 2),
+                    stride: (2, 2),
+                    padding: Padding::Valid,
+                }),
+                &[a],
+            )
+            .unwrap(); // 4×4
+        let pad = g
+            .add("pad", Op::ZeroPad2d(PadSpec::uniform(1)), &[p])
+            .unwrap(); // 6×6
+        g.add("conv2", conv_op(8, 3, 1), &[pad]).unwrap(); // 4×4
+        g
+    }
+
+    #[test]
+    fn fig5_dependencies() {
+        let g = fig5_graph();
+        let (layers, deps) = stages(&g, &SetPolicy::finest());
+        // conv1: 8 rows, quantum 2 (pool) → 4 sets. conv2: 4 rows → 4 sets.
+        assert_eq!(layers[0].sets.len(), 4);
+        assert_eq!(layers[1].sets.len(), 4);
+
+        // conv2 set 0 (OFM row 0) reads padded rows 0..=2 = pool rows 0..=1
+        // = conv1 rows 0..=3 = conv1 sets {0, 1}.
+        assert_eq!(
+            deps.of(1, 0),
+            &[SetRef { layer: 0, set: 0 }, SetRef { layer: 0, set: 1 }]
+        );
+        // conv2 set 1 reads padded rows 1..=3 = pool rows 0..=2 = conv1 rows
+        // 0..=5 = sets {0, 1, 2}.
+        assert_eq!(deps.fan_in(1, 1), 3);
+        // conv2 set 3 (last row) reads padded rows 3..=5 = pool rows 2..=3 =
+        // conv1 rows 4..=7 = sets {2, 3}.
+        assert_eq!(
+            deps.of(1, 3),
+            &[SetRef { layer: 0, set: 2 }, SetRef { layer: 0, set: 3 }]
+        );
+        // conv1 has no base-layer predecessors.
+        for s in 0..4 {
+            assert!(deps.of(0, s).is_empty());
+        }
+    }
+
+    #[test]
+    fn fan_out_inverts_fan_in() {
+        let g = fig5_graph();
+        let (_, deps) = stages(&g, &SetPolicy::finest());
+        let q = deps.fan_out();
+        // conv1 set 0 feeds conv2 sets {0, 1} (the paper's Q relation).
+        assert_eq!(
+            q[0][0],
+            vec![SetRef { layer: 1, set: 0 }, SetRef { layer: 1, set: 1 }]
+        );
+        // Edge count symmetry.
+        let total_q: usize = q.iter().flatten().map(Vec::len).sum();
+        assert_eq!(total_q, deps.num_edges());
+    }
+
+    #[test]
+    fn single_set_policy_yields_full_dependencies() {
+        let g = fig5_graph();
+        let (layers, deps) = stages(&g, &SetPolicy::coarse(1));
+        assert_eq!(layers[0].sets.len(), 1);
+        assert_eq!(deps.of(1, 0), &[SetRef { layer: 0, set: 0 }]);
+    }
+
+    #[test]
+    fn concat_branches_route_to_both_producers() {
+        // Two conv branches concatenated on channels, then a consumer conv:
+        // every consumer set depends on matching sets of both branches.
+        let mut g = Graph::new("t");
+        let x = g
+            .add(
+                "input",
+                Op::Input {
+                    shape: FeatureShape::new(8, 8, 3),
+                },
+                &[],
+            )
+            .unwrap();
+        let a = g.add("branch_a", conv_op(4, 1, 1), &[x]).unwrap(); // 8×8
+        let b = g.add("branch_b", conv_op(4, 1, 1), &[x]).unwrap(); // 8×8
+        let cat = g.add("cat", Op::Concat(cim_ir::Axis::C), &[a, b]).unwrap();
+        g.add("head", conv_op(8, 1, 1), &[cat]).unwrap(); // 8×8
+        let (_, deps) = stages(&g, &SetPolicy::finest());
+        // head is layer 2; its set k depends on row k of both branches.
+        for s in 0..8 {
+            assert_eq!(
+                deps.of(2, s),
+                &[SetRef { layer: 0, set: s }, SetRef { layer: 1, set: s }]
+            );
+        }
+    }
+
+    #[test]
+    fn residual_add_joins_identity_and_conv_paths() {
+        // x → c1 → c2 → add(c1's output) → c3 (a ResNet-style skip).
+        let mut g = Graph::new("t");
+        let x = g
+            .add(
+                "input",
+                Op::Input {
+                    shape: FeatureShape::new(8, 8, 4),
+                },
+                &[],
+            )
+            .unwrap();
+        let c1 = g.add("c1", conv_op(4, 1, 1), &[x]).unwrap();
+        let c2 = g.add("c2", conv_op(4, 1, 1), &[c1]).unwrap();
+        let add = g.add("add", Op::Add, &[c1, c2]).unwrap();
+        g.add("c3", conv_op(4, 1, 1), &[add]).unwrap();
+        let (_, deps) = stages(&g, &SetPolicy::finest());
+        // c3 (layer 2) set k needs row k of both c1 (skip) and c2 (main).
+        for s in 0..8 {
+            assert_eq!(
+                deps.of(2, s),
+                &[SetRef { layer: 0, set: s }, SetRef { layer: 1, set: s }]
+            );
+        }
+        // c2 set k needs only c1 set k (1×1 kernel).
+        for s in 0..8 {
+            assert_eq!(deps.of(1, s), &[SetRef { layer: 0, set: s }]);
+        }
+    }
+
+    #[test]
+    fn upsample_halves_producer_fanin() {
+        let mut g = Graph::new("t");
+        let x = g
+            .add(
+                "input",
+                Op::Input {
+                    shape: FeatureShape::new(4, 4, 3),
+                },
+                &[],
+            )
+            .unwrap();
+        let c1 = g.add("c1", conv_op(4, 1, 1), &[x]).unwrap(); // 4×4
+        let up = g
+            .add("up", Op::Upsample2d { factor: (2, 2) }, &[c1])
+            .unwrap(); // 8×8
+        g.add("c2", conv_op(4, 1, 1), &[up]).unwrap(); // 8×8
+        let (_, deps) = stages(&g, &SetPolicy::finest());
+        // c2 rows 2k and 2k+1 both map to c1 row k.
+        for s in 0..8 {
+            assert_eq!(
+                deps.of(1, s),
+                &[SetRef {
+                    layer: 0,
+                    set: s / 2
+                }]
+            );
+        }
+    }
+
+    #[test]
+    fn stride2_conv_consumes_two_producer_sets_per_set() {
+        let mut g = Graph::new("t");
+        let x = g
+            .add(
+                "input",
+                Op::Input {
+                    shape: FeatureShape::new(11, 11, 3),
+                },
+                &[],
+            )
+            .unwrap();
+        let c1 = g.add("c1", conv_op(4, 1, 1), &[x]).unwrap(); // 11×11
+        g.add("c2", conv_op(4, 3, 2), &[c1]).unwrap(); // 5×5
+        let (_, deps) = stages(&g, &SetPolicy::finest());
+        // c2 row r reads c1 rows 2r..=2r+2 → sets {2r, 2r+1, 2r+2}.
+        for s in 0..5 {
+            let expect: Vec<SetRef> = (2 * s..=2 * s + 2)
+                .map(|k| SetRef { layer: 0, set: k })
+                .collect();
+            assert_eq!(deps.of(1, s), expect.as_slice());
+        }
+    }
+
+    #[test]
+    fn dense_depends_on_every_producer_set() {
+        let mut g = Graph::new("t");
+        let x = g
+            .add(
+                "input",
+                Op::Input {
+                    shape: FeatureShape::new(6, 6, 3),
+                },
+                &[],
+            )
+            .unwrap();
+        let c1 = g.add("c1", conv_op(4, 3, 1), &[x]).unwrap(); // 4×4
+        let f = g.add("flat", Op::Flatten, &[c1]).unwrap();
+        g.add(
+            "fc",
+            Op::Dense(cim_ir::DenseAttrs {
+                units: 10,
+                use_bias: false,
+            }),
+            &[f],
+        )
+        .unwrap();
+        let (layers, deps) = stages(&g, &SetPolicy::finest());
+        // Flatten forces c1 into a single set; fc depends on it.
+        assert_eq!(layers[0].sets.len(), 1);
+        assert_eq!(deps.of(1, 0), &[SetRef { layer: 0, set: 0 }]);
+    }
+
+    #[test]
+    fn edges_iterator_matches_num_edges() {
+        let g = fig5_graph();
+        let (_, deps) = stages(&g, &SetPolicy::finest());
+        assert_eq!(deps.edges().count(), deps.num_edges());
+        assert!(deps.num_edges() > 0);
+        // Every edge points backwards in layer order (topological).
+        for (consumer, producer) in deps.edges() {
+            assert!(producer.layer < consumer.layer);
+        }
+    }
+
+    #[test]
+    fn mismatched_layers_rejected() {
+        let g = fig5_graph();
+        let costs = layer_costs(
+            &g,
+            &CrossbarSpec::wan_nature_2022(),
+            &MappingOptions::default(),
+        )
+        .unwrap();
+        let mut layers = determine_sets(&g, &costs, &SetPolicy::finest()).unwrap();
+        layers[0].node = NodeId(0); // the input node — not a base layer
+        assert!(matches!(
+            determine_dependencies(&g, &layers),
+            Err(CoreError::StageMismatch { .. })
+        ));
+    }
+}

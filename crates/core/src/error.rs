@@ -1,0 +1,108 @@
+//! Error type of the scheduling stages.
+
+use std::fmt;
+
+use cim_arch::ArchError;
+use cim_ir::IrError;
+use cim_mapping::MappingError;
+
+/// Errors produced by set determination, dependency analysis, scheduling,
+/// and the end-to-end pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An underlying graph operation failed.
+    Ir(IrError),
+    /// The mapping stage failed.
+    Mapping(MappingError),
+    /// The architecture model rejected a request.
+    Arch(ArchError),
+    /// A set policy is invalid.
+    BadPolicy {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A schedule failed validation.
+    InvalidSchedule {
+        /// Human-readable description of the first violation.
+        detail: String,
+    },
+    /// Inputs passed to a stage are inconsistent with each other.
+    StageMismatch {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Ir(e) => write!(f, "{e}"),
+            CoreError::Mapping(e) => write!(f, "{e}"),
+            CoreError::Arch(e) => write!(f, "{e}"),
+            CoreError::BadPolicy { detail } => write!(f, "invalid set policy: {detail}"),
+            CoreError::InvalidSchedule { detail } => write!(f, "invalid schedule: {detail}"),
+            CoreError::StageMismatch { detail } => write!(f, "stage input mismatch: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Ir(e) => Some(e),
+            CoreError::Mapping(e) => Some(e),
+            CoreError::Arch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IrError> for CoreError {
+    fn from(e: IrError) -> Self {
+        CoreError::Ir(e)
+    }
+}
+
+impl From<MappingError> for CoreError {
+    fn from(e: MappingError) -> Self {
+        CoreError::Mapping(e)
+    }
+}
+
+impl From<ArchError> for CoreError {
+    fn from(e: ArchError) -> Self {
+        CoreError::Arch(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = CoreError::from(IrError::EmptyGraph);
+        assert!(std::error::Error::source(&e).is_some());
+        let e = CoreError::from(MappingError::NoBaseLayers);
+        assert_eq!(e.to_string(), "graph contains no base layers");
+        let e = CoreError::from(ArchError::InsufficientPes {
+            required: 2,
+            available: 1,
+        });
+        assert!(e.to_string().contains("PEs"));
+        let e = CoreError::InvalidSchedule {
+            detail: "set overlap".into(),
+        };
+        assert!(e.to_string().starts_with("invalid schedule"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,391 @@
+//! End-to-end pipeline: mapping choice × scheduling choice on one
+//! architecture — the four configurations evaluated in the paper's Sec. V
+//! (`layer-by-layer`, `wdup`, `xinf`, `wdup+xinf`).
+
+use cim_arch::{place_groups, Architecture, PlacementStrategy};
+use cim_ir::Graph;
+use cim_mapping::{
+    apply_duplication, layer_costs, min_pes, optimize, DuplicationPlan, MappingOptions, Solver,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::deps::{determine_dependencies, Dependencies};
+use crate::error::Result;
+use crate::metrics::{utilization, UtilizationReport};
+use crate::schedule::{cross_layer_schedule, layer_by_layer_schedule, EdgeCost, Schedule};
+use crate::sets::{determine_sets, LayerSets, SetPolicy};
+use crate::validate::validate_schedule;
+
+/// Weight-mapping configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum MappingChoice {
+    /// Store every weight exactly once (`C_num` PEs used; spares idle).
+    #[default]
+    OnceEach,
+    /// Weight duplication (Sec. III-C): solve Optimization Problem 1 for
+    /// the architecture's full PE budget with the given solver.
+    WeightDuplication {
+        /// Solver for Optimization Problem 1.
+        solver: Solver,
+    },
+}
+
+/// Scheduling configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SchedulingChoice {
+    /// The layer-by-layer baseline (Sec. II-B).
+    #[default]
+    LayerByLayer,
+    /// CLSA-CIM cross-layer scheduling (Sec. IV) — `xinf` in the paper.
+    CrossLayer,
+}
+
+/// Full configuration of one pipeline run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// The target architecture. Its total PE count is the budget `F`.
+    pub arch: Architecture,
+    /// Weight-mapping choice.
+    pub mapping: MappingChoice,
+    /// Scheduling choice.
+    pub scheduling: SchedulingChoice,
+    /// Stage-I granularity.
+    pub set_policy: SetPolicy,
+    /// Cost-model options (bit slicing).
+    pub mapping_options: MappingOptions,
+    /// Charge NoC hop latency on cross-layer data edges (the Sec. V-C
+    /// extension). Requires the architecture's `hop_latency_cycles` to be
+    /// non-zero to have any effect.
+    pub noc_cost: bool,
+    /// Additionally charge GPEU processing time for the forwarded data
+    /// (implies `noc_cost`-style placement; the non-base-layer work the
+    /// paper's peak model treats as free).
+    pub gpeu_cost: bool,
+    /// PE-group placement strategy (only observable when `noc_cost` or
+    /// `gpeu_cost` is on).
+    pub placement: PlacementStrategy,
+}
+
+impl RunConfig {
+    /// The paper's default evaluation setup on `arch`: once-each mapping,
+    /// layer-by-layer scheduling, finest sets, zero-cost NoC.
+    pub fn baseline(arch: Architecture) -> Self {
+        Self {
+            arch,
+            mapping: MappingChoice::OnceEach,
+            scheduling: SchedulingChoice::LayerByLayer,
+            set_policy: SetPolicy::finest(),
+            mapping_options: MappingOptions::default(),
+            noc_cost: false,
+            gpeu_cost: false,
+            placement: PlacementStrategy::Contiguous,
+        }
+    }
+
+    /// Switches to CLSA-CIM cross-layer scheduling (`xinf`).
+    pub fn with_cross_layer(mut self) -> Self {
+        self.scheduling = SchedulingChoice::CrossLayer;
+        self
+    }
+
+    /// Switches to weight duplication over the full PE budget (`wdup`).
+    pub fn with_duplication(mut self, solver: Solver) -> Self {
+        self.mapping = MappingChoice::WeightDuplication { solver };
+        self
+    }
+}
+
+/// Everything a pipeline run produces.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The mapped graph (duplicates expanded, logical layers marked).
+    pub mapped_graph: Graph,
+    /// Stage-I sets per base layer of the mapped graph.
+    pub layers: Vec<LayerSets>,
+    /// Stage-II dependencies.
+    pub deps: Dependencies,
+    /// The schedule (Stage IV or the baseline).
+    pub schedule: Schedule,
+    /// Eq. 2 utilization report over the architecture's PEs.
+    pub report: UtilizationReport,
+    /// `PE_min` of the *original* graph (weights stored once).
+    pub pe_min: usize,
+    /// The duplication plan, when weight duplication was requested.
+    pub plan: Option<DuplicationPlan>,
+}
+
+impl RunResult {
+    /// Makespan in cycles.
+    pub fn makespan(&self) -> u64 {
+        self.schedule.makespan
+    }
+}
+
+/// Runs the full pipeline on `graph` under `config`.
+///
+/// The produced schedule is always validated against the stage outputs
+/// before being returned, so a successful run is a machine-checked one.
+///
+/// # Errors
+///
+/// Propagates mapping errors (including
+/// [`MappingError::BudgetTooSmall`](cim_mapping::MappingError::BudgetTooSmall)
+/// when the architecture cannot store the network), stage mismatches, and
+/// validation failures.
+///
+/// # Examples
+///
+/// ```
+/// use cim_arch::Architecture;
+/// use cim_ir::{Conv2dAttrs, FeatureShape, Graph, Op, Padding};
+/// use clsa_core::{run, RunConfig};
+///
+/// # fn main() -> Result<(), clsa_core::CoreError> {
+/// let mut g = Graph::new("toy");
+/// let x = g.add("input", Op::Input { shape: FeatureShape::new(10, 10, 3) }, &[])?;
+/// g.add("conv", Op::Conv2d(Conv2dAttrs {
+///     out_channels: 8, kernel: (3, 3), stride: (1, 1),
+///     padding: Padding::Valid, use_bias: false,
+/// }), &[x])?;
+/// let arch = Architecture::paper_case_study(4)?;
+/// let baseline = run(&g, &RunConfig::baseline(arch.clone()))?;
+/// let xinf = run(&g, &RunConfig::baseline(arch).with_cross_layer())?;
+/// assert!(xinf.makespan() <= baseline.makespan());
+/// # Ok(())
+/// # }
+/// ```
+pub fn run(graph: &Graph, config: &RunConfig) -> Result<RunResult> {
+    let xbar = config.arch.crossbar();
+    let budget = config.arch.total_pes();
+
+    // Mapping: decide duplicates, then rewrite the graph. A trivial plan is
+    // applied even for once-each mapping so that every base layer carries a
+    // logical-layer marker for the baseline scheduler.
+    let costs0 = layer_costs(graph, xbar, &config.mapping_options)?;
+    let pe_min = min_pes(&costs0);
+    let (plan, keep_plan) = match config.mapping {
+        MappingChoice::OnceEach => (optimize(&costs0, pe_min, Solver::Greedy)?, false),
+        MappingChoice::WeightDuplication { solver } => (optimize(&costs0, budget, solver)?, true),
+    };
+    if pe_min > budget {
+        return Err(cim_mapping::MappingError::BudgetTooSmall {
+            required: pe_min,
+            available: budget,
+        }
+        .into());
+    }
+    let mapped_graph = apply_duplication(graph, &costs0, &plan)?;
+
+    // Stages I & II on the mapped graph.
+    let costs = layer_costs(&mapped_graph, xbar, &config.mapping_options)?;
+    let layers = determine_sets(&mapped_graph, &costs, &config.set_policy)?;
+    let deps = determine_dependencies(&mapped_graph, &layers)?;
+
+    // Edge-cost model.
+    let edge_cost = if config.noc_cost || config.gpeu_cost {
+        let sizes: Vec<usize> = layers.iter().map(|l| l.pes).collect();
+        let placement = place_groups(&config.arch, &sizes, config.placement)?;
+        let arch = config.arch.clone();
+        if config.gpeu_cost {
+            EdgeCost::NocAndGpeu { arch, placement }
+        } else {
+            EdgeCost::NocHops { arch, placement }
+        }
+    } else {
+        EdgeCost::Free
+    };
+
+    // Stages III & IV (or the baseline).
+    let schedule = match config.scheduling {
+        SchedulingChoice::LayerByLayer => layer_by_layer_schedule(&layers)?,
+        SchedulingChoice::CrossLayer => cross_layer_schedule(&layers, &deps, &edge_cost)?,
+    };
+    match config.scheduling {
+        // The baseline keeps whole layers sequential, which trivially
+        // satisfies data deps but not necessarily with edge costs — it
+        // models DRAM round-trips instead, so validate it cost-free.
+        SchedulingChoice::LayerByLayer => {
+            validate_schedule(&layers, &deps, &schedule, &EdgeCost::Free)?;
+        }
+        SchedulingChoice::CrossLayer => {
+            validate_schedule(&layers, &deps, &schedule, &edge_cost)?;
+        }
+    }
+
+    let report = utilization(&layers, &schedule, budget)?;
+    Ok(RunResult {
+        mapped_graph,
+        layers,
+        deps,
+        schedule,
+        report,
+        pe_min,
+        plan: keep_plan.then_some(plan),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_ir::{ActFn, Conv2dAttrs, FeatureShape, Op, Padding, PoolAttrs};
+
+    fn conv_op(oc: usize, k: usize, st: usize) -> Op {
+        Op::Conv2d(Conv2dAttrs {
+            out_channels: oc,
+            kernel: (k, k),
+            stride: (st, st),
+            padding: Padding::Valid,
+            use_bias: false,
+        })
+    }
+
+    /// A small 3-conv CNN with pooling and activation, PE_min = 3.
+    fn small_cnn() -> Graph {
+        let mut g = Graph::new("small");
+        let x = g
+            .add(
+                "input",
+                Op::Input {
+                    shape: FeatureShape::new(34, 34, 3),
+                },
+                &[],
+            )
+            .unwrap();
+        let c1 = g.add("c1", conv_op(16, 3, 1), &[x]).unwrap(); // 32×32
+        let a1 = g.add("a1", Op::Activation(ActFn::Relu), &[c1]).unwrap();
+        let p1 = g
+            .add(
+                "p1",
+                Op::MaxPool2d(PoolAttrs {
+                    window: (2, 2),
+                    stride: (2, 2),
+                    padding: Padding::Valid,
+                }),
+                &[a1],
+            )
+            .unwrap(); // 16×16
+        let c2 = g.add("c2", conv_op(16, 3, 1), &[p1]).unwrap(); // 14×14
+        g.add("c3", conv_op(8, 3, 1), &[c2]).unwrap(); // 12×12
+        g
+    }
+
+    fn arch(pes: usize) -> Architecture {
+        Architecture::paper_case_study(pes).unwrap()
+    }
+
+    #[test]
+    fn four_paper_configurations_are_ordered() {
+        let g = small_cnn();
+        // PE_min for this net: c1 needs 1 (27 rows), c2 needs 1 (144 rows),
+        // c3 needs 1 → 3.
+        let lbl = run(&g, &RunConfig::baseline(arch(3))).unwrap();
+        assert_eq!(lbl.pe_min, 3);
+        let xinf = run(&g, &RunConfig::baseline(arch(3)).with_cross_layer()).unwrap();
+        let wdup = run(
+            &g,
+            &RunConfig::baseline(arch(3 + 4)).with_duplication(Solver::Greedy),
+        )
+        .unwrap();
+        let both = run(
+            &g,
+            &RunConfig::baseline(arch(3 + 4))
+                .with_duplication(Solver::Greedy)
+                .with_cross_layer(),
+        )
+        .unwrap();
+        assert!(xinf.makespan() <= lbl.makespan());
+        assert!(wdup.makespan() <= lbl.makespan());
+        assert!(both.makespan() <= xinf.makespan());
+        assert!(both.makespan() <= wdup.makespan());
+        // Utilization ordering mirrors speedup (same work, Eq. 3).
+        assert!(both.report.utilization >= lbl.report.utilization);
+    }
+
+    #[test]
+    fn baseline_makespan_is_sum_of_layer_latencies() {
+        let g = small_cnn();
+        let lbl = run(&g, &RunConfig::baseline(arch(3))).unwrap();
+        assert_eq!(lbl.makespan(), (32 * 32 + 14 * 14 + 12 * 12) as u64);
+    }
+
+    #[test]
+    fn duplication_plan_reported() {
+        let g = small_cnn();
+        let r = run(
+            &g,
+            &RunConfig::baseline(arch(7)).with_duplication(Solver::ExactDp),
+        )
+        .unwrap();
+        let plan = r.plan.as_ref().expect("duplication requested");
+        assert!(!plan.is_trivial());
+        assert!(plan.pes_used <= 7);
+        assert!(r.report.used_pes <= 7);
+        // Once-each runs report no plan.
+        let lbl = run(&g, &RunConfig::baseline(arch(7))).unwrap();
+        assert!(lbl.plan.is_none());
+        assert_eq!(lbl.report.used_pes, 3);
+    }
+
+    #[test]
+    fn insufficient_pes_is_reported() {
+        let g = small_cnn();
+        let err = run(&g, &RunConfig::baseline(arch(2))).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::CoreError::Mapping(cim_mapping::MappingError::BudgetTooSmall {
+                required: 3,
+                available: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn noc_cost_slows_cross_layer_schedules() {
+        let g = small_cnn();
+        let base = Architecture::builder()
+            .tile(cim_arch::TileSpec {
+                pes_per_tile: 1,
+                ..cim_arch::TileSpec::isaac_like()
+            })
+            .noc_hop_latency(10)
+            .pes(3)
+            .build()
+            .unwrap();
+        let mut cfg = RunConfig::baseline(base).with_cross_layer();
+        let free = run(&g, &cfg).unwrap();
+        cfg.noc_cost = true;
+        let costly = run(&g, &cfg).unwrap();
+        assert!(costly.makespan() > free.makespan());
+    }
+
+    #[test]
+    fn gpeu_cost_slows_more_than_noc_alone() {
+        let g = small_cnn();
+        let base = Architecture::builder()
+            .tile(cim_arch::TileSpec {
+                pes_per_tile: 1,
+                gpeu_ops_per_cycle: 16,
+                ..cim_arch::TileSpec::isaac_like()
+            })
+            .noc_hop_latency(2)
+            .pes(3)
+            .build()
+            .unwrap();
+        let mut cfg = RunConfig::baseline(base).with_cross_layer();
+        cfg.noc_cost = true;
+        let noc_only = run(&g, &cfg).unwrap();
+        cfg.gpeu_cost = true;
+        let with_gpeu = run(&g, &cfg).unwrap();
+        assert!(with_gpeu.makespan() > noc_only.makespan());
+    }
+
+    #[test]
+    fn coarse_sets_reduce_overlap() {
+        let g = small_cnn();
+        let mut cfg = RunConfig::baseline(arch(3)).with_cross_layer();
+        let fine = run(&g, &cfg).unwrap();
+        cfg.set_policy = SetPolicy::coarse(1);
+        let coarse = run(&g, &cfg).unwrap();
+        assert!(fine.makespan() <= coarse.makespan());
+    }
+}

@@ -1,0 +1,664 @@
+//! Stages III & IV — intra-layer ordering and cross-layer scheduling
+//! (Sec. IV-3/4 of the paper, Fig. 5c), plus the layer-by-layer baseline
+//! (Sec. II-B).
+//!
+//! **Stage III** fixes the execution order of each layer's sets: the single
+//! PE group holding the layer's weights processes its sets serially, top
+//! band first (the orange *resource dependencies* of Fig. 5b).
+//!
+//! **Stage IV** then "ascertains the earliest feasible starting point for
+//! computing each OFM set": a set starts once (a) its PE group has finished
+//! the previous set of the same layer and (b) every producer set it depends
+//! on (Stage II) has finished — optionally plus a NoC forwarding delay when
+//! the data-movement extension is enabled. Because both the layer list and
+//! each dependency point backwards in topological order, one forward sweep
+//! computes the longest path exactly.
+//!
+//! The **layer-by-layer baseline** runs logical layers strictly one after
+//! another (only one layer's PEs active at a time); duplicates created by
+//! weight duplication share a logical id and run concurrently within their
+//! layer's slot — reproducing the `wdup` configuration of the evaluation.
+
+use cim_arch::{Architecture, Placement};
+use serde::{Deserialize, Serialize};
+
+use crate::deps::Dependencies;
+use crate::error::{CoreError, Result};
+use crate::sets::LayerSets;
+
+/// Start/finish times of one scheduled set, in crossbar cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SetTime {
+    /// First cycle of execution.
+    pub start: u64,
+    /// One past the last cycle (`finish - start == duration`).
+    pub finish: u64,
+}
+
+/// Cost model for cross-layer data-dependency edges.
+#[derive(Debug, Clone, Default)]
+pub enum EdgeCost {
+    /// The paper's peak-performance assumption: forwarding partial results
+    /// is free (Sec. V: "the costs associated with data movement have not
+    /// been differentiated yet").
+    #[default]
+    Free,
+    /// The Sec. V-C future-work extension: an edge from layer `p` to layer
+    /// `c` costs the XY-routed hop count between their home tiles times the
+    /// NoC hop latency.
+    NocHops {
+        /// The architecture providing the NoC geometry and hop latency.
+        arch: Architecture,
+        /// Placement of the PE groups, in the same layer order as Stage I.
+        placement: Placement,
+    },
+    /// NoC hops plus GPEU processing: the forwarded set (one byte per OFM
+    /// element) must additionally be chewed through the consumer tile's
+    /// general-purpose execution unit (the non-base-layer work the paper's
+    /// peak model treats as free).
+    NocAndGpeu {
+        /// The architecture providing NoC geometry and GPEU throughput.
+        arch: Architecture,
+        /// Placement of the PE groups, in the same layer order as Stage I.
+        placement: Placement,
+    },
+}
+
+impl EdgeCost {
+    /// Latency in cycles added to a data dependency from layer `p` to
+    /// layer `c` (indices in Stage-I order), forwarding `bytes` bytes of
+    /// producer-set data.
+    ///
+    /// # Errors
+    ///
+    /// Propagates architecture errors when the placement and architecture
+    /// disagree.
+    pub fn cycles(&self, p: usize, c: usize, bytes: u64) -> Result<u64> {
+        match self {
+            EdgeCost::Free => Ok(0),
+            EdgeCost::NocHops { arch, placement } => {
+                let hops = placement.hops_between(arch, p, c)?;
+                Ok(hops as u64 * arch.noc().hop_latency_cycles)
+            }
+            EdgeCost::NocAndGpeu { arch, placement } => {
+                let hops = placement.hops_between(arch, p, c)?;
+                let gpeu = bytes.div_ceil(arch.tile().gpeu_ops_per_cycle as u64);
+                Ok(hops as u64 * arch.noc().hop_latency_cycles + gpeu)
+            }
+        }
+    }
+}
+
+/// A complete schedule: per layer, per set, start and finish times.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Per layer, per set, the assigned execution window.
+    pub times: Vec<Vec<SetTime>>,
+    /// Total makespan in cycles (`t_NN` in Eq. 2).
+    pub makespan: u64,
+}
+
+impl Schedule {
+    /// Active cycles of layer `l`'s PE group (the sum of its set durations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn active_cycles(&self, l: usize) -> u64 {
+        self.times[l].iter().map(|t| t.finish - t.start).sum()
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.times.len()
+    }
+}
+
+/// Runs Stage IV: the CLSA-CIM cross-layer schedule.
+///
+/// `layers` and `deps` are the Stage I/II outputs; `edge_cost` selects the
+/// data-movement model.
+///
+/// # Errors
+///
+/// Returns [`CoreError::StageMismatch`] when the stage outputs disagree and
+/// propagates edge-cost errors.
+///
+/// # Examples
+///
+/// ```
+/// use cim_arch::CrossbarSpec;
+/// use cim_ir::{Conv2dAttrs, FeatureShape, Graph, Op, Padding};
+/// use cim_mapping::{layer_costs, MappingOptions};
+/// use clsa_core::{cross_layer_schedule, determine_dependencies, determine_sets, EdgeCost, SetPolicy};
+///
+/// # fn main() -> Result<(), clsa_core::CoreError> {
+/// let mut g = Graph::new("t");
+/// let x = g.add("input", Op::Input { shape: FeatureShape::new(10, 10, 3) }, &[])?;
+/// let c1 = g.add("c1", Op::Conv2d(Conv2dAttrs {
+///     out_channels: 8, kernel: (3, 3), stride: (1, 1),
+///     padding: Padding::Valid, use_bias: false,
+/// }), &[x])?;
+/// g.add("c2", Op::Conv2d(Conv2dAttrs {
+///     out_channels: 8, kernel: (3, 3), stride: (1, 1),
+///     padding: Padding::Valid, use_bias: false,
+/// }), &[c1])?;
+/// let costs = layer_costs(&g, &CrossbarSpec::wan_nature_2022(), &MappingOptions::default())?;
+/// let layers = determine_sets(&g, &costs, &SetPolicy::finest())?;
+/// let deps = determine_dependencies(&g, &layers)?;
+/// let schedule = cross_layer_schedule(&layers, &deps, &EdgeCost::Free)?;
+/// // c2 overlaps c1 instead of waiting for it.
+/// assert!(schedule.makespan < 64 + 36);
+/// # Ok(())
+/// # }
+/// ```
+pub fn cross_layer_schedule(
+    layers: &[LayerSets],
+    deps: &Dependencies,
+    edge_cost: &EdgeCost,
+) -> Result<Schedule> {
+    if deps.num_layers() != layers.len() {
+        return Err(CoreError::StageMismatch {
+            detail: format!(
+                "dependencies cover {} layers, sets cover {}",
+                deps.num_layers(),
+                layers.len()
+            ),
+        });
+    }
+    let mut times: Vec<Vec<SetTime>> = Vec::with_capacity(layers.len());
+    let mut makespan = 0u64;
+    for (li, layer) in layers.iter().enumerate() {
+        let mut layer_times = Vec::with_capacity(layer.sets.len());
+        let mut group_free = 0u64; // Stage III: the group runs its sets serially.
+        for (si, set) in layer.sets.iter().enumerate() {
+            let mut start = group_free;
+            for dep in deps.of(li, si) {
+                if dep.layer >= li {
+                    return Err(CoreError::StageMismatch {
+                        detail: format!(
+                            "dependency {dep} of layer {li} is not topologically earlier"
+                        ),
+                    });
+                }
+                let dep_finish: u64 = times[dep.layer][dep.set].finish;
+                let bytes = set_bytes(&layers[dep.layer], dep.set);
+                let arrive = dep_finish + edge_cost.cycles(dep.layer, li, bytes)?;
+                start = start.max(arrive);
+            }
+            let finish = start + set.duration;
+            group_free = finish;
+            makespan = makespan.max(finish);
+            layer_times.push(SetTime { start, finish });
+        }
+        times.push(layer_times);
+    }
+    Ok(Schedule { times, makespan })
+}
+
+/// Bytes of one producer set: one byte per OFM element (8-bit activations).
+pub fn set_bytes(layer: &LayerSets, set: usize) -> u64 {
+    (layer.sets[set].rect.area() * layer.ofm.c) as u64
+}
+
+/// A batched schedule: `batch` back-to-back inferences pipelined through
+/// the same weight-stationary groups.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchedSchedule {
+    /// Per inference instance, the full schedule (same shape as
+    /// [`Schedule::times`]).
+    pub instances: Vec<Schedule>,
+    /// Total makespan over all instances.
+    pub makespan: u64,
+}
+
+impl BatchedSchedule {
+    /// Steady-state throughput: cycles between consecutive inference
+    /// completions, averaged over the batch.
+    pub fn cycles_per_inference(&self) -> f64 {
+        self.makespan as f64 / self.instances.len() as f64
+    }
+}
+
+/// Extension beyond the paper: schedules `batch` consecutive inferences
+/// with CLSA-CIM. Because weights are stationary, a PE group can start
+/// instance `b+1`'s sets as soon as it finishes its own instance-`b` work —
+/// the inter-instance constraint is purely the group chain, and data
+/// dependencies stay within an instance.
+///
+/// The paper observes that single-inference utilization "usually remains
+/// below 10 %"; pipelining inferences removes the fill/drain bubbles and
+/// drives utilization toward the structural limit (the busiest group's
+/// share of the work).
+///
+/// # Errors
+///
+/// Same conditions as [`cross_layer_schedule`], plus an error for a zero
+/// batch size.
+pub fn batched_cross_layer_schedule(
+    layers: &[LayerSets],
+    deps: &Dependencies,
+    edge_cost: &EdgeCost,
+    batch: usize,
+) -> Result<BatchedSchedule> {
+    if batch == 0 {
+        return Err(CoreError::StageMismatch {
+            detail: "batch must be at least 1".into(),
+        });
+    }
+    if deps.num_layers() != layers.len() {
+        return Err(CoreError::StageMismatch {
+            detail: format!(
+                "dependencies cover {} layers, sets cover {}",
+                deps.num_layers(),
+                layers.len()
+            ),
+        });
+    }
+    let mut group_free = vec![0u64; layers.len()];
+    let mut instances = Vec::with_capacity(batch);
+    let mut makespan = 0u64;
+    for _ in 0..batch {
+        let mut times: Vec<Vec<SetTime>> = Vec::with_capacity(layers.len());
+        let mut instance_makespan = 0u64;
+        for (li, layer) in layers.iter().enumerate() {
+            let mut layer_times = Vec::with_capacity(layer.sets.len());
+            for (si, set) in layer.sets.iter().enumerate() {
+                let mut start = group_free[li];
+                for dep in deps.of(li, si) {
+                    if dep.layer >= li {
+                        return Err(CoreError::StageMismatch {
+                            detail: format!(
+                                "dependency {dep} of layer {li} is not topologically earlier"
+                            ),
+                        });
+                    }
+                    let dep_finish = times[dep.layer][dep.set].finish;
+                    let bytes = set_bytes(&layers[dep.layer], dep.set);
+                    start = start.max(dep_finish + edge_cost.cycles(dep.layer, li, bytes)?);
+                }
+                let finish = start + set.duration;
+                group_free[li] = finish;
+                instance_makespan = instance_makespan.max(finish);
+                layer_times.push(SetTime { start, finish });
+            }
+            times.push(layer_times);
+        }
+        makespan = makespan.max(instance_makespan);
+        instances.push(Schedule {
+            times,
+            makespan: instance_makespan,
+        });
+    }
+    Ok(BatchedSchedule {
+        instances,
+        makespan,
+    })
+}
+
+/// Runs the layer-by-layer baseline (Sec. II-B): logical layers execute
+/// strictly sequentially in topological order; duplicates of one logical
+/// layer run concurrently within the layer's slot.
+///
+/// # Errors
+///
+/// Returns [`CoreError::StageMismatch`] for an empty layer list.
+pub fn layer_by_layer_schedule(layers: &[LayerSets]) -> Result<Schedule> {
+    if layers.is_empty() {
+        return Err(CoreError::StageMismatch {
+            detail: "no layers to schedule".into(),
+        });
+    }
+    // Group consecutive-in-topo-order layers by logical id, preserving the
+    // order of first appearance.
+    let mut slot_of_logical: std::collections::HashMap<u32, usize> = Default::default();
+    let mut slots: Vec<Vec<usize>> = Vec::new();
+    for (li, layer) in layers.iter().enumerate() {
+        match slot_of_logical.get(&layer.logical) {
+            Some(&s) => slots[s].push(li),
+            None => {
+                slot_of_logical.insert(layer.logical, slots.len());
+                slots.push(vec![li]);
+            }
+        }
+    }
+    let mut times: Vec<Vec<SetTime>> = vec![Vec::new(); layers.len()];
+    let mut t = 0u64;
+    for slot in slots {
+        let mut slot_end = t;
+        for li in slot {
+            let mut cursor = t;
+            let mut layer_times = Vec::with_capacity(layers[li].sets.len());
+            for set in &layers[li].sets {
+                layer_times.push(SetTime {
+                    start: cursor,
+                    finish: cursor + set.duration,
+                });
+                cursor += set.duration;
+            }
+            times[li] = layer_times;
+            slot_end = slot_end.max(cursor);
+        }
+        t = slot_end;
+    }
+    Ok(Schedule { times, makespan: t })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_arch::CrossbarSpec;
+    use cim_ir::{Conv2dAttrs, FeatureShape, Graph, Op, Padding};
+    use cim_mapping::{layer_costs, MappingOptions};
+
+    use crate::deps::determine_dependencies;
+    use crate::sets::{determine_sets, SetPolicy};
+
+    fn conv_op(oc: usize, k: usize, st: usize) -> Op {
+        Op::Conv2d(Conv2dAttrs {
+            out_channels: oc,
+            kernel: (k, k),
+            stride: (st, st),
+            padding: Padding::Valid,
+            use_bias: false,
+        })
+    }
+
+    /// Two stacked 3×3/1 convs: 10×10 input → 8×8 → 6×6.
+    fn two_convs() -> Graph {
+        let mut g = Graph::new("t");
+        let x = g
+            .add(
+                "input",
+                Op::Input {
+                    shape: FeatureShape::new(10, 10, 3),
+                },
+                &[],
+            )
+            .unwrap();
+        let c1 = g.add("c1", conv_op(8, 3, 1), &[x]).unwrap();
+        g.add("c2", conv_op(8, 3, 1), &[c1]).unwrap();
+        g
+    }
+
+    fn stages(g: &Graph, policy: &SetPolicy) -> (Vec<LayerSets>, Dependencies) {
+        let costs = layer_costs(
+            g,
+            &CrossbarSpec::wan_nature_2022(),
+            &MappingOptions::default(),
+        )
+        .unwrap();
+        let layers = determine_sets(g, &costs, policy).unwrap();
+        let deps = determine_dependencies(g, &layers).unwrap();
+        (layers, deps)
+    }
+
+    #[test]
+    fn cross_layer_overlaps_consecutive_convs() {
+        let g = two_convs();
+        let (layers, deps) = stages(&g, &SetPolicy::finest());
+        let xl = cross_layer_schedule(&layers, &deps, &EdgeCost::Free).unwrap();
+        let lbl = layer_by_layer_schedule(&layers).unwrap();
+        // t_OFM: c1 = 64, c2 = 36 → baseline 100.
+        assert_eq!(lbl.makespan, 100);
+        // Cross-layer: c2 row r needs c1 rows r..=r+2; c2's last row starts
+        // after c1 finishes (8·8 = 64) ... exact: c2 set r starts at
+        // max(chain, c1 finish of set r+2 = 8·(r+3)); last set r=5 →
+        // start 64, finish 70.
+        assert_eq!(xl.makespan, 70);
+        // Hand-check the first sets: c1 s0 [0,8), c2 s0 needs c1 s0..s2
+        // (finish 24) → [24, 30).
+        assert_eq!(
+            xl.times[0][0],
+            SetTime {
+                start: 0,
+                finish: 8
+            }
+        );
+        assert_eq!(
+            xl.times[1][0],
+            SetTime {
+                start: 24,
+                finish: 30
+            }
+        );
+    }
+
+    #[test]
+    fn chain_order_is_respected() {
+        let g = two_convs();
+        let (layers, deps) = stages(&g, &SetPolicy::finest());
+        let s = cross_layer_schedule(&layers, &deps, &EdgeCost::Free).unwrap();
+        for lt in &s.times {
+            for w in lt.windows(2) {
+                assert!(
+                    w[0].finish <= w[1].start,
+                    "sets of one group must not overlap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn data_deps_are_respected() {
+        let g = two_convs();
+        let (layers, deps) = stages(&g, &SetPolicy::finest());
+        let s = cross_layer_schedule(&layers, &deps, &EdgeCost::Free).unwrap();
+        for (consumer, producer) in deps.edges() {
+            assert!(
+                s.times[producer.layer][producer.set].finish
+                    <= s.times[consumer.layer][consumer.set].start,
+                "{producer} must finish before {consumer} starts"
+            );
+        }
+    }
+
+    #[test]
+    fn coarse_sets_degrade_to_layer_by_layer() {
+        // With one set per OFM there is nothing to overlap on a chain.
+        let g = two_convs();
+        let (layers, deps) = stages(&g, &SetPolicy::coarse(1));
+        let xl = cross_layer_schedule(&layers, &deps, &EdgeCost::Free).unwrap();
+        let lbl = layer_by_layer_schedule(&layers).unwrap();
+        assert_eq!(xl.makespan, lbl.makespan);
+    }
+
+    #[test]
+    fn cross_layer_never_slower_than_baseline() {
+        let g = two_convs();
+        for policy in [
+            SetPolicy::finest(),
+            SetPolicy::coarse(4),
+            SetPolicy::coarse(2),
+        ] {
+            let (layers, deps) = stages(&g, &policy);
+            let xl = cross_layer_schedule(&layers, &deps, &EdgeCost::Free).unwrap();
+            let lbl = layer_by_layer_schedule(&layers).unwrap();
+            assert!(xl.makespan <= lbl.makespan, "policy {policy:?}");
+        }
+    }
+
+    #[test]
+    fn baseline_runs_duplicates_concurrently() {
+        // Two layers with the same logical id share a slot; a third layer
+        // with its own id runs after.
+        use cim_ir::NodeId;
+        let mk = |node: u32, logical: u32, rows: usize| LayerSets {
+            node: NodeId(node),
+            name: format!("l{node}"),
+            logical,
+            ofm: FeatureShape::new(rows, 4, 8),
+            pes: 1,
+            quantum: 1,
+            sets: (0..rows)
+                .map(|y| crate::sets::OfmSet {
+                    rect: cim_ir::Rect::new(y, 0, y, 3),
+                    duration: 4,
+                })
+                .collect(),
+        };
+        let layers = vec![mk(1, 1, 6), mk(2, 1, 5), mk(3, 3, 2)];
+        let s = layer_by_layer_schedule(&layers).unwrap();
+        // Slot 0: duplicates run 24 and 20 cycles concurrently → ends at 24.
+        assert_eq!(s.times[0][0].start, 0);
+        assert_eq!(s.times[1][0].start, 0);
+        assert_eq!(s.times[2][0].start, 24);
+        assert_eq!(s.makespan, 24 + 8);
+    }
+
+    #[test]
+    fn noc_edge_cost_delays_consumers() {
+        let g = two_convs();
+        let (layers, deps) = stages(&g, &SetPolicy::finest());
+        let free = cross_layer_schedule(&layers, &deps, &EdgeCost::Free).unwrap();
+
+        // Place the two 1-PE groups on distinct tiles of a 2-tile arch with
+        // a 5-cycle hop latency.
+        let arch = cim_arch::Architecture::builder()
+            .tile(cim_arch::TileSpec {
+                pes_per_tile: 1,
+                ..cim_arch::TileSpec::isaac_like()
+            })
+            .noc_hop_latency(5)
+            .pes(2)
+            .build()
+            .unwrap();
+        let placement =
+            cim_arch::place_groups(&arch, &[1, 1], cim_arch::PlacementStrategy::Contiguous)
+                .unwrap();
+        let costly =
+            cross_layer_schedule(&layers, &deps, &EdgeCost::NocHops { arch, placement }).unwrap();
+        assert!(costly.makespan > free.makespan);
+        assert_eq!(
+            costly.makespan,
+            free.makespan + 5,
+            "one hop on the critical tail"
+        );
+    }
+
+    #[test]
+    fn gpeu_edge_cost_charges_processing_time() {
+        let g = two_convs();
+        let (layers, deps) = stages(&g, &SetPolicy::finest());
+        // GPEU of 8 ops/cycle: a 1×8×8-byte producer set (c1 rows are 8
+        // wide × 8 channels = 64 bytes) takes 8 extra cycles per edge.
+        let arch = cim_arch::Architecture::builder()
+            .tile(cim_arch::TileSpec {
+                pes_per_tile: 4,
+                gpeu_ops_per_cycle: 8,
+                ..cim_arch::TileSpec::isaac_like()
+            })
+            .pes(2)
+            .build()
+            .unwrap();
+        let placement =
+            cim_arch::place_groups(&arch, &[1, 1], cim_arch::PlacementStrategy::Contiguous)
+                .unwrap();
+        let free = cross_layer_schedule(&layers, &deps, &EdgeCost::Free).unwrap();
+        let cost = EdgeCost::NocAndGpeu { arch, placement };
+        assert_eq!(
+            cost.cycles(0, 1, 64).unwrap(),
+            8,
+            "64 bytes / 8 ops per cycle"
+        );
+        let charged = cross_layer_schedule(&layers, &deps, &cost).unwrap();
+        assert_eq!(
+            charged.makespan,
+            free.makespan + 8,
+            "GPEU delay on the critical tail"
+        );
+        crate::validate::validate_schedule(&layers, &deps, &charged, &cost).unwrap();
+    }
+
+    #[test]
+    fn schedule_active_cycles_match_work() {
+        let g = two_convs();
+        let (layers, deps) = stages(&g, &SetPolicy::finest());
+        let s = cross_layer_schedule(&layers, &deps, &EdgeCost::Free).unwrap();
+        assert_eq!(s.active_cycles(0), 64);
+        assert_eq!(s.active_cycles(1), 36);
+    }
+
+    #[test]
+    fn empty_layers_rejected_by_baseline() {
+        assert!(layer_by_layer_schedule(&[]).is_err());
+    }
+
+    #[test]
+    fn batched_schedule_pipelines_instances() {
+        let g = two_convs();
+        let (layers, deps) = stages(&g, &SetPolicy::finest());
+        let single = cross_layer_schedule(&layers, &deps, &EdgeCost::Free).unwrap();
+        let batched = batched_cross_layer_schedule(&layers, &deps, &EdgeCost::Free, 4).unwrap();
+        // Instance 0 equals the single-inference schedule.
+        assert_eq!(batched.instances[0], single);
+        // Pipelining: the batch finishes far sooner than 4 sequential runs.
+        assert!(batched.makespan < 4 * single.makespan);
+        // Steady state: each extra inference costs the bottleneck group's
+        // work (c1: 64 cycles), not the full makespan (70).
+        assert_eq!(batched.makespan, single.makespan + 3 * 64);
+        assert!(batched.cycles_per_inference() < single.makespan as f64);
+        // Per-instance validity: chain and deps hold inside each instance.
+        for inst in &batched.instances {
+            for lt in &inst.times {
+                for w in lt.windows(2) {
+                    assert!(w[0].finish <= w[1].start);
+                }
+            }
+            for (consumer, producer) in deps.edges() {
+                assert!(
+                    inst.times[producer.layer][producer.set].finish
+                        <= inst.times[consumer.layer][consumer.set].start
+                );
+            }
+        }
+        // Groups never overlap across instances either.
+        for li in 0..layers.len() {
+            for b in 1..batched.instances.len() {
+                let prev_end = batched.instances[b - 1].times[li].last().unwrap().finish;
+                let next_start = batched.instances[b].times[li].first().unwrap().start;
+                assert!(
+                    prev_end <= next_start,
+                    "group {li} overlaps across instances"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_utilization_approaches_structural_limit() {
+        let g = two_convs();
+        let (layers, deps) = stages(&g, &SetPolicy::finest());
+        let single = cross_layer_schedule(&layers, &deps, &EdgeCost::Free).unwrap();
+        let batched = batched_cross_layer_schedule(&layers, &deps, &EdgeCost::Free, 32).unwrap();
+        // Work per inference: c1 64 + c2 36 = 100 PE-cycles (1 PE each).
+        let total_pes = 2u64;
+        let ut_single = 100.0 / (total_pes * single.makespan) as f64;
+        let ut_batched = (32 * 100) as f64 / (total_pes * batched.makespan) as f64;
+        assert!(ut_batched > ut_single);
+        // Structural limit: the bottleneck group (c1) is busy 64 of every
+        // 64 cycles in steady state → utilization → (64+36)/(2·64) ≈ 0.78.
+        assert!(
+            ut_batched > 0.75,
+            "steady-state utilization {ut_batched:.2}"
+        );
+        assert!(ut_batched < 0.79, "cannot beat the structural limit");
+    }
+
+    #[test]
+    fn batched_rejects_zero_batch() {
+        let g = two_convs();
+        let (layers, deps) = stages(&g, &SetPolicy::finest());
+        assert!(batched_cross_layer_schedule(&layers, &deps, &EdgeCost::Free, 0).is_err());
+    }
+
+    #[test]
+    fn mismatched_stage_outputs_rejected() {
+        let g = two_convs();
+        let (layers, deps) = stages(&g, &SetPolicy::finest());
+        assert!(matches!(
+            cross_layer_schedule(&layers[..1], &deps, &EdgeCost::Free),
+            Err(CoreError::StageMismatch { .. })
+        ));
+    }
+}

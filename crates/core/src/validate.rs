@@ -1,0 +1,218 @@
+//! Schedule validation: machine-checks every property a legal CLSA-CIM
+//! schedule must have. Used by the test suite (including the property tests
+//! over random graphs) and available to downstream users as a debugging
+//! aid.
+
+use crate::deps::Dependencies;
+use crate::error::{CoreError, Result};
+use crate::schedule::{EdgeCost, Schedule};
+use crate::sets::LayerSets;
+
+/// Validates `schedule` against the Stage I/II outputs it was built from.
+///
+/// Checked properties:
+///
+/// 1. shape: one time window per set, everywhere;
+/// 2. durations: `finish − start` equals the set's duration;
+/// 3. Stage III resource order: a layer's windows are non-overlapping and
+///    in set order (one PE group per layer);
+/// 4. Stage II data dependencies: every producer set finishes (plus the
+///    edge cost) before its consumer starts;
+/// 5. the makespan equals the latest finish.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidSchedule`] describing the first violation.
+pub fn validate_schedule(
+    layers: &[LayerSets],
+    deps: &Dependencies,
+    schedule: &Schedule,
+    edge_cost: &EdgeCost,
+) -> Result<()> {
+    if schedule.num_layers() != layers.len() {
+        return Err(CoreError::InvalidSchedule {
+            detail: format!(
+                "schedule has {} layers, expected {}",
+                schedule.num_layers(),
+                layers.len()
+            ),
+        });
+    }
+    let mut latest = 0u64;
+    for (li, layer) in layers.iter().enumerate() {
+        let times = &schedule.times[li];
+        if times.len() != layer.sets.len() {
+            return Err(CoreError::InvalidSchedule {
+                detail: format!(
+                    "layer `{}` has {} windows for {} sets",
+                    layer.name,
+                    times.len(),
+                    layer.sets.len()
+                ),
+            });
+        }
+        for (si, (t, set)) in times.iter().zip(&layer.sets).enumerate() {
+            if t.finish.saturating_sub(t.start) != set.duration {
+                return Err(CoreError::InvalidSchedule {
+                    detail: format!(
+                        "layer `{}` set {si}: window [{}, {}) does not match duration {}",
+                        layer.name, t.start, t.finish, set.duration
+                    ),
+                });
+            }
+            latest = latest.max(t.finish);
+        }
+        for (si, w) in times.windows(2).enumerate() {
+            if w[1].start < w[0].finish {
+                return Err(CoreError::InvalidSchedule {
+                    detail: format!(
+                        "layer `{}`: set {} starts at {} before set {} finishes at {} \
+                         (one PE group cannot overlap)",
+                        layer.name,
+                        si + 1,
+                        w[1].start,
+                        si,
+                        w[0].finish
+                    ),
+                });
+            }
+        }
+    }
+    for (consumer, producer) in deps.edges() {
+        let p = schedule.times[producer.layer][producer.set];
+        let c = schedule.times[consumer.layer][consumer.set];
+        let bytes = crate::schedule::set_bytes(&layers[producer.layer], producer.set);
+        let arrival = p.finish + edge_cost.cycles(producer.layer, consumer.layer, bytes)?;
+        if c.start < arrival {
+            return Err(CoreError::InvalidSchedule {
+                detail: format!(
+                    "data dependency violated: {producer} arrives at {arrival} but \
+                     {consumer} starts at {}",
+                    c.start
+                ),
+            });
+        }
+    }
+    if schedule.makespan != latest {
+        return Err(CoreError::InvalidSchedule {
+            detail: format!(
+                "makespan {} does not match latest finish {latest}",
+                schedule.makespan
+            ),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_arch::CrossbarSpec;
+    use cim_ir::{Conv2dAttrs, FeatureShape, Graph, Op, Padding};
+    use cim_mapping::{layer_costs, MappingOptions};
+
+    use crate::deps::determine_dependencies;
+    use crate::schedule::{cross_layer_schedule, layer_by_layer_schedule};
+    use crate::sets::{determine_sets, SetPolicy};
+
+    fn pipeline() -> (Vec<LayerSets>, Dependencies, Schedule) {
+        let mut g = Graph::new("t");
+        let x = g
+            .add(
+                "input",
+                Op::Input {
+                    shape: FeatureShape::new(10, 10, 3),
+                },
+                &[],
+            )
+            .unwrap();
+        let c1 = g
+            .add(
+                "c1",
+                Op::Conv2d(Conv2dAttrs {
+                    out_channels: 8,
+                    kernel: (3, 3),
+                    stride: (1, 1),
+                    padding: Padding::Valid,
+                    use_bias: false,
+                }),
+                &[x],
+            )
+            .unwrap();
+        g.add(
+            "c2",
+            Op::Conv2d(Conv2dAttrs {
+                out_channels: 8,
+                kernel: (3, 3),
+                stride: (1, 1),
+                padding: Padding::Valid,
+                use_bias: false,
+            }),
+            &[c1],
+        )
+        .unwrap();
+        let costs = layer_costs(
+            &g,
+            &CrossbarSpec::wan_nature_2022(),
+            &MappingOptions::default(),
+        )
+        .unwrap();
+        let layers = determine_sets(&g, &costs, &SetPolicy::finest()).unwrap();
+        let deps = determine_dependencies(&g, &layers).unwrap();
+        let s = cross_layer_schedule(&layers, &deps, &EdgeCost::Free).unwrap();
+        (layers, deps, s)
+    }
+
+    #[test]
+    fn valid_schedules_pass() {
+        let (layers, deps, s) = pipeline();
+        validate_schedule(&layers, &deps, &s, &EdgeCost::Free).unwrap();
+        let lbl = layer_by_layer_schedule(&layers).unwrap();
+        validate_schedule(&layers, &deps, &lbl, &EdgeCost::Free).unwrap();
+    }
+
+    #[test]
+    fn detects_duration_mismatch() {
+        let (layers, deps, mut s) = pipeline();
+        s.times[0][0].finish += 1;
+        // Either the duration check or a downstream one fires; it must fail.
+        assert!(validate_schedule(&layers, &deps, &s, &EdgeCost::Free).is_err());
+    }
+
+    #[test]
+    fn detects_group_overlap() {
+        let (layers, deps, mut s) = pipeline();
+        // Shift set 1 of layer 0 to overlap set 0.
+        let d = s.times[0][1].finish - s.times[0][1].start;
+        s.times[0][1].start = s.times[0][0].start;
+        s.times[0][1].finish = s.times[0][1].start + d;
+        let err = validate_schedule(&layers, &deps, &s, &EdgeCost::Free).unwrap_err();
+        assert!(err.to_string().contains("PE group"), "{err}");
+    }
+
+    #[test]
+    fn detects_dependency_violation() {
+        let (layers, deps, mut s) = pipeline();
+        // Pull the first consumer set before its producers finish.
+        let d = s.times[1][0].finish - s.times[1][0].start;
+        s.times[1][0].start = 0;
+        s.times[1][0].finish = d;
+        let err = validate_schedule(&layers, &deps, &s, &EdgeCost::Free).unwrap_err();
+        assert!(err.to_string().contains("dependency"), "{err}");
+    }
+
+    #[test]
+    fn detects_wrong_makespan() {
+        let (layers, deps, mut s) = pipeline();
+        s.makespan += 7;
+        let err = validate_schedule(&layers, &deps, &s, &EdgeCost::Free).unwrap_err();
+        assert!(err.to_string().contains("makespan"), "{err}");
+    }
+
+    #[test]
+    fn detects_shape_mismatch() {
+        let (layers, deps, mut s) = pipeline();
+        s.times[0].pop();
+        assert!(validate_schedule(&layers, &deps, &s, &EdgeCost::Free).is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type of the preprocessing passes.
+
+use std::fmt;
+
+use cim_ir::IrError;
+
+/// Errors produced by the frontend passes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrontendError {
+    /// An underlying graph operation failed.
+    Ir(IrError),
+    /// Batch-norm folding found inconsistent parameter availability (e.g.
+    /// the BN node carries parameters but the producer layer does not).
+    FoldParams {
+        /// Name of the batch-norm node.
+        node: String,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A canonical-form invariant does not hold.
+    NotCanonical {
+        /// Name of the offending node.
+        node: String,
+        /// The violated invariant.
+        detail: String,
+    },
+    /// A quantization policy is invalid (e.g. zero bit width).
+    BadQuantPolicy {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrontendError::Ir(e) => write!(f, "{e}"),
+            FrontendError::FoldParams { node, detail } => {
+                write!(f, "cannot fold batch norm `{node}`: {detail}")
+            }
+            FrontendError::NotCanonical { node, detail } => {
+                write!(f, "node `{node}` violates canonical form: {detail}")
+            }
+            FrontendError::BadQuantPolicy { detail } => {
+                write!(f, "invalid quantization policy: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrontendError::Ir(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IrError> for FrontendError {
+    fn from(e: IrError) -> Self {
+        FrontendError::Ir(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, FrontendError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = FrontendError::from(IrError::EmptyGraph);
+        assert_eq!(e.to_string(), "graph contains no nodes");
+        assert!(std::error::Error::source(&e).is_some());
+        let e = FrontendError::NotCanonical {
+            node: "c".into(),
+            detail: "has bias".into(),
+        };
+        assert!(e.to_string().contains("canonical"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FrontendError>();
+    }
+}

@@ -1,0 +1,67 @@
+//! # cim-frontend — high-level NN preprocessing for CIM scheduling
+//!
+//! Implements the preprocessing stage of the CLSA-CIM paper (Sec. III-A,
+//! Fig. 2): the NN model is transformed into a *canonical* representation
+//! that the mapping and scheduling stages consume.
+//!
+//! The three passes, in pipeline order:
+//!
+//! 1. **Batch-norm folding** ([`fold_batch_norm`]) — inference-time BN layers
+//!    are merged into the preceding convolution / dense layer, adjusting the
+//!    kernel weights and bias (Jacob et al., CVPR 2018).
+//! 2. **Partitioning** ([`decouple`]) — padding and bias addition are
+//!    decoupled from the base layer, so every base layer is a pure
+//!    [`Padding::Valid`], bias-free MVM and every auxiliary computation is an
+//!    explicit non-base node.
+//! 3. **Quantization** ([`quantize`]) — base layers are fake-quantized to the
+//!    limited resolution of the RRAM cells (up to 4 bits in current silicon,
+//!    Wan et al. 2022); weights are rounded to the integer grid and
+//!    [`Op::Quantize`] markers are inserted after each base layer.
+//!
+//! [`canonicalize`] runs the full pipeline and returns a [`Canonical`] graph
+//! whose invariants are machine-checked by [`Canonical::verify`].
+//!
+//! # Examples
+//!
+//! ```
+//! use cim_frontend::{canonicalize, CanonOptions};
+//! use cim_ir::{Conv2dAttrs, FeatureShape, Graph, Op, Padding};
+//!
+//! # fn main() -> Result<(), cim_frontend::FrontendError> {
+//! let mut g = Graph::new("net");
+//! let x = g.add("input", Op::Input { shape: FeatureShape::new(8, 8, 3) }, &[])?;
+//! g.add(
+//!     "conv",
+//!     Op::Conv2d(Conv2dAttrs {
+//!         out_channels: 4,
+//!         kernel: (3, 3),
+//!         stride: (1, 1),
+//!         padding: Padding::Same,
+//!         use_bias: true,
+//!     }),
+//!     &[x],
+//! )?;
+//! let canon = canonicalize(&g, &CanonOptions::default())?;
+//! // The conv is now a pure valid-padding MVM with explicit pad/bias nodes.
+//! assert_eq!(canon.graph().len(), 4);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`Padding::Valid`]: cim_ir::Padding::Valid
+//! [`Op::Quantize`]: cim_ir::Op::Quantize
+
+#![warn(missing_docs)]
+
+pub mod bn;
+pub mod canon;
+pub mod error;
+pub mod partition;
+pub mod quant;
+mod rewrite;
+
+pub use bn::fold_batch_norm;
+pub use canon::{canonicalize, CanonOptions, Canonical};
+pub use error::{FrontendError, Result};
+pub use partition::decouple;
+pub use quant::{max_quant_error, quantize, quantize_tensor, symmetric_scale, QuantPolicy};

@@ -1,0 +1,370 @@
+//! Quantization pass (Sec. III-A of the paper, "Quantization").
+//!
+//! Base layers must be quantized because RRAM cells store conductance with
+//! limited resolution — up to 4 bits in current silicon (Wan et al., Nature
+//! 2022, \[4\] in the paper). This module provides:
+//!
+//! * symmetric affine quantization helpers for tensors
+//!   ([`quantize_tensor`], [`symmetric_scale`], [`max_quant_error`]);
+//! * the [`quantize`] graph pass, which rounds base-layer weights to the
+//!   integer grid and inserts [`Op::Quantize`] fake-quantization markers
+//!   after every base layer, mirroring TensorFlow's quantization-aware
+//!   representation.
+//!
+//! [`Op::Quantize`]: cim_ir::Op::Quantize
+
+use cim_ir::{Op, QuantAttrs, Tensor};
+
+use crate::error::{FrontendError, Result};
+use crate::rewrite::{check_input, Rewriter};
+
+/// Quantization policy for the [`quantize`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuantPolicy {
+    /// Bit width of the weight grid (the RRAM cell resolution).
+    pub weight_bits: u8,
+    /// Bit width of the activation grid used for the inserted
+    /// fake-quantization markers.
+    pub activation_bits: u8,
+}
+
+impl QuantPolicy {
+    /// The paper's case-study cell resolution: 4-bit weights (Wan et al.)
+    /// with 8-bit activations.
+    pub const fn rram_4bit() -> Self {
+        Self {
+            weight_bits: 4,
+            activation_bits: 8,
+        }
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrontendError::BadQuantPolicy`] for bit widths outside
+    /// `1..=31`.
+    pub fn validate(&self) -> Result<()> {
+        for (bits, what) in [
+            (self.weight_bits, "weight"),
+            (self.activation_bits, "activation"),
+        ] {
+            if bits == 0 || bits > 31 {
+                return Err(FrontendError::BadQuantPolicy {
+                    detail: format!("{what} bits must be in 1..=31, got {bits}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for QuantPolicy {
+    fn default() -> Self {
+        Self::rram_4bit()
+    }
+}
+
+/// Scale of a symmetric signed `bits`-bit grid covering `[-max_abs, max_abs]`.
+///
+/// Returns 1.0 for an all-zero tensor (`max_abs == 0`) so that quantization
+/// is a no-op instead of a division by zero.
+pub fn symmetric_scale(max_abs: f32, bits: u8) -> f32 {
+    debug_assert!((1..=31).contains(&bits));
+    let qmax = ((1i64 << (bits - 1)) - 1) as f32;
+    if max_abs == 0.0 || qmax == 0.0 {
+        1.0
+    } else {
+        max_abs / qmax
+    }
+}
+
+/// Rounds every element of `t` to a symmetric signed `bits`-bit grid,
+/// returning the dequantized tensor and the grid parameters.
+///
+/// # Examples
+///
+/// ```
+/// use cim_frontend::quantize_tensor;
+/// use cim_ir::Tensor;
+///
+/// let t = Tensor::from_vec(&[3], vec![-1.0, 0.26, 1.0]).unwrap();
+/// let (q, attrs) = quantize_tensor(&t, 4);
+/// assert_eq!(attrs.bits, 4);
+/// // Grid step is 1/7; every value is a multiple of it.
+/// for v in q.as_slice() {
+///     assert!((v / attrs.scale - (v / attrs.scale).round()).abs() < 1e-5);
+/// }
+/// ```
+pub fn quantize_tensor(t: &Tensor, bits: u8) -> (Tensor, QuantAttrs) {
+    let max_abs = t.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    let scale = symmetric_scale(max_abs, bits);
+    let qmin = -(1i64 << (bits - 1)) as f32;
+    let qmax = ((1i64 << (bits - 1)) - 1) as f32;
+    let mut out = t.clone();
+    for v in out.as_mut_slice() {
+        *v = (*v / scale).round().clamp(qmin, qmax) * scale;
+    }
+    (
+        out,
+        QuantAttrs {
+            scale,
+            zero_point: 0,
+            bits,
+        },
+    )
+}
+
+/// Largest absolute rounding error when quantizing `t` to `bits` bits.
+///
+/// For a symmetric grid this is bounded by `scale / 2` except for values at
+/// the negative clamp boundary.
+pub fn max_quant_error(t: &Tensor, bits: u8) -> f32 {
+    let (q, _) = quantize_tensor(t, bits);
+    t.max_abs_diff(&q).expect("same dims")
+}
+
+/// Quantizes all base-layer weights and inserts fake-quantization markers.
+///
+/// For every base layer (Conv2D / Dense):
+///
+/// * attached kernel weights are rounded to the `weight_bits` grid in place
+///   (the returned graph owns quantized copies — the input is untouched);
+/// * an [`Op::Quantize`] node named `<layer>_q` with `activation_bits` is
+///   inserted between the layer and its consumers. The marker's scale is
+///   derived from the kernel scale when weights are present, and defaults to
+///   1.0 on shape-only graphs.
+///
+/// # Errors
+///
+/// Returns [`FrontendError::BadQuantPolicy`] for invalid bit widths and
+/// propagates graph reconstruction errors.
+///
+/// [`Op::Quantize`]: cim_ir::Op::Quantize
+pub fn quantize(g: &cim_ir::Graph, policy: &QuantPolicy) -> Result<cim_ir::Graph> {
+    policy.validate()?;
+    check_input(g)?;
+    let mut rw = Rewriter::new(g);
+    for node in g.iter() {
+        if !node.op.is_base() {
+            rw.copy(node)?;
+            continue;
+        }
+        let mut params = node.params.clone();
+        let mut act_scale = 1.0f32;
+        if let Some(p) = params.as_mut() {
+            if let Some(k) = p.kernel.as_mut() {
+                let (q, attrs) = quantize_tensor(k, policy.weight_bits);
+                *k = q;
+                act_scale = attrs.scale;
+            }
+        }
+        let inputs = rw.mapped_inputs(node);
+        let base_id = rw.emit(
+            node.name.clone(),
+            node.op.clone(),
+            &inputs,
+            params,
+            node.logical_layer,
+        )?;
+        let q_id = rw.emit(
+            format!("{}_q", node.name),
+            Op::Quantize(QuantAttrs {
+                scale: act_scale,
+                zero_point: 0,
+                bits: policy.activation_bits,
+            }),
+            &[base_id],
+            None,
+            None,
+        )?;
+        rw.alias(node.id, q_id);
+    }
+    rw.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_ir::{Conv2dAttrs, FeatureShape, Graph, Padding, Params};
+    use proptest::prelude::*;
+
+    #[test]
+    fn scale_covers_range() {
+        // 4-bit signed: qmax = 7.
+        assert!((symmetric_scale(7.0, 4) - 1.0).abs() < 1e-6);
+        assert!((symmetric_scale(1.0, 8) - 1.0 / 127.0).abs() < 1e-9);
+        assert_eq!(symmetric_scale(0.0, 4), 1.0);
+        assert_eq!(
+            symmetric_scale(3.0, 1),
+            1.0,
+            "1-bit grid has qmax 0 — degenerate"
+        );
+    }
+
+    #[test]
+    fn quantize_tensor_is_idempotent() {
+        let t = Tensor::from_fn(&[32], |i| ((i * 13 % 29) as f32 - 14.0) * 0.173);
+        let (q1, a1) = quantize_tensor(&t, 4);
+        let (q2, a2) = quantize_tensor(&q1, 4);
+        assert_eq!(q1, q2);
+        assert_eq!(a1.bits, a2.bits);
+    }
+
+    #[test]
+    fn max_error_bounded_by_half_step() {
+        let t = Tensor::from_fn(&[100], |i| ((i * 7 % 41) as f32 - 20.0) * 0.05);
+        for bits in [2u8, 4, 8] {
+            let max_abs = t.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            let scale = symmetric_scale(max_abs, bits);
+            let err = max_quant_error(&t, bits);
+            // The most negative value clamps to -qmax·scale (symmetric grid
+            // does not use -2^(b-1)); allow a full step there.
+            assert!(err <= scale + 1e-6, "bits={bits}: err {err} > step {scale}");
+        }
+    }
+
+    #[test]
+    fn pass_inserts_markers_and_quantizes_weights() {
+        let mut g = Graph::new("t");
+        let x = g
+            .add(
+                "input",
+                Op::Input {
+                    shape: FeatureShape::new(6, 6, 2),
+                },
+                &[],
+            )
+            .unwrap();
+        let kernel = Tensor::from_fn(&[3, 3, 2, 4], |i| ((i % 17) as f32 - 8.0) * 0.111);
+        let c = g
+            .add_with_params(
+                "conv",
+                Op::Conv2d(Conv2dAttrs {
+                    out_channels: 4,
+                    kernel: (3, 3),
+                    stride: (1, 1),
+                    padding: Padding::Valid,
+                    use_bias: false,
+                }),
+                &[x],
+                Params::with_kernel(kernel.clone()),
+            )
+            .unwrap();
+        g.add("relu", Op::Activation(cim_ir::ActFn::Relu), &[c])
+            .unwrap();
+
+        let q = quantize(&g, &QuantPolicy::rram_4bit()).unwrap();
+        let marker = q.node(q.find("conv_q").unwrap()).unwrap();
+        assert!(matches!(marker.op, Op::Quantize(a) if a.bits == 8));
+        // relu consumes the marker, not the conv.
+        let relu = q.node(q.find("relu").unwrap()).unwrap();
+        assert_eq!(relu.inputs, vec![marker.id]);
+        // Weights are on the 4-bit grid.
+        let qc = q.node(q.find("conv").unwrap()).unwrap();
+        let qk = qc.params.as_ref().unwrap().kernel.as_ref().unwrap();
+        let (expected, _) = quantize_tensor(&kernel, 4);
+        assert_eq!(qk, &expected);
+        // Original graph untouched.
+        let ok = g
+            .node(c)
+            .unwrap()
+            .params
+            .as_ref()
+            .unwrap()
+            .kernel
+            .as_ref()
+            .unwrap();
+        assert_eq!(ok, &kernel);
+    }
+
+    #[test]
+    fn shape_only_graphs_get_unit_scale_markers() {
+        let mut g = Graph::new("t");
+        let x = g
+            .add(
+                "input",
+                Op::Input {
+                    shape: FeatureShape::new(6, 6, 2),
+                },
+                &[],
+            )
+            .unwrap();
+        g.add(
+            "conv",
+            Op::Conv2d(Conv2dAttrs {
+                out_channels: 4,
+                kernel: (3, 3),
+                stride: (1, 1),
+                padding: Padding::Valid,
+                use_bias: false,
+            }),
+            &[x],
+        )
+        .unwrap();
+        let q = quantize(&g, &QuantPolicy::default()).unwrap();
+        let marker = q.node(q.find("conv_q").unwrap()).unwrap();
+        assert!(matches!(marker.op, Op::Quantize(a) if a.scale == 1.0));
+    }
+
+    #[test]
+    fn invalid_policy_rejected() {
+        let g = {
+            let mut g = Graph::new("t");
+            g.add(
+                "input",
+                Op::Input {
+                    shape: FeatureShape::new(2, 2, 1),
+                },
+                &[],
+            )
+            .unwrap();
+            g
+        };
+        for bad in [
+            QuantPolicy {
+                weight_bits: 0,
+                activation_bits: 8,
+            },
+            QuantPolicy {
+                weight_bits: 4,
+                activation_bits: 32,
+            },
+        ] {
+            assert!(matches!(
+                quantize(&g, &bad),
+                Err(FrontendError::BadQuantPolicy { .. })
+            ));
+        }
+    }
+
+    proptest! {
+        /// Quantized values always lie on the grid and within the clamp range.
+        #[test]
+        fn prop_quantized_values_on_grid(
+            values in proptest::collection::vec(-100.0f32..100.0, 1..64),
+            bits in 2u8..9,
+        ) {
+            let t = Tensor::from_vec(&[values.len()], values).unwrap();
+            let (q, attrs) = quantize_tensor(&t, bits);
+            let qmax = ((1i64 << (bits - 1)) - 1) as f32;
+            for v in q.as_slice() {
+                let steps = v / attrs.scale;
+                prop_assert!((steps - steps.round()).abs() < 1e-3);
+                prop_assert!(steps.round().abs() <= qmax + 0.5);
+            }
+        }
+
+        /// Round-trip error is bounded by one grid step.
+        #[test]
+        fn prop_quant_error_bounded(
+            values in proptest::collection::vec(-10.0f32..10.0, 1..64),
+            bits in 2u8..9,
+        ) {
+            let t = Tensor::from_vec(&[values.len()], values).unwrap();
+            let max_abs = t.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            let scale = symmetric_scale(max_abs, bits);
+            prop_assert!(max_quant_error(&t, bits) <= scale + 1e-5);
+        }
+    }
+}

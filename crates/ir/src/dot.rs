@@ -1,0 +1,152 @@
+//! Graphviz DOT export of NN graphs.
+//!
+//! Base layers (Conv2D / Dense, green in the paper's Fig. 2) and non-base
+//! layers (blue) are coloured accordingly, matching the paper's canonical
+//! representation figures.
+
+use std::fmt::Write as _;
+
+use crate::graph::Graph;
+
+/// Renders `graph` as a Graphviz `digraph`.
+///
+/// Node labels show name, operation mnemonic and output shape; base layers
+/// are filled green, non-base layers blue, inputs grey.
+///
+/// # Examples
+///
+/// ```
+/// use cim_ir::{to_dot, FeatureShape, Graph, Op};
+///
+/// # fn main() -> Result<(), cim_ir::IrError> {
+/// let mut g = Graph::new("toy");
+/// g.add("input", Op::Input { shape: FeatureShape::new(8, 8, 3) }, &[])?;
+/// let dot = to_dot(&g);
+/// assert!(dot.starts_with("digraph"));
+/// assert!(dot.contains("input"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(graph: &Graph) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", escape(graph.name()));
+    let _ = writeln!(s, "  rankdir=TB;");
+    let _ = writeln!(
+        s,
+        "  node [shape=box, style=filled, fontname=\"monospace\"];"
+    );
+    for n in graph.iter() {
+        let color = if matches!(n.op, crate::ops::Op::Input { .. }) {
+            "lightgrey"
+        } else if n.op.is_base() {
+            "palegreen" // base layers: executed on crossbar PEs
+        } else {
+            "lightblue" // non-base layers: executed on the GPEU
+        };
+        let extra = n
+            .logical_layer
+            .map(|l| format!("\\nlogical {l}"))
+            .unwrap_or_default();
+        let _ = writeln!(
+            s,
+            "  n{} [label=\"{}\\n{} {}{}\", fillcolor={}];",
+            n.id.0,
+            escape(&n.name),
+            n.op.mnemonic(),
+            n.out_shape,
+            extra,
+            color
+        );
+    }
+    for n in graph.iter() {
+        for &i in &n.inputs {
+            let _ = writeln!(s, "  n{} -> n{};", i.0, n.id.0);
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::ops::{Conv2dAttrs, Op};
+    use crate::shape::{FeatureShape, Padding};
+
+    #[test]
+    fn dot_contains_nodes_edges_and_colors() {
+        let mut g = Graph::new("toy \"net\"");
+        let x = g
+            .add(
+                "input",
+                Op::Input {
+                    shape: FeatureShape::new(8, 8, 3),
+                },
+                &[],
+            )
+            .unwrap();
+        let c = g
+            .add(
+                "conv",
+                Op::Conv2d(Conv2dAttrs {
+                    out_channels: 4,
+                    kernel: (3, 3),
+                    stride: (1, 1),
+                    padding: Padding::Valid,
+                    use_bias: false,
+                }),
+                &[x],
+            )
+            .unwrap();
+        g.add("act", Op::Activation(crate::ops::ActFn::Relu), &[c])
+            .unwrap();
+        let dot = to_dot(&g);
+        assert!(dot.contains("digraph \"toy \\\"net\\\"\""));
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("n1 -> n2"));
+        assert!(
+            dot.contains("palegreen"),
+            "conv must be coloured as base layer"
+        );
+        assert!(
+            dot.contains("lightblue"),
+            "activation must be coloured as non-base"
+        );
+        assert!(dot.contains("lightgrey"), "input must be grey");
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_shows_logical_layer_of_duplicates() {
+        let mut g = Graph::new("dup");
+        let x = g
+            .add(
+                "input",
+                Op::Input {
+                    shape: FeatureShape::new(8, 8, 3),
+                },
+                &[],
+            )
+            .unwrap();
+        g.add_node(
+            "conv_dup0",
+            Op::Conv2d(Conv2dAttrs {
+                out_channels: 4,
+                kernel: (3, 3),
+                stride: (1, 1),
+                padding: Padding::Valid,
+                use_bias: false,
+            }),
+            &[x],
+            None,
+            Some(7),
+        )
+        .unwrap();
+        assert!(to_dot(&g).contains("logical 7"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Error types for graph construction, shape inference, and execution.
+
+use std::fmt;
+
+/// Errors produced by [`crate::Graph`] construction and the reference
+/// executor.
+///
+/// All public fallible operations in this crate return `Result<_, IrError>`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrError {
+    /// An operation referenced a node id that does not exist in the graph.
+    UnknownNode(u32),
+    /// An operation received the wrong number of inputs.
+    BadArity {
+        /// Name of the offending operation.
+        op: &'static str,
+        /// Number of inputs the operation requires (textual, e.g. "2" or ">=1").
+        expected: &'static str,
+        /// Number of inputs it received.
+        got: usize,
+    },
+    /// Input shapes are incompatible with the operation.
+    ShapeMismatch {
+        /// Name of the offending operation.
+        op: &'static str,
+        /// Human-readable description of the violated constraint.
+        detail: String,
+    },
+    /// An attribute value is invalid (e.g. zero stride, zero kernel).
+    InvalidAttr {
+        /// Name of the offending operation.
+        op: &'static str,
+        /// Human-readable description of the invalid attribute.
+        detail: String,
+    },
+    /// Numeric execution required parameters (weights) that are absent.
+    MissingParams {
+        /// Name of the node whose parameters are missing.
+        node: String,
+    },
+    /// A tensor with unexpected dimensions was supplied.
+    TensorShape {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// The graph has no nodes where at least one was required.
+    EmptyGraph,
+    /// A named input required by execution was not provided.
+    MissingInput {
+        /// Name of the missing graph input node.
+        node: String,
+    },
+    /// Graph validation failed (dangling edges, non-topological ids, ...).
+    Invalid {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            IrError::BadArity { op, expected, got } => {
+                write!(f, "{op} expects {expected} input(s), got {got}")
+            }
+            IrError::ShapeMismatch { op, detail } => {
+                write!(f, "shape mismatch in {op}: {detail}")
+            }
+            IrError::InvalidAttr { op, detail } => {
+                write!(f, "invalid attribute in {op}: {detail}")
+            }
+            IrError::MissingParams { node } => {
+                write!(f, "node `{node}` has no parameters attached")
+            }
+            IrError::TensorShape { detail } => write!(f, "tensor shape error: {detail}"),
+            IrError::EmptyGraph => write!(f, "graph contains no nodes"),
+            IrError::MissingInput { node } => {
+                write!(f, "no tensor provided for graph input `{node}`")
+            }
+            IrError::Invalid { detail } => write!(f, "invalid graph: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, IrError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errs: Vec<IrError> = vec![
+            IrError::UnknownNode(3),
+            IrError::BadArity {
+                op: "conv2d",
+                expected: "1",
+                got: 2,
+            },
+            IrError::ShapeMismatch {
+                op: "add",
+                detail: "lhs != rhs".into(),
+            },
+            IrError::InvalidAttr {
+                op: "conv2d",
+                detail: "stride 0".into(),
+            },
+            IrError::MissingParams {
+                node: "conv0".into(),
+            },
+            IrError::TensorShape {
+                detail: "want 3 dims".into(),
+            },
+            IrError::EmptyGraph,
+            IrError::MissingInput {
+                node: "input".into(),
+            },
+            IrError::Invalid {
+                detail: "dangling edge".into(),
+            },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase(), "{s}");
+            assert!(!s.ends_with('.'), "{s}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IrError>();
+    }
+}

@@ -1,0 +1,914 @@
+//! Reference CPU executor.
+//!
+//! Executes a [`Graph`] numerically on dense `f32` tensors. Scheduling never
+//! needs values, but the graph *rewrites* do: batch-norm folding
+//! (`cim-frontend`) and the weight-duplication slice/concat expansion
+//! (`cim-mapping`, Sec. III-C of the paper) must not change what the network
+//! computes. The equivalence tests run original and rewritten graphs through
+//! this executor and compare outputs.
+//!
+//! The implementation favours obviousness over speed: direct convolution
+//! loops, no im2col, no blocking. It is plenty fast for the toy models used
+//! in numeric tests.
+
+use std::collections::HashMap;
+
+use crate::error::{IrError, Result};
+use crate::graph::{Graph, Node, NodeId, Params};
+use crate::ops::{Axis, Op};
+use crate::shape::FeatureShape;
+use crate::tensor::Tensor;
+
+/// Reference executor over a borrowed graph.
+///
+/// # Examples
+///
+/// See the [crate-level example](crate) for an end-to-end run.
+#[derive(Debug)]
+pub struct Executor<'g> {
+    graph: &'g Graph,
+}
+
+impl<'g> Executor<'g> {
+    /// Creates an executor for `graph`.
+    pub fn new(graph: &'g Graph) -> Self {
+        Self { graph }
+    }
+
+    /// Runs the graph with one tensor per graph input, keyed by input name.
+    ///
+    /// Returns the output tensor of every node (useful for debugging and for
+    /// comparing intermediate maps across rewrites).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::MissingInput`] if an input tensor is absent,
+    /// [`IrError::TensorShape`] if a supplied tensor does not match the
+    /// declared input shape, and [`IrError::MissingParams`] if a node that
+    /// needs weights has none attached.
+    pub fn run(&self, inputs: &HashMap<String, Tensor>) -> Result<HashMap<NodeId, Tensor>> {
+        if self.graph.is_empty() {
+            return Err(IrError::EmptyGraph);
+        }
+        let mut values: HashMap<NodeId, Tensor> = HashMap::with_capacity(self.graph.len());
+        for node in self.graph.iter() {
+            let out = match &node.op {
+                Op::Input { shape } => {
+                    let t = inputs
+                        .get(&node.name)
+                        .ok_or_else(|| IrError::MissingInput {
+                            node: node.name.clone(),
+                        })?;
+                    let got = t.feature_shape()?;
+                    if got != *shape {
+                        return Err(IrError::TensorShape {
+                            detail: format!("input `{}` expects {shape}, got {got}", node.name),
+                        });
+                    }
+                    t.clone()
+                }
+                _ => self.eval(node, &values)?,
+            };
+            values.insert(node.id, out);
+        }
+        Ok(values)
+    }
+
+    /// Convenience wrapper for single-input graphs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Invalid`] when the graph does not have exactly one
+    /// input, plus all error conditions of [`Executor::run`].
+    pub fn run_single(&self, input: Tensor) -> Result<HashMap<NodeId, Tensor>> {
+        let ins = self.graph.inputs();
+        match ins.as_slice() {
+            [only] => {
+                let name = self.graph.node(*only)?.name.clone();
+                let mut map = HashMap::new();
+                map.insert(name, input);
+                self.run(&map)
+            }
+            _ => Err(IrError::Invalid {
+                detail: format!(
+                    "run_single requires exactly 1 graph input, found {}",
+                    ins.len()
+                ),
+            }),
+        }
+    }
+
+    fn eval(&self, node: &Node, values: &HashMap<NodeId, Tensor>) -> Result<Tensor> {
+        let ins: Vec<&Tensor> = node
+            .inputs
+            .iter()
+            .map(|i| values.get(i).expect("topological order guarantees inputs"))
+            .collect();
+        let out_shape = node.out_shape;
+        match &node.op {
+            Op::Input { .. } => unreachable!("inputs handled by run()"),
+            Op::Conv2d(a) => {
+                let params = node_params(node)?;
+                let kernel = params
+                    .kernel
+                    .as_ref()
+                    .ok_or_else(|| IrError::MissingParams {
+                        node: node.name.clone(),
+                    })?;
+                let x = ins[0];
+                let ishape = x.feature_shape()?;
+                expect_kernel_dims(
+                    kernel,
+                    &[a.kernel.0, a.kernel.1, ishape.c, a.out_channels],
+                    node,
+                )?;
+                let pad = a
+                    .padding
+                    .resolve((ishape.h, ishape.w), a.kernel, a.stride)?;
+                let mut out = Tensor::feature(out_shape);
+                for oy in 0..out_shape.h {
+                    for ox in 0..out_shape.w {
+                        for oc in 0..out_shape.c {
+                            let mut acc = 0.0f32;
+                            for ky in 0..a.kernel.0 {
+                                let iy = oy * a.stride.0 + ky;
+                                if iy < pad.top || iy - pad.top >= ishape.h {
+                                    continue; // zero padding
+                                }
+                                for kx in 0..a.kernel.1 {
+                                    let ix = ox * a.stride.1 + kx;
+                                    if ix < pad.left || ix - pad.left >= ishape.w {
+                                        continue;
+                                    }
+                                    for ic in 0..ishape.c {
+                                        acc += x.at3(iy - pad.top, ix - pad.left, ic)
+                                            * kernel.at4(ky, kx, ic, oc);
+                                    }
+                                }
+                            }
+                            if a.use_bias {
+                                if let Some(b) = params.bias.as_ref() {
+                                    acc += b.at1(oc);
+                                }
+                            }
+                            out.set3(oy, ox, oc, acc);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Op::Dense(a) => {
+                let params = node_params(node)?;
+                let kernel = params
+                    .kernel
+                    .as_ref()
+                    .ok_or_else(|| IrError::MissingParams {
+                        node: node.name.clone(),
+                    })?;
+                let x = ins[0];
+                let ishape = x.feature_shape()?;
+                if kernel.dims() != [ishape.c, a.units] {
+                    return Err(IrError::TensorShape {
+                        detail: format!(
+                            "dense `{}` kernel dims {:?}, expected [{}, {}]",
+                            node.name,
+                            kernel.dims(),
+                            ishape.c,
+                            a.units
+                        ),
+                    });
+                }
+                let mut out = Tensor::feature(out_shape);
+                for u in 0..a.units {
+                    let mut acc = 0.0f32;
+                    for k in 0..ishape.c {
+                        acc += x.at3(0, 0, k) * kernel.at2(k, u);
+                    }
+                    if a.use_bias {
+                        if let Some(b) = params.bias.as_ref() {
+                            acc += b.at1(u);
+                        }
+                    }
+                    out.set3(0, 0, u, acc);
+                }
+                Ok(out)
+            }
+            Op::Bias => {
+                let params = node_params(node)?;
+                let bias = params.bias.as_ref().ok_or_else(|| IrError::MissingParams {
+                    node: node.name.clone(),
+                })?;
+                let x = ins[0];
+                if bias.dims() != [out_shape.c] {
+                    return Err(IrError::TensorShape {
+                        detail: format!(
+                            "bias `{}` dims {:?}, expected [{}]",
+                            node.name,
+                            bias.dims(),
+                            out_shape.c
+                        ),
+                    });
+                }
+                Ok(map_hwc(x, out_shape, |_, _, c, v| v + bias.at1(c)))
+            }
+            Op::BatchNorm(a) => {
+                let params = node_params(node)?;
+                let bn = params.bn.as_ref().ok_or_else(|| IrError::MissingParams {
+                    node: node.name.clone(),
+                })?;
+                for (t, what) in [
+                    (&bn.gamma, "gamma"),
+                    (&bn.beta, "beta"),
+                    (&bn.mean, "mean"),
+                    (&bn.var, "var"),
+                ] {
+                    if t.dims() != [out_shape.c] {
+                        return Err(IrError::TensorShape {
+                            detail: format!(
+                                "batch_norm `{}` {what} dims {:?}, expected [{}]",
+                                node.name,
+                                t.dims(),
+                                out_shape.c
+                            ),
+                        });
+                    }
+                }
+                let x = ins[0];
+                Ok(map_hwc(x, out_shape, |_, _, c, v| {
+                    let inv = 1.0 / (bn.var.at1(c) + a.eps).sqrt();
+                    (v - bn.mean.at1(c)) * inv * bn.gamma.at1(c) + bn.beta.at1(c)
+                }))
+            }
+            Op::Activation(f) => Ok(map_hwc(ins[0], out_shape, |_, _, _, v| f.apply(v))),
+            Op::MaxPool2d(a) => pool(ins[0], node, a, out_shape, PoolKind::Max),
+            Op::AvgPool2d(a) => pool(ins[0], node, a, out_shape, PoolKind::Avg),
+            Op::GlobalAvgPool => {
+                let x = ins[0];
+                let ishape = x.feature_shape()?;
+                let mut out = Tensor::feature(out_shape);
+                let n = ishape.hw() as f32;
+                for c in 0..ishape.c {
+                    let mut acc = 0.0f32;
+                    for y in 0..ishape.h {
+                        for x_ in 0..ishape.w {
+                            acc += x.at3(y, x_, c);
+                        }
+                    }
+                    out.set3(0, 0, c, acc / n);
+                }
+                Ok(out)
+            }
+            Op::ZeroPad2d(p) => {
+                let x = ins[0];
+                let ishape = x.feature_shape()?;
+                let mut out = Tensor::feature(out_shape);
+                for y in 0..ishape.h {
+                    for x_ in 0..ishape.w {
+                        for c in 0..ishape.c {
+                            out.set3(y + p.top, x_ + p.left, c, x.at3(y, x_, c));
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Op::Concat(axis) => {
+                let mut out = Tensor::feature(out_shape);
+                let mut off = 0usize;
+                for t in &ins {
+                    let s = t.feature_shape()?;
+                    for y in 0..s.h {
+                        for x_ in 0..s.w {
+                            for c in 0..s.c {
+                                match axis {
+                                    Axis::H => out.set3(y + off, x_, c, t.at3(y, x_, c)),
+                                    Axis::W => out.set3(y, x_ + off, c, t.at3(y, x_, c)),
+                                    Axis::C => out.set3(y, x_, c + off, t.at3(y, x_, c)),
+                                }
+                            }
+                        }
+                    }
+                    off += match axis {
+                        Axis::H => s.h,
+                        Axis::W => s.w,
+                        Axis::C => s.c,
+                    };
+                }
+                Ok(out)
+            }
+            Op::Add => {
+                let (a, b) = (ins[0], ins[1]);
+                Ok(map_hwc(a, out_shape, |y, x, c, v| v + b.at3(y, x, c)))
+            }
+            Op::Upsample2d { factor } => {
+                let x = ins[0];
+                Ok(Tensor::from_fn(
+                    &[out_shape.h, out_shape.w, out_shape.c],
+                    |i| {
+                        let c = i % out_shape.c;
+                        let x_ = (i / out_shape.c) % out_shape.w;
+                        let y = i / (out_shape.c * out_shape.w);
+                        x.at3(y / factor.0, x_ / factor.1, c)
+                    },
+                ))
+            }
+            Op::Slice(a) => {
+                let x = ins[0];
+                let mut out = Tensor::feature(out_shape);
+                for y in 0..out_shape.h {
+                    for x_ in 0..out_shape.w {
+                        for c in 0..out_shape.c {
+                            out.set3(
+                                y,
+                                x_,
+                                c,
+                                x.at3(y + a.offset.0, x_ + a.offset.1, c + a.offset.2),
+                            );
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Op::Flatten => {
+                let x = ins[0];
+                Tensor::from_vec(&[1, 1, out_shape.c], x.as_slice().to_vec())
+            }
+            Op::Softmax => {
+                let x = ins[0];
+                let ishape = x.feature_shape()?;
+                let mut out = Tensor::feature(out_shape);
+                for y in 0..ishape.h {
+                    for x_ in 0..ishape.w {
+                        let max = (0..ishape.c)
+                            .map(|c| x.at3(y, x_, c))
+                            .fold(f32::NEG_INFINITY, f32::max);
+                        let mut denom = 0.0f32;
+                        for c in 0..ishape.c {
+                            denom += (x.at3(y, x_, c) - max).exp();
+                        }
+                        for c in 0..ishape.c {
+                            out.set3(y, x_, c, (x.at3(y, x_, c) - max).exp() / denom);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Op::Quantize(q) => {
+                let lo = -(1i64 << (q.bits - 1)) as f32;
+                let hi = ((1i64 << (q.bits - 1)) - 1) as f32;
+                Ok(map_hwc(ins[0], out_shape, |_, _, _, v| {
+                    let t = (v / q.scale).round() + q.zero_point as f32;
+                    (t.clamp(lo, hi) - q.zero_point as f32) * q.scale
+                }))
+            }
+        }
+    }
+}
+
+fn node_params(node: &Node) -> Result<&Params> {
+    node.params.as_ref().ok_or_else(|| IrError::MissingParams {
+        node: node.name.clone(),
+    })
+}
+
+fn expect_kernel_dims(kernel: &Tensor, want: &[usize], node: &Node) -> Result<()> {
+    if kernel.dims() != want {
+        return Err(IrError::TensorShape {
+            detail: format!(
+                "conv `{}` kernel dims {:?}, expected {:?}",
+                node.name,
+                kernel.dims(),
+                want
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Applies `f(y, x, c, value)` to every element of `x`, producing a tensor of
+/// `shape` (which must equal `x`'s shape for elementwise ops).
+fn map_hwc(x: &Tensor, shape: FeatureShape, f: impl Fn(usize, usize, usize, f32) -> f32) -> Tensor {
+    let mut out = Tensor::feature(shape);
+    for y in 0..shape.h {
+        for x_ in 0..shape.w {
+            for c in 0..shape.c {
+                out.set3(y, x_, c, f(y, x_, c, x.at3(y, x_, c)));
+            }
+        }
+    }
+    out
+}
+
+enum PoolKind {
+    Max,
+    Avg,
+}
+
+fn pool(
+    x: &Tensor,
+    node: &Node,
+    a: &crate::ops::PoolAttrs,
+    out_shape: FeatureShape,
+    kind: PoolKind,
+) -> Result<Tensor> {
+    let ishape = x.feature_shape()?;
+    let pad = a
+        .padding
+        .resolve((ishape.h, ishape.w), a.window, a.stride)?;
+    let _ = node;
+    let mut out = Tensor::feature(out_shape);
+    for oy in 0..out_shape.h {
+        for ox in 0..out_shape.w {
+            for c in 0..out_shape.c {
+                let mut best = f32::NEG_INFINITY;
+                let mut acc = 0.0f32;
+                let mut count = 0usize;
+                for ky in 0..a.window.0 {
+                    let iy = oy * a.stride.0 + ky;
+                    if iy < pad.top || iy - pad.top >= ishape.h {
+                        continue;
+                    }
+                    for kx in 0..a.window.1 {
+                        let ix = ox * a.stride.1 + kx;
+                        if ix < pad.left || ix - pad.left >= ishape.w {
+                            continue;
+                        }
+                        let v = x.at3(iy - pad.top, ix - pad.left, c);
+                        best = best.max(v);
+                        acc += v;
+                        count += 1;
+                    }
+                }
+                let v = match kind {
+                    PoolKind::Max => {
+                        // A window fully inside padding sees only zeros.
+                        if count == 0 {
+                            0.0
+                        } else {
+                            best
+                        }
+                    }
+                    // TF semantics: average over the valid (non-padding)
+                    // elements only.
+                    PoolKind::Avg => {
+                        if count == 0 {
+                            0.0
+                        } else {
+                            acc / count as f32
+                        }
+                    }
+                };
+                out.set3(oy, ox, c, v);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::BnParams;
+    use crate::ops::{Conv2dAttrs, DenseAttrs, PoolAttrs, QuantAttrs, SliceAttrs};
+    use crate::shape::{PadSpec, Padding};
+
+    fn conv_attrs(oc: usize, k: usize, st: usize, padding: Padding, use_bias: bool) -> Conv2dAttrs {
+        Conv2dAttrs {
+            out_channels: oc,
+            kernel: (k, k),
+            stride: (st, st),
+            padding,
+            use_bias,
+        }
+    }
+
+    /// 4×4 single-channel ramp input 0..16.
+    fn ramp4() -> Tensor {
+        Tensor::from_fn(&[4, 4, 1], |i| i as f32)
+    }
+
+    #[test]
+    fn conv_valid_known_values() {
+        let mut g = Graph::new("t");
+        let x = g
+            .add(
+                "input",
+                Op::Input {
+                    shape: FeatureShape::new(4, 4, 1),
+                },
+                &[],
+            )
+            .unwrap();
+        // All-ones 3×3 kernel: output = sum of the 3×3 patch.
+        let kernel = Tensor::from_fn(&[3, 3, 1, 1], |_| 1.0);
+        let c = g
+            .add_with_params(
+                "c",
+                Op::Conv2d(conv_attrs(1, 3, 1, Padding::Valid, false)),
+                &[x],
+                Params::with_kernel(kernel),
+            )
+            .unwrap();
+        let out = Executor::new(&g).run_single(ramp4()).unwrap();
+        let t = &out[&c];
+        // Patch at (0,0): 0+1+2+4+5+6+8+9+10 = 45.
+        assert_eq!(t.at3(0, 0, 0), 45.0);
+        // Patch at (1,1): 5+6+7+9+10+11+13+14+15 = 90.
+        assert_eq!(t.at3(1, 1, 0), 90.0);
+    }
+
+    #[test]
+    fn conv_same_equals_explicit_pad_plus_valid() {
+        let shape = FeatureShape::new(5, 5, 2);
+        let input = Tensor::from_fn(&[5, 5, 2], |i| (i as f32 * 0.37).sin());
+        let kernel = Tensor::from_fn(&[3, 3, 2, 3], |i| (i as f32 * 0.11).cos());
+
+        let mut g1 = Graph::new("same");
+        let x1 = g1.add("input", Op::Input { shape }, &[]).unwrap();
+        let c1 = g1
+            .add_with_params(
+                "c",
+                Op::Conv2d(conv_attrs(3, 3, 2, Padding::Same, false)),
+                &[x1],
+                Params::with_kernel(kernel.clone()),
+            )
+            .unwrap();
+
+        let mut g2 = Graph::new("padded");
+        let x2 = g2.add("input", Op::Input { shape }, &[]).unwrap();
+        let pad = Padding::Same.resolve((5, 5), (3, 3), (2, 2)).unwrap();
+        let p = g2.add("pad", Op::ZeroPad2d(pad), &[x2]).unwrap();
+        let c2 = g2
+            .add_with_params(
+                "c",
+                Op::Conv2d(conv_attrs(3, 3, 2, Padding::Valid, false)),
+                &[p],
+                Params::with_kernel(kernel),
+            )
+            .unwrap();
+
+        let o1 = Executor::new(&g1).run_single(input.clone()).unwrap();
+        let o2 = Executor::new(&g2).run_single(input).unwrap();
+        assert!(o1[&c1].max_abs_diff(&o2[&c2]).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn conv_bias_inline_equals_decoupled() {
+        let shape = FeatureShape::new(4, 4, 1);
+        let input = ramp4();
+        let kernel = Tensor::from_fn(&[3, 3, 1, 2], |i| i as f32 * 0.01);
+        let bias = Tensor::from_vec(&[2], vec![0.5, -1.5]).unwrap();
+
+        let mut g1 = Graph::new("inline");
+        let x1 = g1.add("input", Op::Input { shape }, &[]).unwrap();
+        let c1 = g1
+            .add_with_params(
+                "c",
+                Op::Conv2d(conv_attrs(2, 3, 1, Padding::Valid, true)),
+                &[x1],
+                Params {
+                    kernel: Some(kernel.clone()),
+                    bias: Some(bias.clone()),
+                    bn: None,
+                },
+            )
+            .unwrap();
+
+        let mut g2 = Graph::new("split");
+        let x2 = g2.add("input", Op::Input { shape }, &[]).unwrap();
+        let c2 = g2
+            .add_with_params(
+                "c",
+                Op::Conv2d(conv_attrs(2, 3, 1, Padding::Valid, false)),
+                &[x2],
+                Params::with_kernel(kernel),
+            )
+            .unwrap();
+        let b2 = g2
+            .add_with_params(
+                "b",
+                Op::Bias,
+                &[c2],
+                Params {
+                    kernel: None,
+                    bias: Some(bias),
+                    bn: None,
+                },
+            )
+            .unwrap();
+
+        let o1 = Executor::new(&g1).run_single(input.clone()).unwrap();
+        let o2 = Executor::new(&g2).run_single(input).unwrap();
+        assert!(o1[&c1].max_abs_diff(&o2[&b2]).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn dense_known_values() {
+        let mut g = Graph::new("t");
+        let x = g
+            .add(
+                "input",
+                Op::Input {
+                    shape: FeatureShape::new(1, 1, 3),
+                },
+                &[],
+            )
+            .unwrap();
+        let kernel = Tensor::from_vec(&[3, 2], vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]).unwrap();
+        let bias = Tensor::from_vec(&[2], vec![10.0, 20.0]).unwrap();
+        let d = g
+            .add_with_params(
+                "d",
+                Op::Dense(DenseAttrs {
+                    units: 2,
+                    use_bias: true,
+                }),
+                &[x],
+                Params {
+                    kernel: Some(kernel),
+                    bias: Some(bias),
+                    bn: None,
+                },
+            )
+            .unwrap();
+        let input = Tensor::from_vec(&[1, 1, 3], vec![1.0, 2.0, 3.0]).unwrap();
+        let out = Executor::new(&g).run_single(input).unwrap();
+        // u0 = 1*1 + 2*0 + 3*1 + 10 = 14; u1 = 0 + 2 + 3 + 20 = 25.
+        assert_eq!(out[&d].at3(0, 0, 0), 14.0);
+        assert_eq!(out[&d].at3(0, 0, 1), 25.0);
+    }
+
+    #[test]
+    fn batch_norm_known_values() {
+        let mut g = Graph::new("t");
+        let x = g
+            .add(
+                "input",
+                Op::Input {
+                    shape: FeatureShape::new(1, 1, 2),
+                },
+                &[],
+            )
+            .unwrap();
+        let bn = BnParams {
+            gamma: Tensor::from_vec(&[2], vec![2.0, 1.0]).unwrap(),
+            beta: Tensor::from_vec(&[2], vec![0.0, 5.0]).unwrap(),
+            mean: Tensor::from_vec(&[2], vec![1.0, 0.0]).unwrap(),
+            var: Tensor::from_vec(&[2], vec![4.0, 1.0]).unwrap(),
+        };
+        let n = g
+            .add_with_params(
+                "bn",
+                Op::BatchNorm(crate::ops::BatchNormAttrs { eps: 0.0 }),
+                &[x],
+                Params {
+                    kernel: None,
+                    bias: None,
+                    bn: Some(bn),
+                },
+            )
+            .unwrap();
+        let input = Tensor::from_vec(&[1, 1, 2], vec![3.0, 2.0]).unwrap();
+        let out = Executor::new(&g).run_single(input).unwrap();
+        // c0: (3-1)/2 * 2 + 0 = 2; c1: (2-0)/1 * 1 + 5 = 7.
+        assert!((out[&n].at3(0, 0, 0) - 2.0).abs() < 1e-6);
+        assert!((out[&n].at3(0, 0, 1) - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_and_avg_pool() {
+        let mut g = Graph::new("t");
+        let x = g
+            .add(
+                "input",
+                Op::Input {
+                    shape: FeatureShape::new(4, 4, 1),
+                },
+                &[],
+            )
+            .unwrap();
+        let attrs = PoolAttrs {
+            window: (2, 2),
+            stride: (2, 2),
+            padding: Padding::Valid,
+        };
+        let mx = g.add("max", Op::MaxPool2d(attrs), &[x]).unwrap();
+        let av = g.add("avg", Op::AvgPool2d(attrs), &[x]).unwrap();
+        let out = Executor::new(&g).run_single(ramp4()).unwrap();
+        // Top-left window {0,1,4,5}: max 5, avg 2.5.
+        assert_eq!(out[&mx].at3(0, 0, 0), 5.0);
+        assert_eq!(out[&av].at3(0, 0, 0), 2.5);
+        assert_eq!(out[&mx].at3(1, 1, 0), 15.0);
+    }
+
+    #[test]
+    fn concat_slice_roundtrip() {
+        // Slicing an input into two H-halves and concatenating reproduces it.
+        let shape = FeatureShape::new(6, 3, 2);
+        let mut g = Graph::new("t");
+        let x = g.add("input", Op::Input { shape }, &[]).unwrap();
+        let top = g
+            .add(
+                "top",
+                Op::Slice(SliceAttrs {
+                    offset: (0, 0, 0),
+                    size: (3, 3, 2),
+                }),
+                &[x],
+            )
+            .unwrap();
+        let bot = g
+            .add(
+                "bot",
+                Op::Slice(SliceAttrs {
+                    offset: (3, 0, 0),
+                    size: (3, 3, 2),
+                }),
+                &[x],
+            )
+            .unwrap();
+        let cat = g.add("cat", Op::Concat(Axis::H), &[top, bot]).unwrap();
+        let input = Tensor::from_fn(&[6, 3, 2], |i| i as f32);
+        let out = Executor::new(&g).run_single(input.clone()).unwrap();
+        assert_eq!(out[&cat], input);
+    }
+
+    #[test]
+    fn add_upsample_flatten() {
+        let shape = FeatureShape::new(2, 2, 1);
+        let mut g = Graph::new("t");
+        let x = g.add("input", Op::Input { shape }, &[]).unwrap();
+        let a = g.add("a", Op::Add, &[x, x]).unwrap();
+        let u = g.add("u", Op::Upsample2d { factor: (2, 2) }, &[a]).unwrap();
+        let f = g.add("f", Op::Flatten, &[u]).unwrap();
+        let input = Tensor::from_vec(&[2, 2, 1], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let out = Executor::new(&g).run_single(input).unwrap();
+        assert_eq!(out[&a].at3(1, 1, 0), 8.0);
+        assert_eq!(
+            out[&u].at3(0, 1, 0),
+            2.0,
+            "nearest-neighbour copies the source pixel"
+        );
+        assert_eq!(out[&u].at3(3, 3, 0), 8.0);
+        assert_eq!(out[&f].dims(), &[1, 1, 16]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut g = Graph::new("t");
+        let x = g
+            .add(
+                "input",
+                Op::Input {
+                    shape: FeatureShape::new(1, 1, 4),
+                },
+                &[],
+            )
+            .unwrap();
+        let s = g.add("s", Op::Softmax, &[x]).unwrap();
+        let input = Tensor::from_vec(&[1, 1, 4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let out = Executor::new(&g).run_single(input).unwrap();
+        let sum: f32 = (0..4).map(|c| out[&s].at3(0, 0, c)).sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(out[&s].at3(0, 0, 3) > out[&s].at3(0, 0, 0));
+    }
+
+    #[test]
+    fn quantize_rounds_and_clamps() {
+        let mut g = Graph::new("t");
+        let x = g
+            .add(
+                "input",
+                Op::Input {
+                    shape: FeatureShape::new(1, 1, 3),
+                },
+                &[],
+            )
+            .unwrap();
+        let q = g
+            .add(
+                "q",
+                Op::Quantize(QuantAttrs {
+                    scale: 0.5,
+                    zero_point: 0,
+                    bits: 4,
+                }),
+                &[x],
+            )
+            .unwrap();
+        // 4-bit signed grid: -8..7, scale 0.5 → representable -4.0..3.5.
+        let input = Tensor::from_vec(&[1, 1, 3], vec![0.26, 100.0, -100.0]).unwrap();
+        let out = Executor::new(&g).run_single(input).unwrap();
+        assert_eq!(out[&q].at3(0, 0, 0), 0.5);
+        assert_eq!(out[&q].at3(0, 0, 1), 3.5);
+        assert_eq!(out[&q].at3(0, 0, 2), -4.0);
+    }
+
+    #[test]
+    fn zeropad_places_data() {
+        let mut g = Graph::new("t");
+        let x = g
+            .add(
+                "input",
+                Op::Input {
+                    shape: FeatureShape::new(2, 2, 1),
+                },
+                &[],
+            )
+            .unwrap();
+        let p = g
+            .add("p", Op::ZeroPad2d(PadSpec::new(1, 0, 0, 1)), &[x])
+            .unwrap();
+        let input = Tensor::from_vec(&[2, 2, 1], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let out = Executor::new(&g).run_single(input).unwrap();
+        let t = &out[&p];
+        assert_eq!(t.feature_shape().unwrap(), FeatureShape::new(3, 3, 1));
+        assert_eq!(t.at3(0, 0, 0), 0.0);
+        assert_eq!(t.at3(1, 0, 0), 1.0);
+        assert_eq!(t.at3(2, 1, 0), 4.0);
+        assert_eq!(t.at3(2, 2, 0), 0.0);
+    }
+
+    #[test]
+    fn global_avg_pool_value() {
+        let mut g = Graph::new("t");
+        let x = g
+            .add(
+                "input",
+                Op::Input {
+                    shape: FeatureShape::new(4, 4, 1),
+                },
+                &[],
+            )
+            .unwrap();
+        let p = g.add("gap", Op::GlobalAvgPool, &[x]).unwrap();
+        let out = Executor::new(&g).run_single(ramp4()).unwrap();
+        assert_eq!(out[&p].at3(0, 0, 0), 7.5); // mean of 0..15
+    }
+
+    #[test]
+    fn missing_input_and_params_errors() {
+        let mut g = Graph::new("t");
+        let x = g
+            .add(
+                "input",
+                Op::Input {
+                    shape: FeatureShape::new(4, 4, 1),
+                },
+                &[],
+            )
+            .unwrap();
+        g.add(
+            "c",
+            Op::Conv2d(conv_attrs(1, 3, 1, Padding::Valid, false)),
+            &[x],
+        )
+        .unwrap();
+        let exec = Executor::new(&g);
+        let err = exec.run(&HashMap::new()).unwrap_err();
+        assert!(matches!(err, IrError::MissingInput { .. }));
+        let err = exec.run_single(ramp4()).unwrap_err();
+        assert!(matches!(err, IrError::MissingParams { .. }));
+    }
+
+    #[test]
+    fn wrong_input_shape_rejected() {
+        let mut g = Graph::new("t");
+        g.add(
+            "input",
+            Op::Input {
+                shape: FeatureShape::new(4, 4, 1),
+            },
+            &[],
+        )
+        .unwrap();
+        let err = Executor::new(&g)
+            .run_single(Tensor::zeros(&[3, 3, 1]))
+            .unwrap_err();
+        assert!(matches!(err, IrError::TensorShape { .. }));
+    }
+
+    #[test]
+    fn run_single_rejects_multi_input_graphs() {
+        let mut g = Graph::new("t");
+        g.add(
+            "a",
+            Op::Input {
+                shape: FeatureShape::new(2, 2, 1),
+            },
+            &[],
+        )
+        .unwrap();
+        g.add(
+            "b",
+            Op::Input {
+                shape: FeatureShape::new(2, 2, 1),
+            },
+            &[],
+        )
+        .unwrap();
+        assert!(matches!(
+            Executor::new(&g).run_single(Tensor::zeros(&[2, 2, 1])),
+            Err(IrError::Invalid { .. })
+        ));
+    }
+}

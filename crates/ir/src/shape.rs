@@ -1,0 +1,273 @@
+//! Feature-map shapes and padding arithmetic.
+//!
+//! The whole stack works on single-batch feature maps in **HWC** layout
+//! (height, width, channels), matching the shapes printed in the paper's
+//! Table I (e.g. `(417, 417, 3)`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{IrError, Result};
+
+/// Shape of a feature map in HWC layout.
+///
+/// # Examples
+///
+/// ```
+/// use cim_ir::FeatureShape;
+/// let s = FeatureShape::new(208, 208, 32);
+/// assert_eq!(s.len(), 208 * 208 * 32);
+/// assert_eq!(s.hw(), 208 * 208);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FeatureShape {
+    /// Height (rows).
+    pub h: usize,
+    /// Width (columns).
+    pub w: usize,
+    /// Channels.
+    pub c: usize,
+}
+
+impl FeatureShape {
+    /// Creates a new shape. All dimensions must be non-zero for the shape to
+    /// be usable by graph operations; zero dimensions are permitted here so
+    /// intermediate arithmetic can detect them via [`FeatureShape::is_valid`].
+    pub const fn new(h: usize, w: usize, c: usize) -> Self {
+        Self { h, w, c }
+    }
+
+    /// Total number of elements.
+    pub const fn len(&self) -> usize {
+        self.h * self.w * self.c
+    }
+
+    /// Returns `true` if any dimension is zero.
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of spatial positions (`h * w`) — the number of MVM operations
+    /// needed to produce this feature map on a CIM core (Sec. III-B).
+    pub const fn hw(&self) -> usize {
+        self.h * self.w
+    }
+
+    /// Returns `true` if all dimensions are non-zero.
+    pub const fn is_valid(&self) -> bool {
+        self.h > 0 && self.w > 0 && self.c > 0
+    }
+}
+
+impl std::fmt::Display for FeatureShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {}, {})", self.h, self.w, self.c)
+    }
+}
+
+impl From<(usize, usize, usize)> for FeatureShape {
+    fn from((h, w, c): (usize, usize, usize)) -> Self {
+        Self::new(h, w, c)
+    }
+}
+
+/// Explicit zero-padding amounts on the four spatial borders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct PadSpec {
+    /// Rows added above.
+    pub top: usize,
+    /// Rows added below.
+    pub bottom: usize,
+    /// Columns added on the left.
+    pub left: usize,
+    /// Columns added on the right.
+    pub right: usize,
+}
+
+impl PadSpec {
+    /// Creates an explicit padding specification.
+    pub const fn new(top: usize, bottom: usize, left: usize, right: usize) -> Self {
+        Self {
+            top,
+            bottom,
+            left,
+            right,
+        }
+    }
+
+    /// Symmetric padding of `p` on every border.
+    pub const fn uniform(p: usize) -> Self {
+        Self {
+            top: p,
+            bottom: p,
+            left: p,
+            right: p,
+        }
+    }
+
+    /// Returns `true` if no padding is applied at all.
+    pub const fn is_zero(&self) -> bool {
+        self.top == 0 && self.bottom == 0 && self.left == 0 && self.right == 0
+    }
+
+    /// Total vertical padding.
+    pub const fn total_h(&self) -> usize {
+        self.top + self.bottom
+    }
+
+    /// Total horizontal padding.
+    pub const fn total_w(&self) -> usize {
+        self.left + self.right
+    }
+}
+
+/// Padding policy of a windowed operation (convolution or pooling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Padding {
+    /// No padding; output shrinks by the window extent.
+    Valid,
+    /// TensorFlow-style `same` padding: output is `ceil(in / stride)`, with
+    /// the extra row/column (if the total padding is odd) added at the
+    /// bottom/right — this reproduces the asymmetric `(417, 417, 3)` input of
+    /// the paper's Table I for a 416×416 image and a 3×3/2 convolution.
+    Same,
+    /// Explicit per-border padding.
+    Explicit(PadSpec),
+}
+
+impl Padding {
+    /// Resolves the policy to explicit border amounts for the given input
+    /// extent, window and stride (applied per spatial dimension).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::InvalidAttr`] if `stride` or `window` is zero.
+    pub fn resolve(
+        &self,
+        (ih, iw): (usize, usize),
+        (kh, kw): (usize, usize),
+        (sh, sw): (usize, usize),
+    ) -> Result<PadSpec> {
+        if sh == 0 || sw == 0 {
+            return Err(IrError::InvalidAttr {
+                op: "padding",
+                detail: "stride must be non-zero".into(),
+            });
+        }
+        if kh == 0 || kw == 0 {
+            return Err(IrError::InvalidAttr {
+                op: "padding",
+                detail: "window must be non-zero".into(),
+            });
+        }
+        match self {
+            Padding::Valid => Ok(PadSpec::default()),
+            Padding::Explicit(p) => Ok(*p),
+            Padding::Same => {
+                let (top, bottom) = same_axis(ih, kh, sh);
+                let (left, right) = same_axis(iw, kw, sw);
+                Ok(PadSpec {
+                    top,
+                    bottom,
+                    left,
+                    right,
+                })
+            }
+        }
+    }
+}
+
+/// TF `same` padding along one axis: `(before, after)` with the larger part
+/// after.
+fn same_axis(i: usize, k: usize, s: usize) -> (usize, usize) {
+    let o = i.div_ceil(s);
+    let needed = ((o - 1) * s + k).saturating_sub(i);
+    let before = needed / 2;
+    (before, needed - before)
+}
+
+/// Output extent of a windowed op along one axis on an already-padded input.
+///
+/// Returns `None` when the window does not fit.
+pub fn window_out_extent(padded: usize, k: usize, s: usize) -> Option<usize> {
+    if s == 0 || k == 0 || padded < k {
+        None
+    } else {
+        Some((padded - k) / s + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_shape_basics() {
+        let s = FeatureShape::new(13, 13, 512);
+        assert_eq!(s.len(), 13 * 13 * 512);
+        assert_eq!(s.hw(), 169);
+        assert!(s.is_valid());
+        assert!(!FeatureShape::new(0, 4, 4).is_valid());
+        assert_eq!(s.to_string(), "(13, 13, 512)");
+        assert_eq!(FeatureShape::from((1, 2, 3)), FeatureShape::new(1, 2, 3));
+    }
+
+    #[test]
+    fn same_padding_matches_table1_first_layer() {
+        // 416×416 input, 3×3 conv stride 2 → padded input 417×417 (Table I).
+        let p = Padding::Same.resolve((416, 416), (3, 3), (2, 2)).unwrap();
+        assert_eq!(p.total_h(), 1);
+        assert_eq!(p.total_w(), 1);
+        assert_eq!(p.top, 0, "TF puts the odd row at the bottom");
+        assert_eq!(p.bottom, 1);
+        assert_eq!(416 + p.total_h(), 417);
+    }
+
+    #[test]
+    fn same_padding_stride1_is_symmetric() {
+        // 104×104, 3×3/1 → padded 106×106 (Table I row conv2d_2).
+        let p = Padding::Same.resolve((104, 104), (3, 3), (1, 1)).unwrap();
+        assert_eq!(p, PadSpec::uniform(1));
+        assert_eq!(104 + p.total_h(), 106);
+    }
+
+    #[test]
+    fn same_padding_resnet_stem() {
+        // 224×224, 7×7/2 → out 112, total pad 5, split 2/3.
+        let p = Padding::Same.resolve((224, 224), (7, 7), (2, 2)).unwrap();
+        assert_eq!((p.top, p.bottom), (2, 3));
+        assert_eq!(window_out_extent(224 + 5, 7, 2), Some(112));
+    }
+
+    #[test]
+    fn valid_and_explicit_padding() {
+        assert_eq!(
+            Padding::Valid.resolve((10, 10), (3, 3), (1, 1)).unwrap(),
+            PadSpec::default()
+        );
+        let e = PadSpec::new(1, 2, 3, 4);
+        assert_eq!(
+            Padding::Explicit(e)
+                .resolve((10, 10), (3, 3), (1, 1))
+                .unwrap(),
+            e
+        );
+        assert!(!e.is_zero());
+        assert!(PadSpec::default().is_zero());
+    }
+
+    #[test]
+    fn zero_stride_rejected() {
+        assert!(Padding::Same.resolve((4, 4), (2, 2), (0, 1)).is_err());
+        assert!(Padding::Same.resolve((4, 4), (0, 2), (1, 1)).is_err());
+    }
+
+    #[test]
+    fn window_extent_edge_cases() {
+        assert_eq!(window_out_extent(5, 3, 1), Some(3));
+        assert_eq!(window_out_extent(5, 3, 2), Some(2));
+        assert_eq!(window_out_extent(2, 3, 1), None, "window larger than input");
+        assert_eq!(window_out_extent(5, 0, 1), None);
+        assert_eq!(window_out_extent(5, 3, 0), None);
+        assert_eq!(window_out_extent(3, 3, 7), Some(1));
+    }
+}

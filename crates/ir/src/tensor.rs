@@ -1,0 +1,243 @@
+//! A minimal dense `f32` tensor used by the reference executor.
+//!
+//! This is deliberately small: row-major storage, shape checks at the API
+//! boundary, and just the accessors the executor needs. Scheduling never
+//! touches tensor *values* — only the numeric-equivalence tests do.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{IrError, Result};
+use crate::shape::FeatureShape;
+
+/// Dense row-major `f32` tensor of arbitrary rank.
+///
+/// # Examples
+///
+/// ```
+/// use cim_ir::Tensor;
+/// let t = Tensor::zeros(&[2, 3]);
+/// assert_eq!(t.len(), 6);
+/// assert_eq!(t.dims(), &[2, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    dims: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let len = dims.iter().product();
+        Self {
+            dims: dims.to_vec(),
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a tensor from raw data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::TensorShape`] if `data.len()` does not equal the
+    /// product of `dims`.
+    pub fn from_vec(dims: &[usize], data: Vec<f32>) -> Result<Self> {
+        let len: usize = dims.iter().product();
+        if data.len() != len {
+            return Err(IrError::TensorShape {
+                detail: format!("dims {:?} imply {} elements, got {}", dims, len, data.len()),
+            });
+        }
+        Ok(Self {
+            dims: dims.to_vec(),
+            data,
+        })
+    }
+
+    /// Creates a tensor by evaluating `f` at every flat index.
+    pub fn from_fn(dims: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
+        let len: usize = dims.iter().product();
+        Self {
+            dims: dims.to_vec(),
+            data: (0..len).map(&mut f).collect(),
+        }
+    }
+
+    /// Creates an HWC feature-map tensor.
+    pub fn feature(shape: FeatureShape) -> Self {
+        Self::zeros(&[shape.h, shape.w, shape.c])
+    }
+
+    /// Tensor dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat read-only view of the data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable view of the data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Interprets this tensor as an HWC feature map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::TensorShape`] if the rank is not 3.
+    pub fn feature_shape(&self) -> Result<FeatureShape> {
+        match self.dims[..] {
+            [h, w, c] => Ok(FeatureShape::new(h, w, c)),
+            _ => Err(IrError::TensorShape {
+                detail: format!("expected rank-3 HWC tensor, got dims {:?}", self.dims),
+            }),
+        }
+    }
+
+    /// Reads element `(y, x, c)` of a rank-3 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 3 or the index is out of bounds
+    /// (debug-style internal accessor; the executor validates shapes first).
+    #[inline]
+    pub fn at3(&self, y: usize, x: usize, c: usize) -> f32 {
+        debug_assert_eq!(self.dims.len(), 3);
+        self.data[(y * self.dims[1] + x) * self.dims[2] + c]
+    }
+
+    /// Writes element `(y, x, c)` of a rank-3 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 3 or the index is out of bounds.
+    #[inline]
+    pub fn set3(&mut self, y: usize, x: usize, c: usize, v: f32) {
+        debug_assert_eq!(self.dims.len(), 3);
+        self.data[(y * self.dims[1] + x) * self.dims[2] + c] = v;
+    }
+
+    /// Reads element `(a, b, c, d)` of a rank-4 tensor (kernels: KH,KW,CI,CO).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 4 or the index is out of bounds.
+    #[inline]
+    pub fn at4(&self, a: usize, b: usize, c: usize, d: usize) -> f32 {
+        debug_assert_eq!(self.dims.len(), 4);
+        let (d1, d2, d3) = (self.dims[1], self.dims[2], self.dims[3]);
+        self.data[((a * d1 + b) * d2 + c) * d3 + d]
+    }
+
+    /// Reads element `(i, j)` of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or the index is out of bounds.
+    #[inline]
+    pub fn at2(&self, i: usize, j: usize) -> f32 {
+        debug_assert_eq!(self.dims.len(), 2);
+        self.data[i * self.dims[1] + j]
+    }
+
+    /// Reads element `i` of a rank-1 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 1 or the index is out of bounds.
+    #[inline]
+    pub fn at1(&self, i: usize) -> f32 {
+        debug_assert_eq!(self.dims.len(), 1);
+        self.data[i]
+    }
+
+    /// Largest absolute element difference to another tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::TensorShape`] if the dimensions differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> Result<f32> {
+        if self.dims != other.dims {
+            return Err(IrError::TensorShape {
+                detail: format!("dims {:?} vs {:?}", self.dims, other.dims),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0_f32, f32::max))
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Self::zeros(&[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Tensor::from_vec(&[2, 2, 2], (0..8).map(|i| i as f32).collect()).unwrap();
+        assert_eq!(t.at3(0, 0, 0), 0.0);
+        assert_eq!(t.at3(0, 0, 1), 1.0);
+        assert_eq!(t.at3(0, 1, 0), 2.0);
+        assert_eq!(t.at3(1, 1, 1), 7.0);
+        assert_eq!(t.feature_shape().unwrap(), FeatureShape::new(2, 2, 2));
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_length() {
+        assert!(Tensor::from_vec(&[2, 3], vec![0.0; 5]).is_err());
+    }
+
+    #[test]
+    fn rank4_indexing_is_row_major() {
+        let t = Tensor::from_fn(&[2, 3, 4, 5], |i| i as f32);
+        assert_eq!(t.at4(0, 0, 0, 0), 0.0);
+        assert_eq!(t.at4(0, 0, 0, 4), 4.0);
+        assert_eq!(t.at4(0, 0, 1, 0), 5.0);
+        assert_eq!(t.at4(1, 2, 3, 4), 119.0);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_difference() {
+        let a = Tensor::zeros(&[4]);
+        let mut b = Tensor::zeros(&[4]);
+        b.as_mut_slice()[2] = -0.5;
+        assert_eq!(a.max_abs_diff(&b).unwrap(), 0.5);
+        let c = Tensor::zeros(&[5]);
+        assert!(a.max_abs_diff(&c).is_err());
+    }
+
+    #[test]
+    fn set3_then_read_back() {
+        let mut t = Tensor::feature(FeatureShape::new(3, 3, 1));
+        t.set3(2, 1, 0, 9.5);
+        assert_eq!(t.at3(2, 1, 0), 9.5);
+        assert_eq!(t.at3(1, 2, 0), 0.0);
+    }
+
+    #[test]
+    fn feature_shape_requires_rank3() {
+        assert!(Tensor::zeros(&[2, 2]).feature_shape().is_err());
+    }
+}

@@ -1,0 +1,369 @@
+//! PE cost model (Eq. 1) and per-layer latency (Sec. III-B).
+//!
+//! A base layer's kernel matrix of `(KW·KH·KI) × KO` entries is subdivided
+//! into crossbar-sized submatrices (paper Fig. 3). The number of PEs needed
+//! is
+//!
+//! ```text
+//! c_i = ceil(KW·KH·KI / rows) · ceil(KO / cols)     (Eq. 1)
+//!       └────── P_V,i ──────┘   └─── P_H,i ───┘
+//! ```
+//!
+//! and, with intra-layer scheduling, producing one `(1,1,OC)` OFM vector
+//! takes one MVM cycle, so a whole layer takes `t_init = OH · OW` cycles.
+
+use cim_arch::CrossbarSpec;
+use cim_ir::{FeatureShape, Graph, NodeId, Op};
+use serde::{Deserialize, Serialize};
+
+use crate::error::{MappingError, Result};
+
+/// Options of the cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MappingOptions {
+    /// Weight precision in bits for the bit-slicing extension. `None`
+    /// matches the paper's model (one weight per cell); `Some(b)` stores
+    /// each weight in `ceil(b / cell_bits)` adjacent columns, shrinking the
+    /// usable crossbar width accordingly.
+    pub weight_bits: Option<u8>,
+}
+
+impl MappingOptions {
+    /// Validates the options against a crossbar.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MappingError::InvalidOption`] for zero weight bits or a
+    /// slice count that exceeds the crossbar width.
+    pub fn validate(&self, xbar: &CrossbarSpec) -> Result<()> {
+        if let Some(bits) = self.weight_bits {
+            if bits == 0 {
+                return Err(MappingError::InvalidOption {
+                    detail: "weight_bits must be non-zero".into(),
+                });
+            }
+            if xbar.effective_cols(bits) == 0 {
+                return Err(MappingError::InvalidOption {
+                    detail: format!(
+                        "{bits}-bit weights need {} column slices but the crossbar has {} columns",
+                        xbar.bit_slices(bits),
+                        xbar.cols
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Usable logical columns of `xbar` under these options.
+    pub fn usable_cols(&self, xbar: &CrossbarSpec) -> usize {
+        match self.weight_bits {
+            Some(bits) => xbar.effective_cols(bits),
+            None => xbar.cols,
+        }
+    }
+}
+
+/// Number of PEs a kernel matrix of `rows × cols` entries occupies on
+/// `xbar` (Eq. 1), as `(P_V, P_H)`.
+///
+/// # Examples
+///
+/// ```
+/// use cim_arch::CrossbarSpec;
+/// use cim_mapping::{pe_cost, MappingOptions};
+///
+/// let xbar = CrossbarSpec::wan_nature_2022();
+/// // Table I row conv2d_16: 3·3·256 = 2304 rows, 512 columns.
+/// let (pv, ph) = pe_cost(&xbar, 2304, 512, &MappingOptions::default());
+/// assert_eq!((pv, ph), (9, 2));
+/// assert_eq!(pv * ph, 18);
+/// ```
+pub fn pe_cost(
+    xbar: &CrossbarSpec,
+    kernel_rows: usize,
+    kernel_cols: usize,
+    opts: &MappingOptions,
+) -> (usize, usize) {
+    let pv = kernel_rows.div_ceil(xbar.rows);
+    let ph = kernel_cols.div_ceil(opts.usable_cols(xbar));
+    (pv, ph)
+}
+
+/// Cost record of one base layer — one row of the paper's Table I.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerCost {
+    /// The base-layer node.
+    pub node: NodeId,
+    /// Node name (e.g. `conv2d_16`).
+    pub name: String,
+    /// Shape of the layer's direct input (the *padded* IFM in canonical
+    /// graphs — Table I lists `(417, 417, 3)` for a 416×416 image).
+    pub ifm: FeatureShape,
+    /// Output feature-map shape.
+    pub ofm: FeatureShape,
+    /// Kernel-matrix rows `KW·KH·KI` (input-vector length).
+    pub kernel_rows: usize,
+    /// Kernel-matrix columns `KO` (output channels / units).
+    pub kernel_cols: usize,
+    /// Vertical submatrix count `P_V` (kernel rows / crossbar rows).
+    pub pe_v: usize,
+    /// Horizontal submatrix count `P_H` (kernel cols / crossbar cols).
+    pub pe_h: usize,
+    /// Total PEs `c_i = P_V · P_H` (Eq. 1).
+    pub pes: usize,
+    /// Intra-layer-scheduling latency in cycles: `t_init = OH · OW`
+    /// (Sec. III-B; Table I column "Cycles t_init").
+    pub t_init: u64,
+}
+
+/// Computes the [`LayerCost`] of every base layer of `graph` in topological
+/// order.
+///
+/// Works on any graph; on canonical graphs (padding decoupled) the `ifm`
+/// field reproduces the paper's padded IFM shapes.
+///
+/// # Errors
+///
+/// Returns [`MappingError::NoBaseLayers`] when the graph has none, and
+/// propagates graph access errors.
+pub fn layer_costs(
+    graph: &Graph,
+    xbar: &CrossbarSpec,
+    opts: &MappingOptions,
+) -> Result<Vec<LayerCost>> {
+    opts.validate(xbar)?;
+    let mut out = Vec::new();
+    for node in graph.iter() {
+        let (kernel_rows, kernel_cols) = match &node.op {
+            Op::Conv2d(a) => {
+                let ci = graph.node(node.inputs[0])?.out_shape.c;
+                (a.kernel.0 * a.kernel.1 * ci, a.out_channels)
+            }
+            Op::Dense(a) => {
+                let ci = graph.node(node.inputs[0])?.out_shape.c;
+                (ci, a.units)
+            }
+            _ => continue,
+        };
+        let ifm = graph.node(node.inputs[0])?.out_shape;
+        let (pe_v, pe_h) = pe_cost(xbar, kernel_rows, kernel_cols, opts);
+        out.push(LayerCost {
+            node: node.id,
+            name: node.name.clone(),
+            ifm,
+            ofm: node.out_shape,
+            kernel_rows,
+            kernel_cols,
+            pe_v,
+            pe_h,
+            pes: pe_v * pe_h,
+            t_init: node.out_shape.hw() as u64,
+        });
+    }
+    if out.is_empty() {
+        return Err(MappingError::NoBaseLayers);
+    }
+    Ok(out)
+}
+
+/// Minimum number of PEs to store every weight exactly once
+/// (`C_num = Σ c_i`; `PE_min` in the paper's Tables I/II).
+pub fn min_pes(costs: &[LayerCost]) -> usize {
+    costs.iter().map(|c| c.pes).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_ir::{Conv2dAttrs, DenseAttrs, Padding};
+
+    fn xbar() -> CrossbarSpec {
+        CrossbarSpec::wan_nature_2022()
+    }
+
+    fn conv_graph(ifm: (usize, usize, usize), oc: usize, k: usize, st: usize) -> Graph {
+        let mut g = Graph::new("t");
+        let x = g
+            .add(
+                "input",
+                Op::Input {
+                    shape: FeatureShape::new(ifm.0, ifm.1, ifm.2),
+                },
+                &[],
+            )
+            .unwrap();
+        g.add(
+            "conv2d",
+            Op::Conv2d(Conv2dAttrs {
+                out_channels: oc,
+                kernel: (k, k),
+                stride: (st, st),
+                padding: Padding::Valid,
+                use_bias: false,
+            }),
+            &[x],
+        )
+        .unwrap();
+        g
+    }
+
+    /// Row of Table I: (ifm, oc, k, stride, expected ofm, pes, cycles).
+    type Table1Row = (
+        (usize, usize, usize),
+        usize,
+        usize,
+        usize,
+        (usize, usize, usize),
+        usize,
+        u64,
+    );
+
+    /// Every explicit row of the paper's Table I.
+    #[test]
+    fn table1_rows_reproduce_exactly() {
+        let rows: Vec<Table1Row> = vec![
+            ((417, 417, 3), 32, 3, 2, (208, 208, 32), 1, 43_264), // conv2d
+            ((209, 209, 32), 64, 3, 2, (104, 104, 64), 2, 10_816), // conv2d_1
+            ((106, 106, 64), 64, 3, 1, (104, 104, 64), 3, 10_816), // conv2d_2
+            ((15, 15, 256), 512, 3, 1, (13, 13, 512), 18, 169),   // conv2d_16
+            ((26, 26, 256), 255, 1, 1, (26, 26, 255), 1, 676),    // conv2d_20
+            ((13, 13, 512), 255, 1, 1, (13, 13, 255), 2, 169),    // conv2d_17
+        ];
+        for (ifm, oc, k, st, ofm, pes, cycles) in rows {
+            let g = conv_graph(ifm, oc, k, st);
+            let costs = layer_costs(&g, &xbar(), &MappingOptions::default()).unwrap();
+            let c = &costs[0];
+            assert_eq!(
+                (c.ofm.h, c.ofm.w, c.ofm.c),
+                ofm,
+                "ofm mismatch for ifm {ifm:?} k{k}/s{st}"
+            );
+            assert_eq!(c.pes, pes, "PE count mismatch for ifm {ifm:?} oc {oc}");
+            assert_eq!(c.t_init, cycles, "cycle mismatch for ifm {ifm:?}");
+            assert_eq!(c.ifm, FeatureShape::new(ifm.0, ifm.1, ifm.2));
+        }
+    }
+
+    #[test]
+    fn dense_cost() {
+        let mut g = Graph::new("t");
+        let x = g
+            .add(
+                "input",
+                Op::Input {
+                    shape: FeatureShape::new(1, 1, 4096),
+                },
+                &[],
+            )
+            .unwrap();
+        g.add(
+            "fc",
+            Op::Dense(DenseAttrs {
+                units: 1000,
+                use_bias: false,
+            }),
+            &[x],
+        )
+        .unwrap();
+        let costs = layer_costs(&g, &xbar(), &MappingOptions::default()).unwrap();
+        // 4096/256 = 16 vertical, 1000/256 -> 4 horizontal.
+        assert_eq!((costs[0].pe_v, costs[0].pe_h), (16, 4));
+        assert_eq!(costs[0].pes, 64);
+        assert_eq!(costs[0].t_init, 1);
+    }
+
+    #[test]
+    fn bit_slicing_multiplies_horizontal_cost() {
+        let g = conv_graph((15, 15, 256), 512, 3, 1);
+        // 8-bit weights in 4-bit cells: 2 slices → 128 usable columns.
+        let opts = MappingOptions {
+            weight_bits: Some(8),
+        };
+        let costs = layer_costs(&g, &xbar(), &opts).unwrap();
+        assert_eq!((costs[0].pe_v, costs[0].pe_h), (9, 4));
+        assert_eq!(
+            costs[0].pes, 36,
+            "double the paper's 18 PEs at 8-bit weights"
+        );
+    }
+
+    #[test]
+    fn invalid_options_rejected() {
+        let g = conv_graph((8, 8, 3), 4, 3, 1);
+        assert!(layer_costs(
+            &g,
+            &xbar(),
+            &MappingOptions {
+                weight_bits: Some(0)
+            }
+        )
+        .is_err());
+        // 2048-column requirement on a 256-wide crossbar with 4-bit cells:
+        // bits = 4 * 512 -> slices 512 > 256 columns.
+        let narrow = CrossbarSpec {
+            cols: 2,
+            cell_bits: 1,
+            ..xbar()
+        };
+        assert!(layer_costs(
+            &g,
+            &narrow,
+            &MappingOptions {
+                weight_bits: Some(3)
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn no_base_layers_is_an_error() {
+        let mut g = Graph::new("t");
+        g.add(
+            "input",
+            Op::Input {
+                shape: FeatureShape::new(4, 4, 1),
+            },
+            &[],
+        )
+        .unwrap();
+        assert_eq!(
+            layer_costs(&g, &xbar(), &MappingOptions::default()).unwrap_err(),
+            MappingError::NoBaseLayers
+        );
+    }
+
+    #[test]
+    fn min_pes_sums_costs() {
+        let mut g = conv_graph((106, 106, 64), 64, 3, 1);
+        let c1 = g.find("conv2d").unwrap();
+        g.add(
+            "conv2d_b",
+            Op::Conv2d(Conv2dAttrs {
+                out_channels: 128,
+                kernel: (3, 3),
+                stride: (1, 1),
+                padding: Padding::Valid,
+                use_bias: false,
+            }),
+            &[c1],
+        )
+        .unwrap();
+        let costs = layer_costs(&g, &xbar(), &MappingOptions::default()).unwrap();
+        // conv2d: 3 PEs; conv2d_b: 3·3·64=576 → 3 vertical, 128 → 1 → 3 PEs.
+        assert_eq!(min_pes(&costs), 6);
+    }
+
+    #[test]
+    fn small_crossbars_increase_cost() {
+        let g = conv_graph((106, 106, 64), 64, 3, 1);
+        let small = CrossbarSpec {
+            rows: 128,
+            cols: 128,
+            ..xbar()
+        };
+        let costs = layer_costs(&g, &small, &MappingOptions::default()).unwrap();
+        // 576/128 → 5 vertical, 64/128 → 1.
+        assert_eq!(costs[0].pes, 5);
+    }
+}

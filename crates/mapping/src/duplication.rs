@@ -1,0 +1,366 @@
+//! Weight-duplication optimizer — the paper's Optimization Problem 1
+//! (Sec. III-C).
+//!
+//! Given per-layer latencies `t_i` (cycles to compute the OFM with
+//! intra-layer scheduling) and PE costs `c_i` (Eq. 1), choose integer
+//! duplicate counts `d_i ≥ 1`:
+//!
+//! ```text
+//! minimize   Σ_i t_i / d_i
+//! subject to cᵀ · d ≤ F
+//! ```
+//!
+//! Duplicating a layer divides its input vectors evenly among the copies, so
+//! its latency shrinks to `t_i / d_i` at the price of `c_i` extra PEs per
+//! copy. Layers with a high `OH·OW` factor and a small PE footprint (the
+//! early convolutions) are the profitable targets — exactly the behaviour
+//! visible in the paper's Fig. 6a, where `x = 16` extra PEs go to the first
+//! six layers of TinyYOLOv4.
+//!
+//! Two solvers are provided:
+//!
+//! * [`Solver::Greedy`] — repeatedly grants one extra copy to the layer with
+//!   the best marginal-gain-per-PE. Fast (`O(layers · extra)`), and the
+//!   default. Because the objective is convex in each `d_i` this is near
+//!   optimal in practice but *not* guaranteed optimal (it is a bounded
+//!   knapsack at heart).
+//! * [`Solver::ExactDp`] — dynamic program over the extra-PE budget,
+//!   guaranteed optimal. Cost `O(layers · extra²/c̄)`; intended for the
+//!   paper-scale budgets (`x ≤ 64`) and the greedy-vs-exact ablation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cost::LayerCost;
+use crate::error::{MappingError, Result};
+
+/// Choice of optimization algorithm for [`optimize`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Solver {
+    /// Marginal-gain-per-PE greedy (paper-style behaviour, fast).
+    #[default]
+    Greedy,
+    /// Exact dynamic program over the PE budget.
+    ExactDp,
+}
+
+/// Result of the duplication optimization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DuplicationPlan {
+    /// Duplicate count per base layer, parallel to the [`LayerCost`] slice
+    /// the plan was computed from (`d` in Optimization Problem 1).
+    pub duplicates: Vec<usize>,
+    /// Total PEs consumed (`cᵀ · d`).
+    pub pes_used: usize,
+    /// The objective value `Σ t_i / d_i` in cycles (fractional — the
+    /// realized schedule uses whole-row splits and may differ by rounding).
+    pub objective_cycles: f64,
+}
+
+impl DuplicationPlan {
+    /// Returns `true` when no layer is duplicated.
+    pub fn is_trivial(&self) -> bool {
+        self.duplicates.iter().all(|&d| d == 1)
+    }
+
+    /// Number of duplicated layers.
+    pub fn duplicated_layers(&self) -> usize {
+        self.duplicates.iter().filter(|&&d| d > 1).count()
+    }
+}
+
+/// Solves Optimization Problem 1 for the given layer costs and a total PE
+/// budget `F = budget_pes`.
+///
+/// The duplicate count of each layer is additionally capped at `OH · OW`
+/// (one duplicate cannot compute less than one OFM vector) — this also
+/// pins dense layers (`1×1` OFM) at `d = 1`.
+///
+/// # Errors
+///
+/// Returns [`MappingError::BudgetTooSmall`] when `budget_pes < Σ c_i` (the
+/// architecture cannot even store every weight once) and
+/// [`MappingError::NoBaseLayers`] for an empty cost slice.
+///
+/// # Examples
+///
+/// ```
+/// use cim_arch::CrossbarSpec;
+/// use cim_ir::{Conv2dAttrs, FeatureShape, Graph, Op, Padding};
+/// use cim_mapping::{layer_costs, optimize, MappingOptions, Solver};
+///
+/// # fn main() -> Result<(), cim_mapping::MappingError> {
+/// let mut g = Graph::new("t");
+/// let x = g.add("input", Op::Input { shape: FeatureShape::new(33, 33, 8) }, &[])?;
+/// g.add(
+///     "conv",
+///     Op::Conv2d(Conv2dAttrs {
+///         out_channels: 16,
+///         kernel: (3, 3),
+///         stride: (2, 2),
+///         padding: Padding::Valid,
+///         use_bias: false,
+///     }),
+///     &[x],
+/// )?;
+/// let costs = layer_costs(&g, &CrossbarSpec::wan_nature_2022(), &MappingOptions::default())?;
+/// let plan = optimize(&costs, costs[0].pes + 2, Solver::Greedy)?;
+/// assert_eq!(plan.duplicates, vec![3]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn optimize(costs: &[LayerCost], budget_pes: usize, solver: Solver) -> Result<DuplicationPlan> {
+    if costs.is_empty() {
+        return Err(MappingError::NoBaseLayers);
+    }
+    let cnum: usize = costs.iter().map(|c| c.pes).sum();
+    if budget_pes < cnum {
+        return Err(MappingError::BudgetTooSmall {
+            required: cnum,
+            available: budget_pes,
+        });
+    }
+    let extra = budget_pes - cnum;
+    let duplicates = match solver {
+        Solver::Greedy => greedy(costs, extra),
+        Solver::ExactDp => exact_dp(costs, extra),
+    };
+    let pes_used = costs.iter().zip(&duplicates).map(|(c, &d)| c.pes * d).sum();
+    let objective_cycles = objective(costs, &duplicates);
+    Ok(DuplicationPlan {
+        duplicates,
+        pes_used,
+        objective_cycles,
+    })
+}
+
+/// The objective `Σ t_i / d_i` for a given duplicate assignment.
+pub fn objective(costs: &[LayerCost], duplicates: &[usize]) -> f64 {
+    costs
+        .iter()
+        .zip(duplicates)
+        .map(|(c, &d)| c.t_init as f64 / d as f64)
+        .sum()
+}
+
+/// Maximum useful duplicates of a layer: one OFM vector per copy.
+fn cap(c: &LayerCost) -> usize {
+    c.ofm.hw()
+}
+
+fn greedy(costs: &[LayerCost], extra: usize) -> Vec<usize> {
+    let n = costs.len();
+    let mut d = vec![1usize; n];
+    let mut remaining = extra;
+    loop {
+        let mut best: Option<(f64, f64, usize)> = None;
+        for (i, c) in costs.iter().enumerate() {
+            if d[i] >= cap(c) || c.pes > remaining {
+                continue;
+            }
+            let t = c.t_init as f64;
+            let gain = t / d[i] as f64 - t / (d[i] + 1) as f64;
+            let per_pe = gain / c.pes as f64;
+            // Ties in gain-per-PE are common (e.g. a third copy of a cheap
+            // layer vs a second copy of one 3× as expensive produce the
+            // same marginal density); break them toward the larger total
+            // gain, with a *relative* tolerance so equal-by-construction
+            // densities compare equal despite rounding.
+            let better = match best {
+                None => true,
+                Some((bp, bg, _)) => {
+                    let tol = 1e-9 * bp.abs().max(per_pe.abs()).max(f64::MIN_POSITIVE);
+                    per_pe > bp + tol || ((per_pe - bp).abs() <= tol && gain > bg + tol)
+                }
+            };
+            if better {
+                best = Some((per_pe, gain, i));
+            }
+        }
+        match best {
+            Some((_, _, i)) => {
+                d[i] += 1;
+                remaining -= costs[i].pes;
+            }
+            None => break,
+        }
+    }
+    d
+}
+
+fn exact_dp(costs: &[LayerCost], extra: usize) -> Vec<usize> {
+    let n = costs.len();
+    let b = extra;
+    // dp[j] = min objective over the layers processed so far, spending at
+    // most j extra PEs. choice[i][j] = extra copies granted to layer i on
+    // the optimal path through budget j.
+    let mut dp = vec![0.0f64; b + 1];
+    let mut choice: Vec<Vec<u32>> = Vec::with_capacity(n);
+    for c in costs {
+        let t = c.t_init as f64;
+        let max_extra = cap(c).saturating_sub(1);
+        let mut ndp = vec![f64::INFINITY; b + 1];
+        let mut nch = vec![0u32; b + 1];
+        for j in 0..=b {
+            let k_max = max_extra.min(j / c.pes);
+            for k in 0..=k_max {
+                let v = dp[j - k * c.pes] + t / (k as f64 + 1.0);
+                if v < ndp[j] - 1e-12 {
+                    ndp[j] = v;
+                    nch[j] = k as u32;
+                }
+            }
+        }
+        dp = ndp;
+        choice.push(nch);
+    }
+    // Backtrack.
+    let mut d = vec![1usize; n];
+    let mut j = b;
+    for i in (0..n).rev() {
+        let k = choice[i][j] as usize;
+        d[i] += k;
+        j -= k * costs[i].pes;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_ir::{FeatureShape, NodeId};
+    use proptest::prelude::*;
+
+    /// Synthetic layer cost with latency `t = hw` of an `hw × 1` OFM.
+    fn mk(t: u64, pes: usize) -> LayerCost {
+        LayerCost {
+            node: NodeId(0),
+            name: "synth".into(),
+            ifm: FeatureShape::new(1, 1, 1),
+            ofm: FeatureShape::new(t as usize, 1, 1),
+            kernel_rows: pes * 256,
+            kernel_cols: 1,
+            pe_v: pes,
+            pe_h: 1,
+            pes,
+            t_init: t,
+        }
+    }
+
+    #[test]
+    fn exact_budget_means_no_duplicates() {
+        let costs = vec![mk(100, 2), mk(50, 3)];
+        for solver in [Solver::Greedy, Solver::ExactDp] {
+            let plan = optimize(&costs, 5, solver).unwrap();
+            assert!(plan.is_trivial());
+            assert_eq!(plan.pes_used, 5);
+            assert_eq!(plan.objective_cycles, 150.0);
+        }
+    }
+
+    #[test]
+    fn budget_too_small_rejected() {
+        let costs = vec![mk(100, 2), mk(50, 3)];
+        assert_eq!(
+            optimize(&costs, 4, Solver::Greedy).unwrap_err(),
+            MappingError::BudgetTooSmall {
+                required: 5,
+                available: 4
+            }
+        );
+    }
+
+    #[test]
+    fn empty_costs_rejected() {
+        assert_eq!(
+            optimize(&[], 10, Solver::Greedy).unwrap_err(),
+            MappingError::NoBaseLayers
+        );
+    }
+
+    #[test]
+    fn greedy_prefers_high_latency_low_cost_layers() {
+        // The "first layer" pattern of Table I: huge t, one PE.
+        let costs = vec![mk(43_264, 1), mk(169, 18)];
+        let plan = optimize(&costs, 19 + 4, Solver::Greedy).unwrap();
+        assert_eq!(plan.duplicates, vec![5, 1]);
+        assert!(plan.pes_used <= 23);
+    }
+
+    #[test]
+    fn dp_beats_greedy_on_knapsack_trap() {
+        // Greedy spends the budget on the dense small layer and blocks the
+        // big win: t=[20,45], c=[2,5], extra=5.
+        let costs = vec![mk(20, 2), mk(45, 5)];
+        let budget = 7 + 5;
+        let greedy = optimize(&costs, budget, Solver::Greedy).unwrap();
+        let exact = optimize(&costs, budget, Solver::ExactDp).unwrap();
+        assert!(exact.objective_cycles < greedy.objective_cycles - 1e-9);
+        assert_eq!(exact.duplicates, vec![1, 2]);
+    }
+
+    #[test]
+    fn duplicates_capped_at_ofm_positions() {
+        // 4-position OFM: even an enormous budget yields d = 4.
+        let mut c = mk(4, 1);
+        c.ofm = FeatureShape::new(2, 2, 8);
+        for solver in [Solver::Greedy, Solver::ExactDp] {
+            let plan = optimize(&[c.clone()], 1000, solver).unwrap();
+            assert_eq!(plan.duplicates, vec![4]);
+        }
+    }
+
+    #[test]
+    fn dense_layers_never_duplicate() {
+        let mut c = mk(1, 4);
+        c.ofm = FeatureShape::new(1, 1, 100);
+        let plan = optimize(&[c], 100, Solver::ExactDp).unwrap();
+        assert_eq!(plan.duplicates, vec![1]);
+    }
+
+    #[test]
+    fn plan_reports_duplicated_layer_count() {
+        let costs = vec![mk(1000, 1), mk(1000, 1), mk(10, 1)];
+        let plan = optimize(&costs, 3 + 2, Solver::ExactDp).unwrap();
+        assert_eq!(plan.duplicated_layers(), 2);
+        assert_eq!(plan.duplicates, vec![2, 2, 1]);
+    }
+
+    proptest! {
+        /// Both solvers always respect the budget and the per-layer caps,
+        /// and the exact solver is never worse than greedy.
+        #[test]
+        fn prop_solvers_feasible_and_dp_dominates(
+            params in proptest::collection::vec((1u64..2000, 1usize..8), 1..10),
+            extra in 0usize..40,
+        ) {
+            let costs: Vec<LayerCost> = params.iter().map(|&(t, p)| mk(t, p)).collect();
+            let cnum: usize = costs.iter().map(|c| c.pes).sum();
+            let budget = cnum + extra;
+            let g = optimize(&costs, budget, Solver::Greedy).unwrap();
+            let e = optimize(&costs, budget, Solver::ExactDp).unwrap();
+            for plan in [&g, &e] {
+                prop_assert!(plan.pes_used <= budget);
+                for (c, &d) in costs.iter().zip(&plan.duplicates) {
+                    prop_assert!(d >= 1);
+                    prop_assert!(d <= c.ofm.hw());
+                }
+                let obj = objective(&costs, &plan.duplicates);
+                prop_assert!((obj - plan.objective_cycles).abs() < 1e-6);
+            }
+            prop_assert!(e.objective_cycles <= g.objective_cycles + 1e-6);
+        }
+
+        /// More budget never hurts the exact solver.
+        #[test]
+        fn prop_dp_monotone_in_budget(
+            params in proptest::collection::vec((1u64..500, 1usize..5), 1..6),
+            extra in 0usize..20,
+        ) {
+            let costs: Vec<LayerCost> = params.iter().map(|&(t, p)| mk(t, p)).collect();
+            let cnum: usize = costs.iter().map(|c| c.pes).sum();
+            let a = optimize(&costs, cnum + extra, Solver::ExactDp).unwrap();
+            let b = optimize(&costs, cnum + extra + 3, Solver::ExactDp).unwrap();
+            prop_assert!(b.objective_cycles <= a.objective_cycles + 1e-6);
+        }
+    }
+}

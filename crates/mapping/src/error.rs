@@ -1,0 +1,105 @@
+//! Error type of the mapping stage.
+
+use std::fmt;
+
+use cim_ir::IrError;
+
+/// Errors produced by cost computation, duplication solving, and the
+/// duplication graph rewrite.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MappingError {
+    /// An underlying graph operation failed.
+    Ir(IrError),
+    /// The PE budget cannot hold the network even once (`F < C_num`).
+    BudgetTooSmall {
+        /// PEs required to store every weight once (`C_num`).
+        required: usize,
+        /// PEs available (`F`).
+        available: usize,
+    },
+    /// A duplication plan does not match the graph it is applied to.
+    PlanMismatch {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// The graph contains no base layers to map.
+    NoBaseLayers,
+    /// An option value is invalid.
+    InvalidOption {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::Ir(e) => write!(f, "{e}"),
+            MappingError::BudgetTooSmall {
+                required,
+                available,
+            } => {
+                write!(
+                    f,
+                    "network needs {required} PEs to store all weights once, \
+                     architecture has {available}"
+                )
+            }
+            MappingError::PlanMismatch { detail } => {
+                write!(f, "duplication plan does not fit graph: {detail}")
+            }
+            MappingError::NoBaseLayers => write!(f, "graph contains no base layers"),
+            MappingError::InvalidOption { detail } => write!(f, "invalid option: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for MappingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MappingError::Ir(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IrError> for MappingError {
+    fn from(e: IrError) -> Self {
+        MappingError::Ir(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, MappingError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let cases: Vec<MappingError> = vec![
+            MappingError::Ir(IrError::EmptyGraph),
+            MappingError::BudgetTooSmall {
+                required: 117,
+                available: 100,
+            },
+            MappingError::PlanMismatch {
+                detail: "3 entries for 4 layers".into(),
+            },
+            MappingError::NoBaseLayers,
+            MappingError::InvalidOption {
+                detail: "weight_bits 0".into(),
+            },
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MappingError>();
+    }
+}

@@ -1,0 +1,65 @@
+//! # cim-mapping — weight mapping for tiled CIM architectures
+//!
+//! Implements the mapping stage of the CLSA-CIM paper (Sec. III-B/C):
+//!
+//! * **im2col GEMM lowering** ([`im2col`]) — a Conv2D becomes a
+//!   `(KW·KH·KI) × KO` kernel matrix (paper Fig. 3), numerically verified
+//!   against the direct-convolution reference executor.
+//! * **PE cost model** ([`cost`]) — the kernel matrix is tiled into `M × N`
+//!   crossbar submatrices; layer *i* needs
+//!   `c_i = ceil(KW·KH·KI / N) · ceil(KO / M)` PEs (Eq. 1) and takes
+//!   `t_OFM = OH · OW · t_MVM` with intra-layer scheduling (Sec. III-B).
+//!   This reproduces every `#PE` and `t_init` entry of the paper's Table I
+//!   and the `min #PE` column of Table II.
+//! * **Weight duplication** ([`duplication`], [`rewrite`]) — Optimization
+//!   Problem 1: choose duplicate counts `d ≥ 1` minimizing `Σ t_i / d_i`
+//!   subject to `cᵀ·d ≤ F`, then realize the duplicates as a
+//!   `slice → conv × D → concat` graph rewrite (paper Fig. 4).
+//!
+//! # Examples
+//!
+//! ```
+//! use cim_arch::CrossbarSpec;
+//! use cim_ir::{Conv2dAttrs, FeatureShape, Graph, Op, Padding};
+//! use cim_mapping::{layer_costs, MappingOptions};
+//!
+//! # fn main() -> Result<(), cim_mapping::MappingError> {
+//! // Table I, first row: (417,417,3) -> (208,208,32) with a 3×3/2 conv.
+//! let mut g = Graph::new("t");
+//! let x = g.add("input", Op::Input { shape: FeatureShape::new(417, 417, 3) }, &[])?;
+//! g.add(
+//!     "conv2d",
+//!     Op::Conv2d(Conv2dAttrs {
+//!         out_channels: 32,
+//!         kernel: (3, 3),
+//!         stride: (2, 2),
+//!         padding: Padding::Valid,
+//!         use_bias: false,
+//!     }),
+//!     &[x],
+//! )?;
+//! let costs = layer_costs(&g, &CrossbarSpec::wan_nature_2022(), &MappingOptions::default())?;
+//! assert_eq!(costs[0].pes, 1);
+//! assert_eq!(costs[0].t_init, 43_264);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod duplication;
+pub mod error;
+pub mod im2col;
+pub mod program;
+pub mod rewrite;
+
+pub use cost::{layer_costs, min_pes, pe_cost, LayerCost, MappingOptions};
+pub use duplication::{optimize, DuplicationPlan, Solver};
+pub use error::{MappingError, Result};
+pub use im2col::{
+    conv_via_im2col, conv_via_tiled_crossbars, im2col_patches, kernel_matrix, tile_matrix,
+    PeAssignment,
+};
+pub use program::{program_network, ProgramReport};
+pub use rewrite::apply_duplication;

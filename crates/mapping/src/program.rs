@@ -1,0 +1,287 @@
+//! Weight programming: the one-time deployment step that writes every
+//! layer's kernel matrix into its crossbars.
+//!
+//! The paper's deployment model (Sec. II-A) stores all NN weights exactly
+//! once before inference — "this also avoids costly rewriting processes" —
+//! because RRAM cells have limited write endurance. This module performs
+//! that step against the architecture model: it tiles every base layer's
+//! kernel matrix (Fig. 3), charges the programming energy, and advances the
+//! per-PE endurance counters, erroring out if any device would wear out.
+
+use cim_arch::{Architecture, EnduranceTracker, EnergyLog, Placement};
+use serde::{Deserialize, Serialize};
+
+use crate::cost::{LayerCost, MappingOptions};
+use crate::error::{MappingError, Result};
+use crate::im2col::tile_matrix;
+
+/// Outcome of programming a network onto an architecture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgramReport {
+    /// Total cells written (bit slicing counts every physical cell).
+    pub cells_written: u64,
+    /// Programming energy in picojoule.
+    pub energy_pj: f64,
+    /// Worst per-PE endurance fraction consumed by this programming pass.
+    pub worst_case_wear: f64,
+    /// Per-layer cells written, in cost order.
+    pub per_layer_cells: Vec<u64>,
+}
+
+/// Programs every base layer of `costs` onto `arch` through `placement`,
+/// writing each weight `times` times (1 = the paper's write-once model;
+/// higher values model redeployment studies).
+///
+/// Returns the accumulated energy/endurance picture and mutates `tracker`
+/// so repeated deployments accumulate wear.
+///
+/// # Errors
+///
+/// Returns [`MappingError::PlanMismatch`] when `placement` does not provide
+/// one group per cost entry with enough PEs, and propagates
+/// [`ArchError::EnduranceExceeded`](cim_arch::ArchError::EnduranceExceeded)
+/// (wrapped) when a cell's write budget runs out.
+///
+/// # Examples
+///
+/// ```
+/// use cim_arch::{place_groups, Architecture, EnduranceTracker, PlacementStrategy};
+/// use cim_ir::{Conv2dAttrs, FeatureShape, Graph, Op, Padding};
+/// use cim_mapping::{layer_costs, program_network, MappingOptions};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = Graph::new("t");
+/// let x = g.add("input", Op::Input { shape: FeatureShape::new(8, 8, 3) }, &[])?;
+/// g.add("conv", Op::Conv2d(Conv2dAttrs {
+///     out_channels: 4, kernel: (3, 3), stride: (1, 1),
+///     padding: Padding::Valid, use_bias: false,
+/// }), &[x])?;
+/// let arch = Architecture::paper_case_study(1)?;
+/// let opts = MappingOptions::default();
+/// let costs = layer_costs(&g, arch.crossbar(), &opts)?;
+/// let placement = place_groups(&arch, &[1], PlacementStrategy::Contiguous)?;
+/// let mut tracker = EnduranceTracker::new(&arch);
+/// let report = program_network(&arch, &costs, &placement, &opts, &mut tracker, 1)?;
+/// assert_eq!(report.cells_written, 27 * 4); // 3·3·3 rows × 4 columns
+/// # Ok(())
+/// # }
+/// ```
+pub fn program_network(
+    arch: &Architecture,
+    costs: &[LayerCost],
+    placement: &Placement,
+    opts: &MappingOptions,
+    tracker: &mut EnduranceTracker,
+    times: u64,
+) -> Result<ProgramReport> {
+    if placement.len() != costs.len() {
+        return Err(MappingError::PlanMismatch {
+            detail: format!(
+                "placement has {} groups for {} layers",
+                placement.len(),
+                costs.len()
+            ),
+        });
+    }
+    let xbar = arch.crossbar();
+    opts.validate(xbar)?;
+    let slices = match opts.weight_bits {
+        Some(bits) => xbar.bit_slices(bits) as u64,
+        None => 1,
+    };
+    let mut log = EnergyLog::new();
+    let mut per_layer_cells = Vec::with_capacity(costs.len());
+    for (gi, cost) in costs.iter().enumerate() {
+        let pes = placement.pes(gi);
+        if pes.len() != cost.pes {
+            return Err(MappingError::PlanMismatch {
+                detail: format!(
+                    "layer `{}` needs {} PEs but its group has {}",
+                    cost.name,
+                    cost.pes,
+                    pes.len()
+                ),
+            });
+        }
+        let assignments = tile_matrix(cost.kernel_rows, cost.kernel_cols, xbar, opts);
+        debug_assert_eq!(assignments.len(), cost.pes, "Eq. 1 consistency");
+        let mut layer_cells = 0u64;
+        for (a, pe) in assignments.iter().zip(pes) {
+            let cells = a.weights() as u64 * slices;
+            layer_cells += cells * times;
+            log.record_writes(cells * times);
+            tracker
+                .record_program(pe.index(), times)
+                .map_err(|e| MappingError::PlanMismatch {
+                    detail: e.to_string(),
+                })?;
+        }
+        per_layer_cells.push(layer_cells);
+    }
+    let energy_pj = log.cell_writes as f64 * xbar.write_energy_pj;
+    Ok(ProgramReport {
+        cells_written: log.cell_writes,
+        energy_pj,
+        worst_case_wear: tracker.worst_case_wear(),
+        per_layer_cells,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_arch::{place_groups, PlacementStrategy};
+    use cim_ir::{Conv2dAttrs, FeatureShape, Graph, Op, Padding};
+
+    use crate::cost::layer_costs;
+
+    fn small_graph() -> Graph {
+        let mut g = Graph::new("t");
+        let x = g
+            .add(
+                "input",
+                Op::Input {
+                    shape: FeatureShape::new(10, 10, 3),
+                },
+                &[],
+            )
+            .unwrap();
+        let c1 = g
+            .add(
+                "c1",
+                Op::Conv2d(Conv2dAttrs {
+                    out_channels: 8,
+                    kernel: (3, 3),
+                    stride: (1, 1),
+                    padding: Padding::Valid,
+                    use_bias: false,
+                }),
+                &[x],
+            )
+            .unwrap();
+        g.add(
+            "c2",
+            Op::Conv2d(Conv2dAttrs {
+                out_channels: 300, // forces pe_h = 2
+                kernel: (3, 3),
+                stride: (1, 1),
+                padding: Padding::Valid,
+                use_bias: false,
+            }),
+            &[c1],
+        )
+        .unwrap();
+        g
+    }
+
+    fn setup() -> (Architecture, Vec<LayerCost>, Placement) {
+        let arch = Architecture::paper_case_study(8).unwrap();
+        let costs =
+            layer_costs(&small_graph(), arch.crossbar(), &MappingOptions::default()).unwrap();
+        let sizes: Vec<usize> = costs.iter().map(|c| c.pes).collect();
+        let placement = place_groups(&arch, &sizes, PlacementStrategy::Contiguous).unwrap();
+        (arch, costs, placement)
+    }
+
+    #[test]
+    fn write_once_deployment() {
+        let (arch, costs, placement) = setup();
+        let mut tracker = EnduranceTracker::new(&arch);
+        let report = program_network(
+            &arch,
+            &costs,
+            &placement,
+            &MappingOptions::default(),
+            &mut tracker,
+            1,
+        )
+        .unwrap();
+        assert_eq!(report.per_layer_cells.len(), 2);
+        assert!(report.cells_written > 0);
+        assert!(report.energy_pj > 0.0);
+        // Write-once wear is negligible against 1e5 endurance.
+        assert!(report.worst_case_wear <= 1e-4);
+        // Each used PE saw exactly one programming pass.
+        for g in 0..placement.len() {
+            for pe in placement.pes(g) {
+                assert_eq!(tracker.writes(pe.index()).unwrap(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_deployment_accumulates_and_eventually_wears_out() {
+        let (arch, costs, placement) = setup();
+        let mut tracker = EnduranceTracker::new(&arch);
+        let limit = arch.crossbar().endurance_writes;
+        program_network(
+            &arch,
+            &costs,
+            &placement,
+            &MappingOptions::default(),
+            &mut tracker,
+            limit,
+        )
+        .unwrap();
+        assert!((tracker.worst_case_wear() - 1.0).abs() < 1e-9);
+        // One more pass exceeds the budget.
+        let err = program_network(
+            &arch,
+            &costs,
+            &placement,
+            &MappingOptions::default(),
+            &mut tracker,
+            1,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("endurance"), "{err}");
+    }
+
+    #[test]
+    fn bit_slicing_doubles_cells() {
+        let (arch, _, _) = setup();
+        let opts8 = MappingOptions {
+            weight_bits: Some(8),
+        };
+        let costs8 = layer_costs(&small_graph(), arch.crossbar(), &opts8).unwrap();
+        let sizes: Vec<usize> = costs8.iter().map(|c| c.pes).collect();
+        let arch8 = Architecture::paper_case_study(sizes.iter().sum()).unwrap();
+        let placement8 = place_groups(&arch8, &sizes, PlacementStrategy::Contiguous).unwrap();
+        let mut tracker = EnduranceTracker::new(&arch8);
+        let r8 = program_network(&arch8, &costs8, &placement8, &opts8, &mut tracker, 1).unwrap();
+
+        let (arch4, costs4, placement4) = setup();
+        let mut tracker4 = EnduranceTracker::new(&arch4);
+        let r4 = program_network(
+            &arch4,
+            &costs4,
+            &placement4,
+            &MappingOptions::default(),
+            &mut tracker4,
+            1,
+        )
+        .unwrap();
+        assert!(
+            r8.cells_written > r4.cells_written,
+            "bit slicing must write more physical cells"
+        );
+    }
+
+    #[test]
+    fn placement_mismatch_rejected() {
+        let (arch, costs, _) = setup();
+        let placement = place_groups(&arch, &[1], PlacementStrategy::Contiguous).unwrap();
+        let mut tracker = EnduranceTracker::new(&arch);
+        assert!(matches!(
+            program_network(
+                &arch,
+                &costs,
+                &placement,
+                &MappingOptions::default(),
+                &mut tracker,
+                1
+            ),
+            Err(MappingError::PlanMismatch { .. })
+        ));
+    }
+}

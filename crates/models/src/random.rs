@@ -1,0 +1,214 @@
+//! Random CNN generator for fuzzing the full pipeline.
+//!
+//! Produces valid, shape-consistent graphs with convolutions, pooling,
+//! activations, branches joined by concat or residual add, and occasional
+//! upsampling — the structural vocabulary of the zoo models, in random
+//! combinations. Used by workspace property tests to assert that every
+//! generated graph schedules validly.
+
+use cim_ir::{
+    ActFn, Axis, BatchNormAttrs, Conv2dAttrs, FeatureShape, Graph, Op, Padding, PoolAttrs,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a random CNN with roughly `target_base_layers` convolutions.
+///
+/// The generator is deterministic in `seed`. All graphs validate and all
+/// convolutions use `same` padding so arbitrary op sequences compose.
+///
+/// # Panics
+///
+/// Panics if `target_base_layers` is zero.
+///
+/// # Examples
+///
+/// ```
+/// let g = cim_models::random_cnn(1234, 6);
+/// g.validate().unwrap();
+/// assert!(!g.base_layers().is_empty());
+/// ```
+pub fn random_cnn(seed: u64, target_base_layers: usize) -> Graph {
+    assert!(target_base_layers > 0, "need at least one base layer");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(format!("random_{seed}"));
+    let side = [16usize, 24, 32][rng.random_range(0..3)];
+    let mut cur = g
+        .add(
+            "input",
+            Op::Input {
+                shape: FeatureShape::new(side, side, 3),
+            },
+            &[],
+        )
+        .expect("fresh graph accepts input");
+    let mut convs = 0usize;
+    let mut uid = 0usize;
+    let name = |prefix: &str, uid: &mut usize| {
+        *uid += 1;
+        format!("{prefix}_{uid}")
+    };
+
+    while convs < target_base_layers {
+        let shape = g.node(cur).expect("cursor valid").out_shape;
+        let roll = rng.random_range(0..10);
+        cur = match roll {
+            // Convolution (majority of steps); occasionally TF-style with
+            // an inline bias and a trailing batch norm so the frontend
+            // passes get fuzzed too.
+            0..=4 => {
+                convs += 1;
+                let oc = [4usize, 8, 16, 32][rng.random_range(0..4)];
+                let k = [1usize, 3][rng.random_range(0..2)];
+                let s = if shape.h >= 8 && rng.random_bool(0.25) {
+                    2
+                } else {
+                    1
+                };
+                let use_bias = rng.random_bool(0.3);
+                let conv = g
+                    .add(
+                        name("conv", &mut uid),
+                        Op::Conv2d(Conv2dAttrs {
+                            out_channels: oc,
+                            kernel: (k, k),
+                            stride: (s, s),
+                            padding: Padding::Same,
+                            use_bias,
+                        }),
+                        &[cur],
+                    )
+                    .expect("same-padding conv always fits");
+                if rng.random_bool(0.3) {
+                    g.add(
+                        name("bn", &mut uid),
+                        Op::BatchNorm(BatchNormAttrs::default()),
+                        &[conv],
+                    )
+                    .expect("bn is shape-preserving")
+                } else {
+                    conv
+                }
+            }
+            // Pooling, if there is room.
+            5 if shape.h >= 8 => g
+                .add(
+                    name("pool", &mut uid),
+                    Op::MaxPool2d(PoolAttrs {
+                        window: (2, 2),
+                        stride: (2, 2),
+                        padding: Padding::Valid,
+                    }),
+                    &[cur],
+                )
+                .expect("pool fits"),
+            // Activation.
+            6 => g
+                .add(name("act", &mut uid), Op::Activation(ActFn::Relu), &[cur])
+                .expect("act fits"),
+            // Residual branch: cur → two 1-conv paths → add.
+            7 if convs + 2 <= target_base_layers => {
+                convs += 2;
+                let oc = [8usize, 16][rng.random_range(0..2)];
+                let mk = |g: &mut Graph, from, n: String| {
+                    g.add(
+                        n,
+                        Op::Conv2d(Conv2dAttrs {
+                            out_channels: oc,
+                            kernel: (3, 3),
+                            stride: (1, 1),
+                            padding: Padding::Same,
+                            use_bias: false,
+                        }),
+                        &[from],
+                    )
+                    .expect("same conv fits")
+                };
+                let a = mk(&mut g, cur, name("bra", &mut uid));
+                let b = mk(&mut g, cur, name("brb", &mut uid));
+                g.add(name("add", &mut uid), Op::Add, &[a, b])
+                    .expect("same shapes")
+            }
+            // Concat branch along channels.
+            8 if convs + 2 <= target_base_layers => {
+                convs += 2;
+                let mk = |g: &mut Graph, from, oc: usize, n: String| {
+                    g.add(
+                        n,
+                        Op::Conv2d(Conv2dAttrs {
+                            out_channels: oc,
+                            kernel: (1, 1),
+                            stride: (1, 1),
+                            padding: Padding::Valid,
+                            use_bias: false,
+                        }),
+                        &[from],
+                    )
+                    .expect("1x1 conv fits")
+                };
+                let a = mk(&mut g, cur, 8, name("cata", &mut uid));
+                let b = mk(&mut g, cur, 16, name("catb", &mut uid));
+                g.add(name("cat", &mut uid), Op::Concat(Axis::C), &[a, b])
+                    .expect("concat fits")
+            }
+            // Upsample, bounded so graphs stay small.
+            _ if shape.h <= 16 => g
+                .add(
+                    name("up", &mut uid),
+                    Op::Upsample2d { factor: (2, 2) },
+                    &[cur],
+                )
+                .expect("upsample fits"),
+            _ => g
+                .add(
+                    name("act", &mut uid),
+                    Op::Activation(ActFn::LeakyRelu(0.1)),
+                    &[cur],
+                )
+                .expect("act fits"),
+        };
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_arch::CrossbarSpec;
+    use cim_mapping::{layer_costs, MappingOptions};
+    use proptest::prelude::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(random_cnn(9, 5), random_cnn(9, 5));
+        assert_ne!(random_cnn(9, 5), random_cnn(10, 5));
+    }
+
+    #[test]
+    fn reaches_requested_base_layers() {
+        for seed in 0..20 {
+            let g = random_cnn(seed, 6);
+            g.validate().unwrap();
+            let n = g.base_layers().len();
+            assert!((6..=7).contains(&n), "seed {seed}: {n} base layers");
+        }
+    }
+
+    proptest! {
+        /// Every random graph validates, canonicalizes, and has computable
+        /// layer costs.
+        #[test]
+        fn prop_random_graphs_are_well_formed(seed in 0u64..500, n in 1usize..10) {
+            let g = random_cnn(seed, n);
+            g.validate().unwrap();
+            let canon = cim_frontend::canonicalize(&g, &cim_frontend::CanonOptions::default())
+                .unwrap();
+            let costs = layer_costs(
+                canon.graph(),
+                &CrossbarSpec::wan_nature_2022(),
+                &MappingOptions::default(),
+            ).unwrap();
+            prop_assert!(!costs.is_empty());
+        }
+    }
+}

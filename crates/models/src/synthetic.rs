@@ -1,0 +1,112 @@
+//! Parametric synthetic models for scalability studies: the zoo models
+//! have fixed sizes; these builders scale depth and width freely so the
+//! scheduler's asymptotics can be measured.
+
+use cim_ir::{ActFn, Conv2dAttrs, FeatureShape, Graph, Op, Padding, PoolAttrs};
+
+/// Builds a plain chain of `depth` same-padding 3×3 convolutions with
+/// `channels` channels on a `side × side` input, with a ReLU between
+/// layers and a stride-2 pool every `pool_every` convolutions (0 = never).
+///
+/// # Panics
+///
+/// Panics if `depth`, `side` or `channels` is zero, or if pooling would
+/// shrink the map below 4×4.
+///
+/// # Examples
+///
+/// ```
+/// let g = cim_models::conv_chain(12, 64, 32, 4);
+/// assert_eq!(g.base_layers().len(), 12);
+/// g.validate().unwrap();
+/// ```
+pub fn conv_chain(depth: usize, side: usize, channels: usize, pool_every: usize) -> Graph {
+    assert!(depth > 0 && side > 0 && channels > 0, "degenerate chain");
+    let mut g = Graph::new(format!("chain_d{depth}_s{side}_c{channels}"));
+    let mut cur = g
+        .add(
+            "input",
+            Op::Input {
+                shape: FeatureShape::new(side, side, 3),
+            },
+            &[],
+        )
+        .expect("fresh graph accepts input");
+    for i in 0..depth {
+        cur = g
+            .add(
+                format!("conv{i}"),
+                Op::Conv2d(Conv2dAttrs {
+                    out_channels: channels,
+                    kernel: (3, 3),
+                    stride: (1, 1),
+                    padding: Padding::Same,
+                    use_bias: false,
+                }),
+                &[cur],
+            )
+            .expect("same conv fits");
+        cur = g
+            .add(format!("relu{i}"), Op::Activation(ActFn::Relu), &[cur])
+            .expect("relu fits");
+        if pool_every > 0 && (i + 1) % pool_every == 0 && i + 1 < depth {
+            let shape = g.node(cur).expect("cursor").out_shape;
+            assert!(shape.h >= 8, "pooling would shrink below 4x4");
+            cur = g
+                .add(
+                    format!("pool{i}"),
+                    Op::MaxPool2d(PoolAttrs {
+                        window: (2, 2),
+                        stride: (2, 2),
+                        padding: Padding::Valid,
+                    }),
+                    &[cur],
+                )
+                .expect("pool fits");
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_arch::CrossbarSpec;
+    use cim_mapping::{layer_costs, min_pes, MappingOptions};
+
+    #[test]
+    fn chain_structure() {
+        let g = conv_chain(8, 32, 16, 3);
+        g.validate().unwrap();
+        assert_eq!(g.base_layers().len(), 8);
+        // Two pools fired (after conv2 and conv5): 32 → 16 → 8.
+        let out = g.outputs();
+        assert_eq!(g.node(out[0]).unwrap().out_shape.h, 8);
+    }
+
+    #[test]
+    fn chain_without_pooling_keeps_extent() {
+        let g = conv_chain(4, 16, 8, 0);
+        let out = g.outputs();
+        assert_eq!(
+            g.node(out[0]).unwrap().out_shape,
+            FeatureShape::new(16, 16, 8)
+        );
+    }
+
+    #[test]
+    fn pe_cost_scales_with_channels() {
+        let xbar = CrossbarSpec::wan_nature_2022();
+        let narrow = conv_chain(4, 32, 16, 0);
+        let wide = conv_chain(4, 32, 64, 0);
+        let a = min_pes(&layer_costs(&narrow, &xbar, &MappingOptions::default()).unwrap());
+        let b = min_pes(&layer_costs(&wide, &xbar, &MappingOptions::default()).unwrap());
+        assert!(b > a);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_depth_panics() {
+        let _ = conv_chain(0, 16, 8, 0);
+    }
+}

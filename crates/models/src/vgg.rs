@@ -1,0 +1,256 @@
+//! VGG16 and VGG19 — the paper's sequential benchmarks (Table II).
+//!
+//! Convolutional bodies at 224×224×3; the fully-connected classifier heads
+//! are omitted, matching Table II which counts 13 (VGG16) / 16 (VGG19) base
+//! layers — the convolution counts of the respective bodies.
+
+use cim_ir::{ActFn, Conv2dAttrs, FeatureShape, Graph, NodeId, Op, Padding, PoolAttrs};
+
+fn conv(g: &mut Graph, from: NodeId, idx: &mut usize, oc: usize) -> NodeId {
+    let name = if *idx == 0 {
+        "conv2d".to_string()
+    } else {
+        format!("conv2d_{idx}")
+    };
+    *idx += 1;
+    let c = g
+        .add(
+            &name,
+            Op::Conv2d(Conv2dAttrs {
+                out_channels: oc,
+                kernel: (3, 3),
+                stride: (1, 1),
+                padding: Padding::Same,
+                use_bias: false,
+            }),
+            &[from],
+        )
+        .expect("valid conv");
+    g.add(format!("{name}_act"), Op::Activation(ActFn::Relu), &[c])
+        .expect("valid activation")
+}
+
+fn pool(g: &mut Graph, from: NodeId) -> NodeId {
+    let name = format!("pool_{}", g.len());
+    g.add(
+        name,
+        Op::MaxPool2d(PoolAttrs {
+            window: (2, 2),
+            stride: (2, 2),
+            padding: Padding::Valid,
+        }),
+        &[from],
+    )
+    .expect("valid pool")
+}
+
+fn vgg(name: &str, convs_per_block: &[usize]) -> Graph {
+    let mut g = Graph::new(name);
+    let mut x = g
+        .add(
+            "input",
+            Op::Input {
+                shape: FeatureShape::new(224, 224, 3),
+            },
+            &[],
+        )
+        .expect("fresh graph accepts input");
+    let widths = [64usize, 128, 256, 512, 512];
+    let mut idx = 0usize;
+    for (block, &n) in convs_per_block.iter().enumerate() {
+        for _ in 0..n {
+            x = conv(&mut g, x, &mut idx, widths[block]);
+        }
+        x = pool(&mut g, x);
+    }
+    g
+}
+
+/// Builds the VGG16 convolutional body (13 Conv2D layers, 224×224×3).
+///
+/// # Examples
+///
+/// ```
+/// let g = cim_models::vgg16();
+/// assert_eq!(g.base_layers().len(), 13);
+/// ```
+pub fn vgg16() -> Graph {
+    vgg("vgg16", &[2, 2, 3, 3, 3])
+}
+
+/// Builds the VGG19 convolutional body (16 Conv2D layers, 224×224×3).
+///
+/// # Examples
+///
+/// ```
+/// let g = cim_models::vgg19();
+/// assert_eq!(g.base_layers().len(), 16);
+/// ```
+pub fn vgg19() -> Graph {
+    vgg("vgg19", &[2, 2, 4, 4, 4])
+}
+
+/// Builds VGG16 *with* its fully-connected classifier head
+/// (flatten → 4096 → 4096 → 1000 with ReLUs and softmax).
+///
+/// Not part of the paper's Table II (which counts convolutions only), but
+/// exercises large dense layers through the whole stack: the first FC's
+/// 25088×4096 kernel matrix alone needs 98×16 = 1568 crossbars.
+///
+/// # Examples
+///
+/// ```
+/// let g = cim_models::vgg16_with_classifier();
+/// assert_eq!(g.base_layers().len(), 16, "13 convs + 3 dense");
+/// ```
+pub fn vgg16_with_classifier() -> Graph {
+    let mut g = vgg("vgg16_cls", &[2, 2, 3, 3, 3]);
+    let tail = g.outputs()[0];
+    let f = g
+        .add("flatten", Op::Flatten, &[tail])
+        .expect("flatten fits");
+    let mut x = f;
+    for (i, units) in [4096usize, 4096].into_iter().enumerate() {
+        let d = g
+            .add(
+                format!("fc{}", i + 1),
+                Op::Dense(cim_ir::DenseAttrs {
+                    units,
+                    use_bias: false,
+                }),
+                &[x],
+            )
+            .expect("dense fits");
+        x = g
+            .add(
+                format!("fc{}_act", i + 1),
+                Op::Activation(ActFn::Relu),
+                &[d],
+            )
+            .expect("relu fits");
+    }
+    let logits = g
+        .add(
+            "fc3",
+            Op::Dense(cim_ir::DenseAttrs {
+                units: 1000,
+                use_bias: false,
+            }),
+            &[x],
+        )
+        .expect("dense fits");
+    g.add("softmax", Op::Softmax, &[logits])
+        .expect("softmax fits");
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_arch::CrossbarSpec;
+    use cim_mapping::{layer_costs, min_pes, MappingOptions};
+
+    fn pe_min(g: &Graph) -> usize {
+        min_pes(
+            &layer_costs(
+                g,
+                &CrossbarSpec::wan_nature_2022(),
+                &MappingOptions::default(),
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn vgg16_matches_table2() {
+        let g = vgg16();
+        g.validate().unwrap();
+        assert_eq!(g.base_layers().len(), 13);
+        assert_eq!(pe_min(&g), 233, "Table II: VGG16 min required PEs");
+    }
+
+    #[test]
+    fn vgg19_matches_table2() {
+        let g = vgg19();
+        g.validate().unwrap();
+        assert_eq!(g.base_layers().len(), 16);
+        assert_eq!(pe_min(&g), 314, "Table II: VGG19 min required PEs");
+    }
+
+    #[test]
+    fn vgg_is_sequential() {
+        // Every non-input node has exactly one input; every node at most
+        // one consumer — the models the paper calls "sequential".
+        let g = vgg16();
+        let consumers = g.consumers();
+        for n in g.iter() {
+            assert!(n.inputs.len() <= 1);
+            assert!(consumers[n.id.index()].len() <= 1);
+        }
+    }
+
+    #[test]
+    fn vgg16_final_shape() {
+        let g = vgg16();
+        let out = g.outputs();
+        assert_eq!(out.len(), 1);
+        assert_eq!(
+            g.node(out[0]).unwrap().out_shape,
+            FeatureShape::new(7, 7, 512),
+            "224 / 2^5 = 7 after five pools"
+        );
+    }
+
+    #[test]
+    fn classifier_head_dense_costs() {
+        let g = vgg16_with_classifier();
+        g.validate().unwrap();
+        assert_eq!(g.base_layers().len(), 16);
+        let costs = layer_costs(
+            &g,
+            &CrossbarSpec::wan_nature_2022(),
+            &MappingOptions::default(),
+        )
+        .unwrap();
+        let by_name = |n: &str| costs.iter().find(|c| c.name == n).unwrap();
+        // fc1: 25088 rows → 98 vertical, 4096 cols → 16 horizontal.
+        assert_eq!((by_name("fc1").pe_v, by_name("fc1").pe_h), (98, 16));
+        // fc2: 4096 → 16 vertical × 16 horizontal.
+        assert_eq!(by_name("fc2").pes, 256);
+        // fc3: 4096 → 16 vertical, 1000 → 4 horizontal.
+        assert_eq!(by_name("fc3").pes, 64);
+        // Conv body unchanged + dense head.
+        assert_eq!(min_pes(&costs), 233 + 1568 + 256 + 64);
+        // Dense layers take a single cycle each.
+        assert_eq!(by_name("fc1").t_init, 1);
+    }
+
+    #[test]
+    fn classifier_head_schedules_end_to_end() {
+        use cim_arch::Architecture;
+        use clsa_core::{run, RunConfig};
+        let g = vgg16_with_classifier();
+        let arch = Architecture::paper_case_study(233 + 1568 + 256 + 64).unwrap();
+        let lbl = run(&g, &RunConfig::baseline(arch.clone())).unwrap();
+        let xl = run(&g, &RunConfig::baseline(arch).with_cross_layer()).unwrap();
+        // The three dense layers add 3 cycles to the baseline.
+        assert_eq!(lbl.makespan(), 137_788 + 3);
+        assert!(xl.makespan() < lbl.makespan());
+    }
+
+    #[test]
+    fn vgg_layer_latencies_decrease_with_depth() {
+        // The early layers dominate t_init (the paper's motivation for
+        // duplicating them): first conv = 224² cycles, last = 14².
+        let g = vgg16();
+        let costs = layer_costs(
+            &g,
+            &CrossbarSpec::wan_nature_2022(),
+            &MappingOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(costs.first().unwrap().t_init, 224 * 224);
+        assert_eq!(costs.last().unwrap().t_init, 14 * 14);
+        assert!(costs.first().unwrap().pes < costs.last().unwrap().pes);
+    }
+}

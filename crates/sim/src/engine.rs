@@ -1,0 +1,464 @@
+//! The discrete-event engine.
+//!
+//! State machine: every base layer is a PE group that executes its Stage-I
+//! sets strictly in order; a set may start once all its Stage-II producer
+//! sets have *arrived* (finish time plus the NoC forwarding delay under the
+//! data-movement extension). Completions are the only events; the heap is
+//! ordered by time with `(layer, set)` as a deterministic tie-breaker.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use cim_arch::EnergyLog;
+use clsa_core::{Dependencies, EdgeCost, LayerSets, Schedule, SetTime};
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, SimError};
+use crate::stats::{GroupStats, SimStats};
+
+/// The simulator: borrows a Stage-I/II workload and executes it.
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    layers: &'a [LayerSets],
+    deps: &'a Dependencies,
+}
+
+/// Outcome of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// The operationally discovered schedule (same shape as the analytic
+    /// engine's output).
+    pub schedule: Schedule,
+    /// Activity, traffic, buffer, and energy statistics.
+    pub stats: SimStats,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator for the given Stage-I/II outputs.
+    pub fn new(layers: &'a [LayerSets], deps: &'a Dependencies) -> Self {
+        Self { layers, deps }
+    }
+
+    /// Runs the workload to completion under the given edge-cost model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadWorkload`] when the inputs disagree and
+    /// [`SimError::Deadlock`] when unfinished sets remain after the event
+    /// heap drains (cyclic or forward dependencies).
+    pub fn run(&self, edge_cost: &EdgeCost) -> Result<SimResult> {
+        let layers = self.layers;
+        if self.deps.num_layers() != layers.len() {
+            return Err(SimError::BadWorkload {
+                detail: format!(
+                    "dependencies cover {} layers, sets cover {}",
+                    self.deps.num_layers(),
+                    layers.len()
+                ),
+            });
+        }
+        let offsets: Vec<usize> = layers
+            .iter()
+            .scan(0usize, |acc, l| {
+                let o = *acc;
+                *acc += l.sets.len();
+                Some(o)
+            })
+            .collect();
+        let total: usize = layers.iter().map(|l| l.sets.len()).sum();
+        let idx = |l: usize, s: usize| offsets[l] + s;
+
+        let fanout = self.deps.fan_out();
+        let mut indegree = vec![0u32; total];
+        for (l, layer) in layers.iter().enumerate() {
+            for s in 0..layer.sets.len() {
+                indegree[idx(l, s)] = self.deps.of(l, s).len() as u32;
+            }
+        }
+        let mut ready_time = vec![0u64; total];
+        let mut next = vec![0usize; layers.len()];
+        let mut group_free = vec![0u64; layers.len()];
+        let mut first_start = vec![u64::MAX; layers.len()];
+        let mut started = vec![false; total];
+        let mut times: Vec<Vec<SetTime>> = layers
+            .iter()
+            .map(|l| {
+                vec![
+                    SetTime {
+                        start: 0,
+                        finish: 0
+                    };
+                    l.sets.len()
+                ]
+            })
+            .collect();
+
+        // Buffer-pressure bookkeeping: bytes of a produced set stay live
+        // until all consuming edges have fired (8-bit activations).
+        let set_bytes =
+            |l: usize, s: usize| (layers[l].sets[s].rect.area() * layers[l].ofm.c) as u64;
+        let mut pending_consumers: Vec<u32> = vec![0; total];
+        let mut live_bytes = 0u64;
+        let mut peak_live_bytes = 0u64;
+
+        let mut stats = SimStats {
+            groups: vec![GroupStats::default(); layers.len()],
+            ..SimStats::default()
+        };
+        let mut energy = EnergyLog::new();
+
+        // Event heap: Reverse ordering on (finish, layer, set).
+        let mut heap: BinaryHeap<Reverse<(u64, usize, usize)>> = BinaryHeap::new();
+        let mut completed = 0usize;
+
+        // Attempts to start layer `l`'s current set; pushes its completion.
+        macro_rules! try_start {
+            ($l:expr) => {{
+                let l = $l;
+                let s = next[l];
+                if s < layers[l].sets.len() {
+                    let i = idx(l, s);
+                    if !started[i] && indegree[i] == 0 {
+                        let start = group_free[l].max(ready_time[i]);
+                        let finish = start + layers[l].sets[s].duration;
+                        started[i] = true;
+                        times[l][s] = SetTime { start, finish };
+                        group_free[l] = finish;
+                        first_start[l] = first_start[l].min(start);
+                        heap.push(Reverse((finish, l, s)));
+                    }
+                }
+            }};
+        }
+
+        for l in 0..layers.len() {
+            try_start!(l);
+        }
+
+        let mut makespan = 0u64;
+        let mut last_finish = vec![0u64; layers.len()];
+        while let Some(Reverse((t, l, s))) = heap.pop() {
+            stats.events += 1;
+            completed += 1;
+            makespan = makespan.max(t);
+            last_finish[l] = last_finish[l].max(t);
+            let g = &mut stats.groups[l];
+            g.active_cycles += layers[l].sets[s].duration;
+            g.sets_executed += 1;
+            energy.record_mvms(layers[l].sets[s].duration * layers[l].pes as u64);
+
+            // Chain: the group moves on to its next set.
+            next[l] = s + 1;
+            try_start!(l);
+
+            // Data edges: deliver this set to its consumers.
+            let consumers = &fanout[l][s];
+            if !consumers.is_empty() {
+                pending_consumers[idx(l, s)] = consumers.len() as u32;
+                live_bytes += set_bytes(l, s);
+                peak_live_bytes = peak_live_bytes.max(live_bytes);
+            }
+            for c in consumers {
+                let delay = edge_cost.cycles(l, c.layer, set_bytes(l, s))?;
+                let ci = idx(c.layer, c.set);
+                ready_time[ci] = ready_time[ci].max(t + delay);
+                indegree[ci] -= 1;
+                stats.messages += 1;
+                stats.bytes_moved += set_bytes(l, s);
+                if let EdgeCost::NocHops { arch, placement }
+                | EdgeCost::NocAndGpeu { arch, placement } = edge_cost
+                {
+                    let hops = placement
+                        .hops_between(arch, l, c.layer)
+                        .map_err(clsa_core::CoreError::from)?;
+                    energy.record_transfer(set_bytes(l, s), hops as u64);
+                }
+                try_start!(c.layer);
+            }
+
+            // Release producer buffers whose last consuming edge was this
+            // completed set's own dependencies.
+            for p in self.deps.of(l, s) {
+                let pi = idx(p.layer, p.set);
+                pending_consumers[pi] -= 1;
+                if pending_consumers[pi] == 0 {
+                    live_bytes -= set_bytes(p.layer, p.set);
+                }
+            }
+        }
+
+        if completed != total {
+            return Err(SimError::Deadlock { completed, total });
+        }
+        for l in 0..layers.len() {
+            if first_start[l] != u64::MAX {
+                let span = last_finish[l] - first_start[l];
+                stats.groups[l].stall_cycles = span - stats.groups[l].active_cycles;
+            }
+        }
+        stats.peak_live_bytes = peak_live_bytes;
+        stats.energy = energy;
+        Ok(SimResult {
+            schedule: Schedule { times, makespan },
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_arch::CrossbarSpec;
+    use cim_ir::{ActFn, Conv2dAttrs, FeatureShape, Graph, Op, PadSpec, Padding, PoolAttrs, Rect};
+    use cim_mapping::{layer_costs, MappingOptions};
+    use clsa_core::{
+        cross_layer_schedule, determine_dependencies, determine_sets, validate_schedule, OfmSet,
+        SetPolicy, SetRef,
+    };
+    use proptest::prelude::*;
+
+    fn conv_op(oc: usize, k: usize, st: usize) -> Op {
+        Op::Conv2d(Conv2dAttrs {
+            out_channels: oc,
+            kernel: (k, k),
+            stride: (st, st),
+            padding: Padding::Valid,
+            use_bias: false,
+        })
+    }
+
+    /// The paper's Fig. 5 style pipeline with a pooling non-base path.
+    fn fig5_graph() -> Graph {
+        let mut g = Graph::new("fig5");
+        let x = g
+            .add(
+                "input",
+                Op::Input {
+                    shape: FeatureShape::new(18, 18, 3),
+                },
+                &[],
+            )
+            .unwrap();
+        let c1 = g.add("conv1", conv_op(8, 3, 1), &[x]).unwrap();
+        let a = g.add("act", Op::Activation(ActFn::Relu), &[c1]).unwrap();
+        let p = g
+            .add(
+                "pool",
+                Op::MaxPool2d(PoolAttrs {
+                    window: (2, 2),
+                    stride: (2, 2),
+                    padding: Padding::Valid,
+                }),
+                &[a],
+            )
+            .unwrap();
+        let pad = g
+            .add("pad", Op::ZeroPad2d(PadSpec::uniform(1)), &[p])
+            .unwrap();
+        let c2 = g.add("conv2", conv_op(8, 3, 1), &[pad]).unwrap();
+        g.add("conv3", conv_op(8, 3, 1), &[c2]).unwrap();
+        g
+    }
+
+    fn stages(g: &Graph, policy: &SetPolicy) -> (Vec<LayerSets>, Dependencies) {
+        let costs = layer_costs(
+            g,
+            &CrossbarSpec::wan_nature_2022(),
+            &MappingOptions::default(),
+        )
+        .unwrap();
+        let layers = determine_sets(g, &costs, policy).unwrap();
+        let deps = determine_dependencies(g, &layers).unwrap();
+        (layers, deps)
+    }
+
+    #[test]
+    fn agrees_with_analytic_engine() {
+        let g = fig5_graph();
+        for policy in [
+            SetPolicy::finest(),
+            SetPolicy::coarse(4),
+            SetPolicy::coarse(1),
+        ] {
+            let (layers, deps) = stages(&g, &policy);
+            let analytic = cross_layer_schedule(&layers, &deps, &EdgeCost::Free).unwrap();
+            let sim = Simulator::new(&layers, &deps).run(&EdgeCost::Free).unwrap();
+            assert_eq!(sim.schedule, analytic, "policy {policy:?}");
+            validate_schedule(&layers, &deps, &sim.schedule, &EdgeCost::Free).unwrap();
+        }
+    }
+
+    #[test]
+    fn agrees_with_analytic_engine_under_noc_cost() {
+        let g = fig5_graph();
+        let (layers, deps) = stages(&g, &SetPolicy::finest());
+        let arch = cim_arch::Architecture::builder()
+            .tile(cim_arch::TileSpec {
+                pes_per_tile: 1,
+                ..cim_arch::TileSpec::isaac_like()
+            })
+            .noc_hop_latency(7)
+            .pes(layers.len())
+            .build()
+            .unwrap();
+        let sizes: Vec<usize> = layers.iter().map(|l| l.pes).collect();
+        let placement =
+            cim_arch::place_groups(&arch, &sizes, cim_arch::PlacementStrategy::Contiguous).unwrap();
+        let cost = EdgeCost::NocHops { arch, placement };
+        let analytic = cross_layer_schedule(&layers, &deps, &cost).unwrap();
+        let sim = Simulator::new(&layers, &deps).run(&cost).unwrap();
+        assert_eq!(sim.schedule, analytic);
+        assert!(
+            sim.stats.energy.byte_hops > 0,
+            "transfers must be accounted"
+        );
+    }
+
+    #[test]
+    fn agrees_with_analytic_engine_under_gpeu_cost() {
+        let g = fig5_graph();
+        let (layers, deps) = stages(&g, &SetPolicy::finest());
+        let arch = cim_arch::Architecture::builder()
+            .tile(cim_arch::TileSpec {
+                pes_per_tile: 2,
+                gpeu_ops_per_cycle: 32,
+                ..cim_arch::TileSpec::isaac_like()
+            })
+            .noc_hop_latency(3)
+            .pes(layers.len())
+            .build()
+            .unwrap();
+        let sizes: Vec<usize> = layers.iter().map(|l| l.pes).collect();
+        let placement =
+            cim_arch::place_groups(&arch, &sizes, cim_arch::PlacementStrategy::Contiguous).unwrap();
+        let cost = EdgeCost::NocAndGpeu { arch, placement };
+        let analytic = cross_layer_schedule(&layers, &deps, &cost).unwrap();
+        let sim = Simulator::new(&layers, &deps).run(&cost).unwrap();
+        assert_eq!(sim.schedule, analytic);
+        let free = cross_layer_schedule(&layers, &deps, &EdgeCost::Free).unwrap();
+        assert!(
+            analytic.makespan > free.makespan,
+            "GPEU work must cost time"
+        );
+    }
+
+    #[test]
+    fn stats_account_all_work() {
+        let g = fig5_graph();
+        let (layers, deps) = stages(&g, &SetPolicy::finest());
+        let sim = Simulator::new(&layers, &deps).run(&EdgeCost::Free).unwrap();
+        let expected_active: u64 = layers.iter().map(|l| l.total_cycles()).sum();
+        assert_eq!(sim.stats.total_active_cycles(), expected_active);
+        assert_eq!(sim.stats.messages, deps.num_edges() as u64);
+        assert_eq!(
+            sim.stats.events,
+            layers.iter().map(|l| l.sets.len() as u64).sum::<u64>()
+        );
+        assert!(sim.stats.peak_live_bytes > 0);
+        // MVM energy: every set-cycle × group PEs.
+        let expected_mvms: u64 = layers.iter().map(|l| l.total_cycles() * l.pes as u64).sum();
+        assert_eq!(sim.stats.energy.mvm_ops, expected_mvms);
+    }
+
+    #[test]
+    fn deadlock_detected_on_forward_dependency() {
+        let g = fig5_graph();
+        let (layers, _) = stages(&g, &SetPolicy::coarse(2));
+        let sets_per_layer: Vec<usize> = layers.iter().map(|l| l.sets.len()).collect();
+        // Layer 0 depends on layer 2 and vice versa — a cycle.
+        let deps = Dependencies::from_edges(
+            &sets_per_layer,
+            &[
+                (SetRef { layer: 0, set: 0 }, SetRef { layer: 2, set: 0 }),
+                (SetRef { layer: 2, set: 0 }, SetRef { layer: 0, set: 0 }),
+            ],
+        )
+        .unwrap();
+        let err = Simulator::new(&layers, &deps)
+            .run(&EdgeCost::Free)
+            .unwrap_err();
+        assert!(matches!(err, SimError::Deadlock { .. }));
+    }
+
+    #[test]
+    fn mismatched_inputs_rejected() {
+        let g = fig5_graph();
+        let (layers, deps) = stages(&g, &SetPolicy::finest());
+        let err = Simulator::new(&layers[..1], &deps)
+            .run(&EdgeCost::Free)
+            .unwrap_err();
+        assert!(matches!(err, SimError::BadWorkload { .. }));
+    }
+
+    #[test]
+    fn stall_cycles_expose_dependency_bubbles() {
+        let g = fig5_graph();
+        let (layers, deps) = stages(&g, &SetPolicy::finest());
+        let sim = Simulator::new(&layers, &deps).run(&EdgeCost::Free).unwrap();
+        // conv1 streams uninterrupted; downstream layers stall on producers.
+        assert_eq!(sim.stats.groups[0].stall_cycles, 0);
+        // conv2 row bands arrive every 2 producer rows — it must stall
+        // between its pool-quantized inputs.
+        assert!(sim.stats.groups[1].stall_cycles > 0);
+    }
+
+    /// Random layered workloads: synthetic sets and random backward edges.
+    fn arb_workload() -> impl Strategy<Value = (Vec<LayerSets>, Vec<(SetRef, SetRef)>)> {
+        let layer = (1usize..6, 1u64..20, 1usize..4);
+        proptest::collection::vec(layer, 1..6).prop_flat_map(|spec| {
+            let layers: Vec<LayerSets> = spec
+                .iter()
+                .enumerate()
+                .map(|(i, &(nsets, dur, pes))| LayerSets {
+                    node: cim_ir::NodeId(i as u32),
+                    name: format!("l{i}"),
+                    logical: i as u32,
+                    ofm: FeatureShape::new(nsets, dur as usize, 1),
+                    pes,
+                    quantum: 1,
+                    sets: (0..nsets)
+                        .map(|y| OfmSet {
+                            rect: Rect::new(y, 0, y, dur as usize - 1),
+                            duration: dur,
+                        })
+                        .collect(),
+                })
+                .collect();
+            let n_layers = layers.len();
+            let sets_per: Vec<usize> = layers.iter().map(|l| l.sets.len()).collect();
+            if n_layers < 2 {
+                return Just((layers, Vec::new())).boxed();
+            }
+            let edge = (0usize..1024, 0usize..1024, 0usize..1024).prop_map(move |(a, cs, ps)| {
+                let cl = 1 + a % (n_layers - 1); // strictly later layer
+                let pl = ps % cl; // strictly earlier layer
+                let consumer = SetRef {
+                    layer: cl,
+                    set: cs % sets_per[cl],
+                };
+                let producer = SetRef {
+                    layer: pl,
+                    set: (cs + ps) % sets_per[pl],
+                };
+                (consumer, producer)
+            });
+            proptest::collection::vec(edge, 0..20)
+                .prop_map(move |edges| (layers.clone(), edges))
+                .boxed()
+        })
+    }
+
+    proptest! {
+        /// The event-driven engine and the longest-path DP agree on every
+        /// random workload — the central cross-validation of both engines.
+        #[test]
+        fn prop_sim_equals_analytic((layers, edges) in arb_workload()) {
+            let sets_per: Vec<usize> = layers.iter().map(|l| l.sets.len()).collect();
+            let deps = Dependencies::from_edges(&sets_per, &edges).unwrap();
+            let analytic = cross_layer_schedule(&layers, &deps, &EdgeCost::Free).unwrap();
+            let sim = Simulator::new(&layers, &deps).run(&EdgeCost::Free).unwrap();
+            prop_assert_eq!(&sim.schedule, &analytic);
+            validate_schedule(&layers, &deps, &sim.schedule, &EdgeCost::Free).unwrap();
+        }
+    }
+}

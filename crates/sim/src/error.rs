@@ -1,0 +1,76 @@
+//! Error type of the simulator.
+
+use std::fmt;
+
+/// Errors produced by the discrete-event engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The workload inputs are inconsistent.
+    BadWorkload {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// The simulation stalled with unfinished sets — a dependency cycle or
+    /// a dependency on a missing set.
+    Deadlock {
+        /// Sets completed before the stall.
+        completed: usize,
+        /// Total sets in the workload.
+        total: usize,
+    },
+    /// An edge-cost evaluation failed.
+    EdgeCost(clsa_core::CoreError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BadWorkload { detail } => write!(f, "bad workload: {detail}"),
+            SimError::Deadlock { completed, total } => {
+                write!(f, "simulation deadlocked after {completed} of {total} sets")
+            }
+            SimError::EdgeCost(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::EdgeCost(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<clsa_core::CoreError> for SimError {
+    fn from(e: clsa_core::CoreError) -> Self {
+        SimError::EdgeCost(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SimError::BadWorkload { detail: "x".into() }
+            .to_string()
+            .contains("x"));
+        let d = SimError::Deadlock {
+            completed: 3,
+            total: 9,
+        };
+        assert!(d.to_string().contains("3 of 9"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,80 @@
+//! Fig. 7-style sweep over the benchmark zoo: speedup and utilization of
+//! `wdup+x`, `xinf`, and `wdup+x+xinf` against layer-by-layer inference.
+//!
+//! Run with: `cargo run --release --example benchmark_sweep`
+//! (pass a model name to restrict, e.g. `-- VGG16`)
+
+use clsa_cim::arch::Architecture;
+use clsa_cim::core::{run, RunConfig};
+use clsa_cim::frontend::{canonicalize, CanonOptions};
+use clsa_cim::mapping::Solver;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let filter = std::env::args().nth(1);
+    for info in clsa_cim::models::table2_models() {
+        if let Some(f) = &filter {
+            if !info.name.eq_ignore_ascii_case(f) {
+                continue;
+            }
+        }
+        let graph = canonicalize(&info.build(), &CanonOptions::default())?.into_graph();
+        let pe_min = info.pe_min_256;
+        let baseline = run(
+            &graph,
+            &RunConfig::baseline(Architecture::paper_case_study(pe_min)?),
+        )?;
+        let xinf = run(
+            &graph,
+            &RunConfig::baseline(Architecture::paper_case_study(pe_min)?).with_cross_layer(),
+        )?;
+
+        println!(
+            "\n{} — {} base layers, PE_min {}",
+            info.name,
+            graph.base_layers().len(),
+            pe_min
+        );
+        println!(
+            "  {:<14} {:>9} cycles  {:>6}   {:>6}",
+            "config", "makespan", "speedup", "util"
+        );
+        let row = |label: &str, makespan: u64, ut: f64| {
+            println!(
+                "  {label:<14} {makespan:>9} cycles  {:>6.2}x  {:>6.2}%",
+                baseline.makespan() as f64 / makespan as f64,
+                ut * 100.0
+            );
+        };
+        row(
+            "layer-by-layer",
+            baseline.makespan(),
+            baseline.report.utilization,
+        );
+        row("xinf", xinf.makespan(), xinf.report.utilization);
+        for x in [4usize, 8, 16, 32] {
+            let arch = Architecture::paper_case_study(pe_min + x)?;
+            let wdup = run(
+                &graph,
+                &RunConfig::baseline(arch.clone()).with_duplication(Solver::Greedy),
+            )?;
+            row(
+                &format!("wdup+{x}"),
+                wdup.makespan(),
+                wdup.report.utilization,
+            );
+            let both = run(
+                &graph,
+                &RunConfig::baseline(arch)
+                    .with_duplication(Solver::Greedy)
+                    .with_cross_layer(),
+            )?;
+            row(
+                &format!("wdup+{x}+xinf"),
+                both.makespan(),
+                both.report.utilization,
+            );
+        }
+    }
+    println!("\npaper reference: best speedup 29.2x / best utilization 20.1 % (TinyYOLOv3)");
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Quickstart: build a small CNN, preprocess it, and schedule it on a tiled
+//! CIM architecture — the whole pipeline in one page.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use clsa_cim::arch::Architecture;
+use clsa_cim::core::{gantt_text, run, RunConfig};
+use clsa_cim::frontend::{canonicalize, CanonOptions};
+use clsa_cim::ir::{ActFn, Conv2dAttrs, FeatureShape, Graph, Op, Padding, PoolAttrs};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe a network (TensorFlow-style: same padding, fused bias).
+    let mut g = Graph::new("quickstart");
+    let x = g.add(
+        "input",
+        Op::Input {
+            shape: FeatureShape::new(32, 32, 3),
+        },
+        &[],
+    )?;
+    let c1 = g.add(
+        "conv1",
+        Op::Conv2d(Conv2dAttrs {
+            out_channels: 16,
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: Padding::Same,
+            use_bias: true,
+        }),
+        &[x],
+    )?;
+    let a1 = g.add("relu1", Op::Activation(ActFn::Relu), &[c1])?;
+    let p1 = g.add(
+        "pool1",
+        Op::MaxPool2d(PoolAttrs {
+            window: (2, 2),
+            stride: (2, 2),
+            padding: Padding::Valid,
+        }),
+        &[a1],
+    )?;
+    let c2 = g.add(
+        "conv2",
+        Op::Conv2d(Conv2dAttrs {
+            out_channels: 32,
+            kernel: (3, 3),
+            stride: (1, 1),
+            padding: Padding::Same,
+            use_bias: true,
+        }),
+        &[p1],
+    )?;
+    g.add("relu2", Op::Activation(ActFn::Relu), &[c2])?;
+
+    // 2. Preprocess: fold BN (none here), decouple padding and bias.
+    let canon = canonicalize(&g, &CanonOptions::default())?;
+    println!("canonical graph: {} nodes", canon.graph().len());
+
+    // 3. Pick an architecture: the paper's 256×256 crossbars, 1400 ns MVM.
+    let arch = Architecture::paper_case_study(4)?;
+
+    // 4. Schedule: layer-by-layer baseline vs CLSA-CIM cross-layer.
+    let baseline = run(canon.graph(), &RunConfig::baseline(arch.clone()))?;
+    let clsa = run(canon.graph(), &RunConfig::baseline(arch).with_cross_layer())?;
+
+    println!(
+        "layer-by-layer: {} cycles ({} ns)",
+        baseline.makespan(),
+        baseline.makespan() * 1400
+    );
+    println!(
+        "CLSA-CIM:       {} cycles ({} ns)",
+        clsa.makespan(),
+        clsa.makespan() * 1400
+    );
+    println!(
+        "speedup {:.2}x, utilization {:.1}% -> {:.1}%\n",
+        baseline.makespan() as f64 / clsa.makespan() as f64,
+        baseline.report.utilization * 100.0,
+        clsa.report.utilization * 100.0
+    );
+    println!("{}", gantt_text(&clsa.layers, &clsa.schedule, 72));
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! # clsa-cim — reproduction of *CLSA-CIM: A Cross-Layer Scheduling
+//! Approach for Computing-in-Memory Architectures* (DATE 2024)
+//!
+//! This facade crate re-exports the whole workspace under one roof:
+//!
+//! * [`ir`] — NN graph IR, shapes, region propagation, reference executor;
+//! * [`frontend`] — BN folding, base/non-base partitioning, quantization;
+//! * [`arch`] — tiled RRAM CIM architecture model (crossbars, NoC, energy);
+//! * [`mapping`] — Eq. 1 PE costs, im2col, weight duplication;
+//! * [`core`] — the CLSA-CIM scheduler (Stages I–IV), baseline, metrics;
+//! * [`sim`] — discrete-event system-level simulator;
+//! * [`models`] — the benchmark zoo (TinyYOLO, VGG, ResNet).
+//!
+//! # Quickstart
+//!
+//! Schedule TinyYOLOv4 on the paper's case-study architecture and compare
+//! layer-by-layer inference against CLSA-CIM:
+//!
+//! ```
+//! use clsa_cim::arch::Architecture;
+//! use clsa_cim::core::{run, RunConfig};
+//! use clsa_cim::frontend::{canonicalize, CanonOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let model = clsa_cim::models::tiny_yolo_v4();
+//! let graph = canonicalize(&model, &CanonOptions::default())?.into_graph();
+//!
+//! let arch = Architecture::paper_case_study(117)?; // 256×256 PEs, 1400 ns
+//! let baseline = run(&graph, &RunConfig::baseline(arch.clone()))?;
+//! let clsa = run(&graph, &RunConfig::baseline(arch).with_cross_layer())?;
+//!
+//! let speedup = baseline.makespan() as f64 / clsa.makespan() as f64;
+//! assert!(speedup > 2.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and the `cim-bench`
+//! crate for the regenerators of every table and figure in the paper.
+
+#![warn(missing_docs)]
+
+pub use cim_arch as arch;
+pub use cim_frontend as frontend;
+pub use cim_ir as ir;
+pub use cim_mapping as mapping;
+pub use cim_models as models;
+pub use cim_sim as sim;
+pub use clsa_core as core;

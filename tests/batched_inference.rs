@@ -1,0 +1,63 @@
+//! Integration test for the batched-inference extension: pipelining
+//! consecutive inferences through the weight-stationary groups.
+
+use clsa_cim::arch::Architecture;
+use clsa_cim::core::{batched_cross_layer_schedule, run, EdgeCost, RunConfig};
+use clsa_cim::frontend::{canonicalize, CanonOptions};
+use clsa_cim::mapping::Solver;
+
+#[test]
+fn batched_tiny_yolo_v4_reaches_steady_state() {
+    let g = canonicalize(&cim_models::tiny_yolo_v4(), &CanonOptions::default())
+        .unwrap()
+        .into_graph();
+    let arch = Architecture::paper_case_study(117).unwrap();
+    let r = run(&g, &RunConfig::baseline(arch).with_cross_layer()).unwrap();
+    let single = r.makespan();
+
+    let b8 = batched_cross_layer_schedule(&r.layers, &r.deps, &EdgeCost::Free, 8).unwrap();
+    // Pipelining beats 8 sequential runs.
+    assert!(b8.makespan < 8 * single);
+    // Steady state cannot beat the bottleneck group: conv2d serially
+    // computes 43264 cycles per inference on one group.
+    let bottleneck: u64 = r.layers.iter().map(|l| l.total_cycles()).max().unwrap();
+    assert_eq!(bottleneck, 43_264);
+    assert!(b8.cycles_per_inference() >= bottleneck as f64);
+    assert!(
+        b8.cycles_per_inference() < 1.05 * bottleneck as f64,
+        "steady state should approach the bottleneck: {:.0} vs {bottleneck}",
+        b8.cycles_per_inference()
+    );
+}
+
+#[test]
+fn batching_monotone_in_batch_size() {
+    let g = canonicalize(&cim_models::vgg16(), &CanonOptions::default())
+        .unwrap()
+        .into_graph();
+    let arch = Architecture::paper_case_study(233 + 16).unwrap();
+    let r = run(
+        &g,
+        &RunConfig::baseline(arch)
+            .with_duplication(Solver::Greedy)
+            .with_cross_layer(),
+    )
+    .unwrap();
+    let mut last_per_inference = f64::INFINITY;
+    let mut last_makespan = 0u64;
+    for batch in [1usize, 2, 4, 8] {
+        let b = batched_cross_layer_schedule(&r.layers, &r.deps, &EdgeCost::Free, batch).unwrap();
+        assert!(
+            b.makespan > last_makespan,
+            "more inferences take longer in total"
+        );
+        assert!(
+            b.cycles_per_inference() <= last_per_inference + 1e-9,
+            "amortized latency must not grow with batch"
+        );
+        last_per_inference = b.cycles_per_inference();
+        last_makespan = b.makespan;
+        // First instance always equals the single-inference schedule.
+        assert_eq!(b.instances[0].makespan, r.makespan());
+    }
+}

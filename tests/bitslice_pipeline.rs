@@ -1,0 +1,74 @@
+//! Integration test: the quantization pass, the bit-slicing cost model,
+//! and the scheduling pipeline compose end to end.
+//!
+//! A network quantized to `b`-bit weights on `cell_bits`-bit RRAM needs
+//! `ceil(b / cell_bits)` column slices per weight, inflating `P_H` (Eq. 1
+//! with the effective crossbar width). The pipeline must stay consistent
+//! under that inflation.
+
+use clsa_cim::arch::Architecture;
+use clsa_cim::core::{run, RunConfig};
+use clsa_cim::frontend::{canonicalize, CanonOptions, QuantPolicy};
+use clsa_cim::mapping::MappingOptions;
+
+#[test]
+fn quantized_weights_with_matching_cost_model() {
+    // Quantize to the paper's 4-bit cells: weights fit single cells, so
+    // the bit-sliced cost model at 4 bits equals the paper's numbers.
+    let g = cim_models::tiny_yolo_v4();
+    let opts = CanonOptions {
+        quantize: Some(QuantPolicy::rram_4bit()),
+    };
+    let canon = canonicalize(&g, &opts).unwrap().into_graph();
+
+    let mut cfg = RunConfig::baseline(Architecture::paper_case_study(117).unwrap());
+    cfg.mapping_options = MappingOptions {
+        weight_bits: Some(4),
+    };
+    let r = run(&canon, &cfg).unwrap();
+    assert_eq!(
+        r.pe_min, 117,
+        "4-bit weights on 4-bit cells keep Table I's PE_min"
+    );
+}
+
+#[test]
+fn eight_bit_weights_inflate_pe_min_consistently() {
+    let g = canonicalize(&cim_models::tiny_yolo_v4(), &CanonOptions::default())
+        .unwrap()
+        .into_graph();
+    let mopts = MappingOptions {
+        weight_bits: Some(8),
+    };
+
+    // Probe the inflated PE_min.
+    let mut probe_cfg = RunConfig::baseline(Architecture::paper_case_study(1_000_000).unwrap());
+    probe_cfg.mapping_options = mopts;
+    let probe = run(&g, &probe_cfg).unwrap();
+    assert!(
+        probe.pe_min > 117 && probe.pe_min <= 2 * 117,
+        "8-bit weights need more PEs, at most 2x: {}",
+        probe.pe_min
+    );
+
+    // An architecture sized below the inflated PE_min must be rejected,
+    // even though it would fit the 4-bit mapping.
+    let mut small_cfg = RunConfig::baseline(Architecture::paper_case_study(117).unwrap());
+    small_cfg.mapping_options = mopts;
+    assert!(run(&g, &small_cfg).is_err());
+
+    // At the inflated PE_min the full pipeline runs and cross-layer
+    // scheduling retains its gain.
+    let arch = Architecture::paper_case_study(probe.pe_min).unwrap();
+    let mut lbl_cfg = RunConfig::baseline(arch.clone());
+    lbl_cfg.mapping_options = mopts;
+    let lbl = run(&g, &lbl_cfg).unwrap();
+    let mut xl_cfg = RunConfig::baseline(arch).with_cross_layer();
+    xl_cfg.mapping_options = mopts;
+    let xl = run(&g, &xl_cfg).unwrap();
+    let speedup = lbl.makespan() as f64 / xl.makespan() as f64;
+    assert!(
+        (speedup - 2.50).abs() < 0.1,
+        "xinf speedup is schedule-bound, not precision-bound: {speedup:.2}"
+    );
+}

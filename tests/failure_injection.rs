@@ -1,0 +1,201 @@
+//! Failure injection across the stack: malformed inputs must produce typed
+//! errors at API boundaries — never panics, never silent corruption.
+
+use clsa_cim::arch::{ArchError, Architecture, CrossbarSpec, NocSpec};
+use clsa_cim::core::{
+    cross_layer_schedule, run, CoreError, Dependencies, EdgeCost, RunConfig, SetPolicy, SetRef,
+};
+use clsa_cim::frontend::FrontendError;
+use clsa_cim::ir::{Conv2dAttrs, FeatureShape, Graph, IrError, Op, Padding};
+use clsa_cim::mapping::MappingError;
+
+fn conv_op(oc: usize, k: usize) -> Op {
+    Op::Conv2d(Conv2dAttrs {
+        out_channels: oc,
+        kernel: (k, k),
+        stride: (1, 1),
+        padding: Padding::Valid,
+        use_bias: false,
+    })
+}
+
+#[test]
+fn graph_construction_rejects_malformed_inputs() {
+    let mut g = Graph::new("t");
+    // Unknown input node.
+    assert!(matches!(
+        g.add("c", conv_op(4, 3), &[clsa_cim::ir::NodeId(9)]),
+        Err(IrError::UnknownNode(9))
+    ));
+    let x = g
+        .add(
+            "input",
+            Op::Input {
+                shape: FeatureShape::new(4, 4, 1),
+            },
+            &[],
+        )
+        .unwrap();
+    // Kernel larger than the input.
+    assert!(matches!(
+        g.add("c", conv_op(4, 7), &[x]),
+        Err(IrError::ShapeMismatch { .. })
+    ));
+    // Mismatched residual add.
+    let a = g.add("a", conv_op(4, 3), &[x]).unwrap();
+    let b = g.add("b", conv_op(8, 3), &[x]).unwrap();
+    assert!(matches!(
+        g.add("add", Op::Add, &[a, b]),
+        Err(IrError::ShapeMismatch { .. })
+    ));
+    // Wrong arity.
+    assert!(matches!(
+        g.add("add2", Op::Add, &[a]),
+        Err(IrError::BadArity { .. })
+    ));
+}
+
+#[test]
+fn architecture_specs_are_validated() {
+    assert!(matches!(
+        Architecture::builder().pes(0).build(),
+        Err(ArchError::InvalidSpec { .. })
+    ));
+    assert!(CrossbarSpec {
+        rows: 0,
+        ..CrossbarSpec::wan_nature_2022()
+    }
+    .validate()
+    .is_err());
+    assert!(NocSpec {
+        mesh_rows: 0,
+        mesh_cols: 1,
+        ..NocSpec::default()
+    }
+    .validate()
+    .is_err());
+}
+
+#[test]
+fn pipeline_reports_insufficient_pes() {
+    let g = cim_models::tiny_yolo_v4();
+    let arch = Architecture::paper_case_study(116).unwrap(); // one short of PE_min
+    let err = run(&g, &RunConfig::baseline(arch)).unwrap_err();
+    assert!(matches!(
+        err,
+        CoreError::Mapping(MappingError::BudgetTooSmall {
+            required: 117,
+            available: 116
+        })
+    ));
+}
+
+#[test]
+fn scheduler_rejects_forward_dependencies() {
+    // Craft dependencies where a producer lies topologically *after* its
+    // consumer — the scheduler must refuse rather than underflow.
+    let g = cim_models::fig5_example();
+    let costs = clsa_cim::mapping::layer_costs(
+        &g,
+        &CrossbarSpec::wan_nature_2022(),
+        &clsa_cim::mapping::MappingOptions::default(),
+    )
+    .unwrap();
+    let layers = clsa_cim::core::determine_sets(&g, &costs, &SetPolicy::finest()).unwrap();
+    let sets_per: Vec<usize> = layers.iter().map(|l| l.sets.len()).collect();
+    let bad = Dependencies::from_edges(
+        &sets_per,
+        &[(SetRef { layer: 0, set: 0 }, SetRef { layer: 1, set: 0 })],
+    )
+    .unwrap();
+    assert!(matches!(
+        cross_layer_schedule(&layers, &bad, &EdgeCost::Free),
+        Err(CoreError::StageMismatch { .. })
+    ));
+}
+
+#[test]
+fn zero_set_policy_rejected_through_pipeline() {
+    let g = cim_models::fig5_example();
+    let arch = Architecture::paper_case_study(4).unwrap();
+    let mut cfg = RunConfig::baseline(arch);
+    cfg.set_policy = SetPolicy::coarse(0);
+    assert!(matches!(run(&g, &cfg), Err(CoreError::BadPolicy { .. })));
+}
+
+#[test]
+fn frontend_rejects_half_parameterized_bn() {
+    use clsa_cim::ir::{BatchNormAttrs, BnParams, Params, Tensor};
+    let mut g = Graph::new("t");
+    let x = g
+        .add(
+            "input",
+            Op::Input {
+                shape: FeatureShape::new(6, 6, 2),
+            },
+            &[],
+        )
+        .unwrap();
+    let c = g.add("conv", conv_op(4, 3), &[x]).unwrap();
+    let bn = BnParams {
+        gamma: Tensor::zeros(&[4]),
+        beta: Tensor::zeros(&[4]),
+        mean: Tensor::zeros(&[4]),
+        var: Tensor::zeros(&[4]),
+    };
+    g.add_with_params(
+        "bn",
+        Op::BatchNorm(BatchNormAttrs::default()),
+        &[c],
+        Params {
+            kernel: None,
+            bias: None,
+            bn: Some(bn),
+        },
+    )
+    .unwrap();
+    assert!(matches!(
+        clsa_cim::frontend::fold_batch_norm(&g),
+        Err(FrontendError::FoldParams { .. })
+    ));
+}
+
+#[test]
+fn stale_duplication_plan_rejected() {
+    let g = cim_models::fig5_example();
+    let xbar = CrossbarSpec::wan_nature_2022();
+    let opts = clsa_cim::mapping::MappingOptions::default();
+    let costs = clsa_cim::mapping::layer_costs(&g, &xbar, &opts).unwrap();
+    let mut plan =
+        clsa_cim::mapping::optimize(&costs, 10, clsa_cim::mapping::Solver::Greedy).unwrap();
+    plan.duplicates.truncate(1);
+    assert!(matches!(
+        clsa_cim::mapping::apply_duplication(&g, &costs, &plan),
+        Err(MappingError::PlanMismatch { .. })
+    ));
+}
+
+#[test]
+fn every_error_type_is_displayable_and_source_chained() {
+    // Errors across the stack implement std::error::Error with lowercase,
+    // non-empty messages (C-GOOD-ERR).
+    let errors: Vec<Box<dyn std::error::Error>> = vec![
+        Box::new(IrError::EmptyGraph),
+        Box::new(FrontendError::Ir(IrError::EmptyGraph)),
+        Box::new(ArchError::InsufficientPes {
+            required: 2,
+            available: 1,
+        }),
+        Box::new(MappingError::NoBaseLayers),
+        Box::new(CoreError::BadPolicy { detail: "x".into() }),
+        Box::new(clsa_cim::sim::SimError::Deadlock {
+            completed: 0,
+            total: 1,
+        }),
+    ];
+    for e in errors {
+        let msg = e.to_string();
+        assert!(!msg.is_empty());
+        assert!(msg.chars().next().unwrap().is_lowercase(), "{msg}");
+    }
+}

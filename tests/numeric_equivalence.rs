@@ -1,0 +1,97 @@
+//! End-to-end numeric equivalence: the graph rewrites used by the mapping
+//! pipeline (BN folding, partitioning, weight duplication) must not change
+//! what the network computes — verified by the reference executor on a
+//! fully parameterized model.
+
+use clsa_cim::arch::CrossbarSpec;
+use clsa_cim::frontend::{canonicalize, CanonOptions};
+use clsa_cim::ir::{Executor, Tensor};
+use clsa_cim::mapping::{
+    apply_duplication, layer_costs, min_pes, optimize, MappingOptions, Solver,
+};
+
+fn outputs_of(g: &cim_ir::Graph, input: Tensor) -> Vec<Tensor> {
+    let values = Executor::new(g).run_single(input).expect("executes");
+    g.outputs()
+        .into_iter()
+        .map(|o| values[&o].clone())
+        .collect()
+}
+
+#[test]
+fn canonicalization_preserves_toy_cnn_outputs() {
+    let g = cim_models::toy_cnn(Some(11));
+    let canon = canonicalize(&g, &CanonOptions::default()).expect("canonicalizes");
+    let input = Tensor::from_fn(&[28, 28, 1], |i| ((i * 37 % 255) as f32) / 255.0 - 0.5);
+    let a = outputs_of(&g, input.clone());
+    let b = outputs_of(canon.graph(), input);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert!(x.max_abs_diff(y).expect("same shape") < 1e-5);
+    }
+}
+
+#[test]
+fn duplication_preserves_toy_cnn_outputs() {
+    let g = cim_models::toy_cnn(Some(23));
+    let canon = canonicalize(&g, &CanonOptions::default())
+        .expect("canonicalizes")
+        .into_graph();
+    let xbar = CrossbarSpec::wan_nature_2022();
+    let costs = layer_costs(&canon, &xbar, &MappingOptions::default()).expect("costs");
+    let budget = min_pes(&costs) + 5;
+    for solver in [Solver::Greedy, Solver::ExactDp] {
+        let plan = optimize(&costs, budget, solver).expect("solves");
+        assert!(!plan.is_trivial(), "budget grants duplicates");
+        let dup = apply_duplication(&canon, &costs, &plan).expect("rewrites");
+
+        let input = Tensor::from_fn(&[28, 28, 1], |i| ((i * 13 % 101) as f32) * 0.01 - 0.5);
+        let a = outputs_of(&canon, input.clone());
+        let b = outputs_of(&dup, input);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert!(
+                x.max_abs_diff(y).expect("same shape") < 1e-4,
+                "{solver:?} duplication changed outputs"
+            );
+        }
+    }
+}
+
+#[test]
+fn quantized_canonicalization_is_bounded() {
+    let g = cim_models::toy_cnn(Some(5));
+    let plain = canonicalize(&g, &CanonOptions::default()).expect("plain");
+    let quant =
+        canonicalize(&g, &CanonOptions::default().with_rram_quantization()).expect("quantized");
+    let input = Tensor::from_fn(&[28, 28, 1], |i| ((i * 7 % 97) as f32) / 97.0);
+    let a = outputs_of(plain.graph(), input.clone());
+    let b = outputs_of(quant.graph(), input);
+    for (x, y) in a.iter().zip(&b) {
+        let diff = x.max_abs_diff(y).expect("same shape");
+        // Softmax outputs live in [0, 1]; 4-bit weights perturb but must
+        // not destroy them.
+        assert!(diff < 0.5, "quantization error {diff} too large");
+        assert!(diff > 0.0, "quantization should not be a no-op here");
+    }
+}
+
+#[test]
+fn dense_path_duplication_is_identity() {
+    // Dense layers cannot duplicate (1×1 OFM); the rewrite must pass the
+    // MLP through structurally unchanged apart from logical markers.
+    let g = cim_models::mlp(Some(3));
+    let xbar = CrossbarSpec::wan_nature_2022();
+    let costs = layer_costs(&g, &xbar, &MappingOptions::default()).expect("costs");
+    let plan = optimize(&costs, min_pes(&costs) + 50, Solver::ExactDp).expect("solves");
+    assert!(plan.is_trivial());
+    let dup = apply_duplication(&g, &costs, &plan).expect("rewrites");
+    assert_eq!(dup.len(), g.len());
+
+    let input = Tensor::from_fn(&[1, 1, 64], |i| (i as f32) * 0.03 - 1.0);
+    let a = outputs_of(&g, input.clone());
+    let b = outputs_of(&dup, input);
+    for (x, y) in a.iter().zip(&b) {
+        assert!(x.max_abs_diff(y).expect("same shape") < 1e-6);
+    }
+}

@@ -1,0 +1,89 @@
+//! Integration test: the paper's Tables I and II reproduce exactly through
+//! the full preprocessing + cost pipeline.
+
+use clsa_cim::arch::CrossbarSpec;
+use clsa_cim::frontend::{canonicalize, CanonOptions};
+use clsa_cim::mapping::{layer_costs, min_pes, MappingOptions};
+
+#[test]
+fn table1_every_explicit_row() {
+    // Canonicalize so IFM shapes are the padded ones Table I prints.
+    let canon = canonicalize(&clsa_cim::models::tiny_yolo_v4(), &CanonOptions::default())
+        .expect("model canonicalizes");
+    let costs = layer_costs(
+        canon.graph(),
+        &CrossbarSpec::wan_nature_2022(),
+        &MappingOptions::default(),
+    )
+    .expect("costs");
+    let by_name = |n: &str| {
+        costs
+            .iter()
+            .find(|c| c.name == n)
+            .unwrap_or_else(|| panic!("layer {n} missing"))
+    };
+
+    // (layer, IFM, OFM, #PE, cycles) — all six explicit rows of Table I.
+    let rows = [
+        ("conv2d", (417, 417, 3), (208, 208, 32), 1usize, 43_264u64),
+        ("conv2d_1", (209, 209, 32), (104, 104, 64), 2, 10_816),
+        ("conv2d_2", (106, 106, 64), (104, 104, 64), 3, 10_816),
+        ("conv2d_16", (15, 15, 256), (13, 13, 512), 18, 169),
+        ("conv2d_20", (26, 26, 256), (26, 26, 255), 1, 676),
+        ("conv2d_17", (13, 13, 512), (13, 13, 255), 2, 169),
+    ];
+    for (name, ifm, ofm, pes, cycles) in rows {
+        let c = by_name(name);
+        assert_eq!((c.ifm.h, c.ifm.w, c.ifm.c), ifm, "{name} IFM");
+        assert_eq!((c.ofm.h, c.ofm.w, c.ofm.c), ofm, "{name} OFM");
+        assert_eq!(c.pes, pes, "{name} #PE");
+        assert_eq!(c.t_init, cycles, "{name} t_init");
+    }
+    assert_eq!(min_pes(&costs), 117, "Table I: PE_min");
+}
+
+#[test]
+fn table2_every_row() {
+    for info in clsa_cim::models::table2_models() {
+        let g = info.build();
+        let input = g.node(g.inputs()[0]).expect("input").out_shape;
+        assert_eq!(
+            (input.h, input.w, input.c),
+            info.input,
+            "{} input shape",
+            info.name
+        );
+        assert_eq!(
+            g.base_layers().len(),
+            info.base_layers,
+            "{} base-layer count",
+            info.name
+        );
+        let costs = layer_costs(
+            &g,
+            &CrossbarSpec::wan_nature_2022(),
+            &MappingOptions::default(),
+        )
+        .expect("costs");
+        assert_eq!(min_pes(&costs), info.pe_min_256, "{} PE_min", info.name);
+    }
+}
+
+#[test]
+fn canonicalization_never_changes_costs() {
+    // Folding BN and decoupling padding/bias must leave Eq. 1 untouched.
+    for info in clsa_cim::models::all_models() {
+        let raw = info.build();
+        let canon = canonicalize(&raw, &CanonOptions::default()).expect("canonicalizes");
+        let xbar = CrossbarSpec::wan_nature_2022();
+        let opts = MappingOptions::default();
+        let a = layer_costs(&raw, &xbar, &opts).expect("raw costs");
+        let b = layer_costs(canon.graph(), &xbar, &opts).expect("canon costs");
+        assert_eq!(a.len(), b.len(), "{}", info.name);
+        assert_eq!(min_pes(&a), min_pes(&b), "{}", info.name);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.pes, y.pes, "{}::{}", info.name, x.name);
+            assert_eq!(x.t_init, y.t_init, "{}::{}", info.name, x.name);
+        }
+    }
+}

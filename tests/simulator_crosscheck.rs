@@ -1,0 +1,135 @@
+//! Integration test: the discrete-event simulator re-executes full-model
+//! CLSA-CIM schedules and agrees with the analytic longest-path engine,
+//! with consistent activity statistics (the evidence that the custom
+//! "system-level simulator" substrate and the scheduler model the same
+//! machine).
+
+use clsa_cim::arch::Architecture;
+use clsa_cim::core::{run, EdgeCost, RunConfig};
+use clsa_cim::frontend::{canonicalize, CanonOptions};
+use clsa_cim::mapping::Solver;
+use clsa_cim::sim::Simulator;
+
+fn crosscheck(graph: &cim_ir::Graph, pe_min: usize, x: usize, duplicate: bool) {
+    let g = canonicalize(graph, &CanonOptions::default())
+        .expect("canonicalizes")
+        .into_graph();
+    let arch = Architecture::paper_case_study(pe_min + x).expect("arch");
+    let mut cfg = RunConfig::baseline(arch).with_cross_layer();
+    if duplicate {
+        cfg = cfg.with_duplication(Solver::Greedy);
+    }
+    let r = run(&g, &cfg).expect("pipeline runs");
+    let sim = Simulator::new(&r.layers, &r.deps)
+        .run(&EdgeCost::Free)
+        .expect("simulates");
+
+    assert_eq!(sim.schedule.makespan, r.makespan(), "makespan agreement");
+    assert_eq!(sim.schedule.times, r.schedule.times, "per-set agreement");
+
+    // Work conservation: the simulator's active cycles equal the total set
+    // durations, and per-group activity matches the analytic schedule.
+    let expected: u64 = r.layers.iter().map(|l| l.total_cycles()).sum();
+    assert_eq!(sim.stats.total_active_cycles(), expected);
+    for (li, g) in sim.stats.groups.iter().enumerate() {
+        assert_eq!(g.active_cycles, r.schedule.active_cycles(li), "group {li}");
+        assert_eq!(g.sets_executed, r.layers[li].sets.len());
+    }
+    assert_eq!(sim.stats.messages, r.deps.num_edges() as u64);
+}
+
+#[test]
+fn tiny_yolo_v4_xinf_crosscheck() {
+    crosscheck(&cim_models::tiny_yolo_v4(), 117, 0, false);
+}
+
+#[test]
+fn tiny_yolo_v4_wdup32_xinf_crosscheck() {
+    crosscheck(&cim_models::tiny_yolo_v4(), 117, 32, true);
+}
+
+#[test]
+fn vgg16_xinf_crosscheck() {
+    crosscheck(&cim_models::vgg16(), 233, 0, false);
+}
+
+#[test]
+fn resnet50_wdup16_xinf_crosscheck() {
+    crosscheck(&cim_models::resnet50(), 390, 16, true);
+}
+
+#[test]
+fn whole_zoo_crosscheck_at_coarse_granularity() {
+    // Every remaining zoo model, with coarse sets to keep it quick: the
+    // engines must still agree set for set.
+    for info in cim_models::table2_models() {
+        let g = canonicalize(&info.build(), &CanonOptions::default())
+            .expect("canonicalizes")
+            .into_graph();
+        let arch = Architecture::paper_case_study(info.pe_min_256 + 8).expect("arch");
+        let mut cfg = RunConfig::baseline(arch)
+            .with_duplication(Solver::Greedy)
+            .with_cross_layer();
+        cfg.set_policy = clsa_cim::core::SetPolicy::coarse(8);
+        let r = run(&g, &cfg).expect("pipeline runs");
+        let sim = Simulator::new(&r.layers, &r.deps)
+            .run(&EdgeCost::Free)
+            .expect("simulates");
+        assert_eq!(sim.schedule, r.schedule, "{}", info.name);
+    }
+}
+
+#[test]
+fn schedule_artifacts_round_trip_through_json() {
+    // The full scheduling artifact set (layers, dependencies, schedule,
+    // stats) serializes and deserializes losslessly — the contract the
+    // bench harness and external tooling rely on.
+    let g = canonicalize(&cim_models::tiny_yolo_v4(), &CanonOptions::default())
+        .expect("canonicalizes")
+        .into_graph();
+    let arch = Architecture::paper_case_study(117).expect("arch");
+    let r = run(&g, &RunConfig::baseline(arch).with_cross_layer()).expect("runs");
+
+    let layers_json = serde_json::to_string(&r.layers).expect("layers serialize");
+    let layers_back: Vec<clsa_cim::core::LayerSets> =
+        serde_json::from_str(&layers_json).expect("layers deserialize");
+    assert_eq!(layers_back, r.layers);
+
+    let deps_json = serde_json::to_string(&r.deps).expect("deps serialize");
+    let deps_back: clsa_cim::core::Dependencies =
+        serde_json::from_str(&deps_json).expect("deps deserialize");
+    assert_eq!(deps_back, r.deps);
+
+    let schedule_json = serde_json::to_string(&r.schedule).expect("schedule serializes");
+    let schedule_back: clsa_cim::core::Schedule =
+        serde_json::from_str(&schedule_json).expect("schedule deserializes");
+    assert_eq!(schedule_back, r.schedule);
+
+    // The deserialized artifacts validate as a unit.
+    clsa_cim::core::validate_schedule(&layers_back, &deps_back, &schedule_back, &EdgeCost::Free)
+        .expect("round-tripped schedule is still valid");
+
+    let sim = Simulator::new(&r.layers, &r.deps)
+        .run(&EdgeCost::Free)
+        .expect("sim");
+    let stats_json = serde_json::to_string(&sim.stats).expect("stats serialize");
+    let stats_back: clsa_cim::sim::SimStats =
+        serde_json::from_str(&stats_json).expect("stats deserialize");
+    assert_eq!(stats_back, sim.stats);
+}
+
+#[test]
+fn buffer_pressure_is_reported_for_real_models() {
+    let g = canonicalize(&cim_models::tiny_yolo_v3(), &CanonOptions::default())
+        .expect("canonicalizes")
+        .into_graph();
+    let arch = Architecture::paper_case_study(142).expect("arch");
+    let r = run(&g, &RunConfig::baseline(arch).with_cross_layer()).expect("runs");
+    let sim = Simulator::new(&r.layers, &r.deps)
+        .run(&EdgeCost::Free)
+        .expect("simulates");
+    // Peak live bytes are positive and bounded by the total OFM footprint.
+    let total_bytes: u64 = r.layers.iter().map(|l| (l.ofm.len()) as u64).sum();
+    assert!(sim.stats.peak_live_bytes > 0);
+    assert!(sim.stats.peak_live_bytes <= total_bytes);
+}
