@@ -61,7 +61,7 @@ impl Default for SweepOptions {
 
 /// Runs the full paper sweep for one model: the layer-by-layer baseline and
 /// `xinf` at `PE_min`, plus `wdup+x` and `wdup+x+xinf` for every `x`.
-/// Configurations execute on parallel threads (crossbeam scope) and results
+/// Configurations execute on parallel threads (`std::thread::scope`) and results
 /// are returned in deterministic order: baseline, xinf, then per `x`
 /// ascending (`wdup`, `wdup+xinf`).
 ///
@@ -135,17 +135,16 @@ pub fn paper_sweep(
 
     let slots: Mutex<Vec<Option<Result<ConfigResult, CoreError>>>> =
         Mutex::new((0..jobs.len()).map(|_| None).collect());
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (i, (label, x, cfg)) in jobs.iter().enumerate() {
             let slots = &slots;
             let mk_result = &mk_result;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let out = run(g, cfg).map(|r| mk_result(label.clone(), *x, &r));
                 slots.lock()[i] = Some(out);
             });
         }
-    })
-    .expect("sweep threads do not panic");
+    });
 
     let mut results = vec![mk_result("layer-by-layer".into(), 0, &lbl)];
     for slot in slots.into_inner() {

@@ -32,7 +32,7 @@ pub fn random_cnn(seed: u64, target_base_layers: usize) -> Graph {
     assert!(target_base_layers > 0, "need at least one base layer");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut g = Graph::new(format!("random_{seed}"));
-    let side = [16usize, 24, 32][rng.random_range(0..3)];
+    let side = [16usize, 24, 32][rng.random_range(0..3usize)];
     let mut cur = g
         .add(
             "input",
@@ -58,8 +58,8 @@ pub fn random_cnn(seed: u64, target_base_layers: usize) -> Graph {
             // passes get fuzzed too.
             0..=4 => {
                 convs += 1;
-                let oc = [4usize, 8, 16, 32][rng.random_range(0..4)];
-                let k = [1usize, 3][rng.random_range(0..2)];
+                let oc = [4usize, 8, 16, 32][rng.random_range(0..4usize)];
+                let k = [1usize, 3][rng.random_range(0..2usize)];
                 let s = if shape.h >= 8 && rng.random_bool(0.25) {
                     2
                 } else {
@@ -109,7 +109,7 @@ pub fn random_cnn(seed: u64, target_base_layers: usize) -> Graph {
             // Residual branch: cur → two 1-conv paths → add.
             7 if convs + 2 <= target_base_layers => {
                 convs += 2;
-                let oc = [8usize, 16][rng.random_range(0..2)];
+                let oc = [8usize, 16][rng.random_range(0..2usize)];
                 let mk = |g: &mut Graph, from, n: String| {
                     g.add(
                         n,

@@ -2,10 +2,13 @@
 //! study, with their published reference numbers for validation.
 
 use cim_ir::Graph;
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 /// Reference data of one benchmark model (one row of Table I/II).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Serialize-only: the `&'static str` name cannot be deserialized into a
+/// borrowed field, and nothing reads `ModelInfo` back.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct ModelInfo {
     /// Model name as used in the paper's figures.
     pub name: &'static str,

@@ -37,6 +37,46 @@
 //!
 //! See `examples/` for runnable end-to-end scenarios and the `cim-bench`
 //! crate for the regenerators of every table and figure in the paper.
+//!
+//! # Building and testing
+//!
+//! The workspace builds fully offline:
+//!
+//! ```text
+//! cargo build --release   # workspace: facade + 8 crates + vendored deps
+//! cargo test -q           # unit, integration, and doc tests
+//! cargo clippy --workspace --all-targets -- -D warnings
+//! ```
+//!
+//! External dependencies (`serde`, `serde_json`, `rand`, `parking_lot`,
+//! `proptest`, `criterion`) are vendored under `vendor/` as minimal offline
+//! stand-ins implementing exactly the API surface this workspace uses; see
+//! each `vendor/*/src/lib.rs` header for the differences vs. the real
+//! crates. Swapping a stand-in for the real crate is a one-line change in
+//! the root `Cargo.toml`'s `[workspace.dependencies]`.
+//!
+//! # Crate DAG
+//!
+//! `cim-ir` and `cim-arch` are the independent roots; everything else
+//! layers on top (arrows point at dependencies):
+//!
+//! ```text
+//! cim-frontend ──► cim-ir ◄──┬── cim-mapping ──► cim-arch
+//!                            │        ▲
+//!        clsa-core ──────────┴────────┤
+//!            ▲                        │
+//!            ├── cim-sim ─────────────┘
+//!            └── cim-models (also ► frontend)
+//! cim-bench depends on all of the above;
+//! clsa-cim (this facade) re-exports the seven library crates.
+//! ```
+//!
+//! # Reproducing the paper
+//!
+//! Every table and figure has a dedicated binary in `cim-bench`
+//! (`cargo run --release -p cim-bench --bin table1|table2|fig5_minimal|`
+//! `fig6|fig7|...`), each accepting `--json <path>` for record export; the
+//! criterion-style micro-benchmarks live in `crates/bench/benches/`.
 
 #![warn(missing_docs)]
 

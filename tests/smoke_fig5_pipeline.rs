@@ -1,0 +1,52 @@
+//! Workspace-level smoke test: the minimal paper pipeline.
+//!
+//! Guards that `clsa_cim::models::fig5_example()` round-trips through
+//! Stage I (`determine_sets`) → Stage II (`determine_dependencies`) →
+//! Stage IV (`cross_layer_schedule`) → `validate_schedule` with default
+//! mapping options and no duplication — the shortest path through the
+//! facade that exercises every scheduling crate. If this breaks, every
+//! deeper test is suspect.
+
+use clsa_cim::arch::CrossbarSpec;
+use clsa_cim::core::{
+    cross_layer_schedule, determine_dependencies, determine_sets, validate_schedule, EdgeCost,
+    SetPolicy,
+};
+use clsa_cim::mapping::{layer_costs, MappingOptions};
+
+#[test]
+fn fig5_minimal_pipeline_round_trips() {
+    let g = clsa_cim::models::fig5_example();
+    g.validate().expect("fig5 graph is well-formed");
+
+    let costs = layer_costs(
+        &g,
+        &CrossbarSpec::wan_nature_2022(),
+        &MappingOptions::default(),
+    )
+    .expect("fig5 has base layers");
+
+    let layers = determine_sets(&g, &costs, &SetPolicy::finest()).expect("stage I");
+    assert_eq!(layers.len(), 2, "fig5 has two base layers");
+    assert!(
+        layers.iter().all(|l| !l.sets.is_empty()),
+        "every layer gets at least one OFM set"
+    );
+
+    let deps = determine_dependencies(&g, &layers).expect("stage II");
+    let schedule = cross_layer_schedule(&layers, &deps, &EdgeCost::Free).expect("stage IV");
+
+    validate_schedule(&layers, &deps, &schedule, &EdgeCost::Free)
+        .expect("cross-layer schedule is machine-valid");
+    assert!(schedule.makespan > 0, "schedule covers real work");
+
+    // The cross-layer schedule must overlap the two layers: conv2 starts
+    // before conv1 finishes (the whole point of the paper).
+    let conv1_finish = schedule.times[0].last().expect("conv1 scheduled").finish;
+    let conv2_start = schedule.times[1].first().expect("conv2 scheduled").start;
+    assert!(
+        conv2_start < conv1_finish,
+        "cross-layer scheduling must overlap layers \
+         (conv2 starts at {conv2_start}, conv1 finishes at {conv1_finish})"
+    );
+}

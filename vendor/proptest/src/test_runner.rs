@@ -1,0 +1,88 @@
+//! Test runner support: per-test deterministic RNG, run configuration, and
+//! the case-failure error type.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running exactly `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed or rejected property case (carried by `prop_assert!` and
+/// `prop_assume!`).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    msg: String,
+    rejection: bool,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError {
+            msg: msg.into(),
+            rejection: false,
+        }
+    }
+
+    /// Creates a rejection (`prop_assume!` miss) — the runner skips the
+    /// case instead of failing the test.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError {
+            msg: msg.into(),
+            rejection: true,
+        }
+    }
+
+    /// Whether this is a rejection rather than a failure.
+    pub fn is_rejection(&self) -> bool {
+        self.rejection
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The RNG threaded through strategies: deterministic per test name so that
+/// failures reproduce run-to-run.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    pub(crate) rng: StdRng,
+}
+
+impl TestRng {
+    /// RNG seeded from the test function's name (FNV-1a).
+    pub fn for_test(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            rng: StdRng::seed_from_u64(hash),
+        }
+    }
+}

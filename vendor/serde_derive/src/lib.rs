@@ -1,0 +1,412 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored value-based `serde` without `syn`/`quote`: the derive input is
+//! parsed directly from the `proc_macro` token stream into a small shape
+//! model (unit/tuple/named struct, enum of unit/tuple/named variants) and
+//! the impls are emitted as source text.
+//!
+//! Limitations (checked, not silent): no generic type parameters and no
+//! `#[serde(...)]` attributes — the workspace uses neither.
+
+#![allow(clippy::all, clippy::pedantic, clippy::nursery)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of a derive input.
+enum Shape {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives `serde::Serialize` (value-based).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize` (value-based).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, generate: fn(&str, &Shape) -> String) -> TokenStream {
+    match parse_input(input) {
+        Ok((name, shape)) => generate(&name, &shape)
+            .parse()
+            .expect("serde_derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Result<(String, Shape), String> {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes (other derives have consumed their helper
+    // attributes; doc comments appear as #[doc = ...]) and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                // pub(crate) / pub(in ...)
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde_derive does not support generic type `{name}`"
+            ));
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::NamedStruct(parse_named_fields(g.stream())?)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok((name, Shape::TupleStruct(count_top_level_fields(g.stream()))))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Shape::UnitStruct)),
+            other => Err(format!("unexpected token after struct name: {other:?}")),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::Enum(parse_variants(g.stream())?)))
+            }
+            other => Err(format!("unexpected token after enum name: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Parses `vis ident: Type, ...` returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip field attributes and visibility.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        match tokens.next() {
+            None => return Ok(fields),
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            other => return Err(format!("expected field name, got {other:?}")),
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field name, got {other:?}")),
+        }
+        skip_type_until_comma(&mut tokens);
+    }
+}
+
+/// Consumes tokens of a type, stopping after the comma that ends it (or at
+/// end of stream). Tracks `<...>` nesting, which is token-level in Rust.
+fn skip_type_until_comma(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    let mut angle_depth = 0i32;
+    for tt in tokens.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Counts top-level comma-separated items (tuple-struct / tuple-variant
+/// field count).
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut tokens = stream.into_iter().peekable();
+    while tokens.peek().is_some() {
+        count += 1;
+        skip_type_until_comma(&mut tokens);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip variant attributes (doc comments).
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                tokens.next();
+            } else {
+                break;
+            }
+        }
+        let name = match tokens.next() {
+            None => return Ok(variants),
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let k = VariantKind::Tuple(count_top_level_fields(g.stream()));
+                tokens.next();
+                k
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let k = VariantKind::Named(parse_named_fields(g.stream())?);
+                tokens.next();
+                k
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant and the trailing comma.
+        skip_type_until_comma(&mut tokens);
+        variants.push(Variant { name, kind });
+    }
+}
+
+// ---- code generation -------------------------------------------------------
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Shape::NamedStruct(fields) => named_fields_to_map("self.", fields),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| ser_variant_arm(v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// `Value::Map` expression over named fields reachable as `{prefix}{field}`
+/// (e.g. `self.x`) or as bare bindings when `prefix` is empty.
+fn named_fields_to_map(prefix: &str, fields: &[String]) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&{prefix}{f}))"
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+}
+
+fn ser_variant_arm(v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.kind {
+        VariantKind::Unit => format!(
+            "Self::{vname} => ::serde::Value::Str(::std::string::String::from({vname:?})),"
+        ),
+        VariantKind::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let payload = if *n == 1 {
+                "::serde::Serialize::to_value(f0)".to_string()
+            } else {
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+            };
+            format!(
+                "Self::{vname}({}) => ::serde::Value::Map(::std::vec![\
+                     (::std::string::String::from({vname:?}), {payload})]),",
+                binds.join(", ")
+            )
+        }
+        VariantKind::Named(fields) => {
+            let payload = named_fields_to_map("", fields);
+            format!(
+                "Self::{vname} {{ {} }} => ::serde::Value::Map(::std::vec![\
+                     (::std::string::String::from({vname:?}), {payload})]),",
+                fields.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::UnitStruct => format!(
+            "match v {{ ::serde::Value::Null => ::std::result::Result::Ok({name}), \
+             _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 \"expected null for unit struct {name}\")) }}"
+        ),
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "{{ let items = ::serde::Value::as_seq(v).ok_or_else(|| \
+                     ::serde::Error::custom(\"expected sequence for {name}\"))?;\n\
+                   if items.len() != {n} {{ return ::std::result::Result::Err(\
+                     ::serde::Error::custom(\"wrong tuple arity for {name}\")); }}\n\
+                   ::std::result::Result::Ok({name}({items})) }}",
+                items = items.join(", ")
+            )
+        }
+        Shape::NamedStruct(fields) => format!(
+            "{{ let map = ::serde::Value::as_map(v).ok_or_else(|| \
+                 ::serde::Error::custom(\"expected map for struct {name}\"))?;\n\
+               ::std::result::Result::Ok({name} {{ {} }}) }}",
+            de_named_fields(name, fields)
+        ),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("{:?} => ::std::result::Result::Ok(Self::{}),", v.name, v.name))
+                .collect();
+            let data_arms: Vec<String> =
+                variants.iter().map(|v| de_variant_arm(name, v)).collect();
+            format!(
+                "match v {{\n\
+                   ::serde::Value::Str(s) => match s.as_str() {{\n\
+                     {unit}\n\
+                     other => ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"unknown unit variant {{other}} for {name}\"))),\n\
+                   }},\n\
+                   ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                     let (tag, payload) = &entries[0];\n\
+                     let _ = payload;\n\
+                     match tag.as_str() {{\n\
+                       {data}\n\
+                       other => ::std::result::Result::Err(::serde::Error::custom(\
+                           ::std::format!(\"unknown variant {{other}} for {name}\"))),\n\
+                     }}\n\
+                   }},\n\
+                   _ => ::std::result::Result::Err(::serde::Error::custom(\
+                       \"expected string or single-key map for enum {name}\")),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// `field: Deserialize::from_value(...)?,` initializers reading from `map`.
+fn de_named_fields(owner: &str, fields: &[String]) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(::serde::Value::map_get(map, {f:?})\
+                     .ok_or_else(|| ::serde::Error::custom(\
+                         \"missing field {f} in {owner}\"))?)?,"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn de_variant_arm(owner: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.kind {
+        // Unit variants are handled in the string arm; tolerate the map
+        // form too for robustness.
+        VariantKind::Unit => format!(
+            "{vname:?} => ::std::result::Result::Ok(Self::{vname}),"
+        ),
+        VariantKind::Tuple(1) => format!(
+            "{vname:?} => ::std::result::Result::Ok(Self::{vname}(\
+                 ::serde::Deserialize::from_value(payload)?)),"
+        ),
+        VariantKind::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "{vname:?} => {{ let items = ::serde::Value::as_seq(payload).ok_or_else(|| \
+                     ::serde::Error::custom(\"expected sequence for {owner}::{vname}\"))?;\n\
+                   if items.len() != {n} {{ return ::std::result::Result::Err(\
+                       ::serde::Error::custom(\"wrong arity for {owner}::{vname}\")); }}\n\
+                   ::std::result::Result::Ok(Self::{vname}({items})) }},",
+                items = items.join(", ")
+            )
+        }
+        VariantKind::Named(fields) => format!(
+            "{vname:?} => {{ let map = ::serde::Value::as_map(payload).ok_or_else(|| \
+                 ::serde::Error::custom(\"expected map for {owner}::{vname}\"))?;\n\
+               ::std::result::Result::Ok(Self::{vname} {{ {} }}) }},",
+            de_named_fields(owner, fields)
+        ),
+    }
+}
