@@ -2,12 +2,14 @@
 //! work): how much of the cross-layer gain survives when forwarding partial
 //! results over the mesh costs hop latency, and how much placement matters.
 //!
-//! Usage: `cargo run --release -p cim-bench --bin ablation_noc [-- --json <path>]`
+//! Usage: `cargo run --release -p cim-bench --bin ablation_noc [-- --json <path>] [--jobs N]`
 
 use cim_arch::{Architecture, PlacementStrategy, TileSpec};
-use cim_bench::{parse_args_json, render_table};
+use cim_bench::runner::{fingerprint, parallel_map, pe_min_of, ScheduleCache};
+use cim_bench::{parse_common_args, render_table};
 use cim_frontend::{canonicalize, CanonOptions};
-use clsa_core::{run, RunConfig};
+use cim_mapping::MappingOptions;
+use clsa_core::RunConfig;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -20,9 +22,24 @@ struct Record {
     slowdown_vs_free_noc: f64,
 }
 
+/// What one job measures: the two references, or one sweep point.
+enum Kind {
+    Baseline,
+    FreeXinf,
+    Point { hop: u64, placement: String },
+}
+
 fn main() {
-    let json = parse_args_json();
-    let mut records = Vec::new();
+    let (_, runner, json) = parse_common_args();
+
+    struct Job {
+        model: String,
+        fp: u64,
+        graph: std::sync::Arc<cim_ir::Graph>,
+        kind: Kind,
+        config: RunConfig,
+    }
+    let mut jobs: Vec<Job> = Vec::new();
     for (name, graph) in [
         ("VGG16", cim_models::vgg16()),
         ("TinyYOLOv4", cim_models::tiny_yolo_v4()),
@@ -30,12 +47,9 @@ fn main() {
         let g = canonicalize(&graph, &CanonOptions::default())
             .expect("model canonicalizes")
             .into_graph();
-        let probe = run(
-            &g,
-            &RunConfig::baseline(Architecture::paper_case_study(1_000_000).unwrap()),
-        )
-        .expect("probe");
-        let pe_min = probe.pe_min;
+        let g = std::sync::Arc::new(g);
+        let fp = fingerprint(g.as_ref());
+        let pe_min = pe_min_of(&g, &MappingOptions::default()).expect("costs");
 
         let arch_for = |hop: u64| {
             Architecture::builder()
@@ -45,10 +59,20 @@ fn main() {
                 .build()
                 .unwrap()
         };
-        let lbl = run(&g, &RunConfig::baseline(arch_for(0))).expect("baseline");
-        let free =
-            run(&g, &RunConfig::baseline(arch_for(0)).with_cross_layer()).expect("free xinf");
-
+        let mut push = |kind: Kind, config: RunConfig| {
+            jobs.push(Job {
+                model: name.to_string(),
+                fp,
+                graph: std::sync::Arc::clone(&g),
+                kind,
+                config,
+            });
+        };
+        push(Kind::Baseline, RunConfig::baseline(arch_for(0)));
+        push(
+            Kind::FreeXinf,
+            RunConfig::baseline(arch_for(0)).with_cross_layer(),
+        );
         for hop in [0u64, 1, 4, 16, 64] {
             for (pname, strategy, gpeu) in [
                 ("contiguous", PlacementStrategy::Contiguous, false),
@@ -59,17 +83,52 @@ fn main() {
                 cfg.noc_cost = true;
                 cfg.gpeu_cost = gpeu;
                 cfg.placement = strategy;
-                let r = run(&g, &cfg).expect("xinf with NoC cost");
-                records.push(Record {
-                    model: name.to_string(),
-                    hop_latency_cycles: hop,
-                    placement: pname.to_string(),
-                    makespan_cycles: r.makespan(),
-                    speedup_vs_lbl: lbl.makespan() as f64 / r.makespan() as f64,
-                    slowdown_vs_free_noc: r.makespan() as f64 / free.makespan() as f64,
-                });
+                push(
+                    Kind::Point {
+                        hop,
+                        placement: pname.to_string(),
+                    },
+                    cfg,
+                );
             }
         }
+    }
+
+    // All (hop, placement) points of one model share the same mapping and
+    // — per hop value — the same architecture, so the cache collapses
+    // their Stage-I/II work; the workers chew the 17 points per model
+    // concurrently.
+    let cache = ScheduleCache::new();
+    let outcomes = parallel_map(&jobs, runner.jobs, |_, job| {
+        cache.run(job.fp, &job.graph, &job.config).expect("pipeline runs")
+    });
+
+    let mut records = Vec::new();
+    let reference = |model: &str, want_free: bool| {
+        jobs.iter()
+            .zip(&outcomes)
+            .find(|(j, _)| {
+                j.model == model
+                    && matches!(
+                        (&j.kind, want_free),
+                        (Kind::Baseline, false) | (Kind::FreeXinf, true)
+                    )
+            })
+            .map(|(_, r)| r.makespan())
+            .expect("reference job exists")
+    };
+    for (job, r) in jobs.iter().zip(&outcomes) {
+        let Kind::Point { hop, placement } = &job.kind else {
+            continue;
+        };
+        records.push(Record {
+            model: job.model.clone(),
+            hop_latency_cycles: *hop,
+            placement: placement.clone(),
+            makespan_cycles: r.makespan(),
+            speedup_vs_lbl: reference(&job.model, false) as f64 / r.makespan() as f64,
+            slowdown_vs_free_noc: r.makespan() as f64 / reference(&job.model, true) as f64,
+        });
     }
 
     println!("Ablation A3 — NoC hop cost vs cross-layer gain (xinf @ PE_min)\n");
@@ -102,6 +161,7 @@ fn main() {
     );
     println!("expectation: gains shrink as hops get expensive; contiguous placement");
     println!("keeps producer-consumer pairs near and degrades more slowly.");
+    eprintln!("schedule cache: {}", cache.stats());
 
     if let Some(path) = json {
         cim_bench::write_json(&path, &records).expect("write json");

@@ -3,17 +3,19 @@
 //! padding non-base path, walked through all four CLSA-CIM stages with the
 //! intermediate data structures printed.
 //!
-//! Usage: `cargo run -p cim-bench --bin fig5_minimal`
+//! Usage: `cargo run -p cim-bench --bin fig5_minimal [-- --jobs N]`
 
 use cim_arch::CrossbarSpec;
-use cim_bench::render_table;
+use cim_bench::runner::parallel_map;
+use cim_bench::{parse_common_args, render_table};
 use cim_mapping::{layer_costs, MappingOptions};
 use clsa_core::{
     cross_layer_schedule, determine_dependencies, determine_sets, gantt_text,
-    layer_by_layer_schedule, EdgeCost, SetPolicy,
+    layer_by_layer_schedule, EdgeCost, Schedule, SetPolicy,
 };
 
 fn main() {
+    let (_, runner, _) = parse_common_args();
     let g = cim_models::fig5_example();
     println!("Fig. 5 — minimal example: two Conv2D layers with a non-base path");
     println!(
@@ -72,8 +74,17 @@ fn main() {
 
     println!("\nStage III — intra-layer order: each layer's sets run top band first");
 
-    let lbl = layer_by_layer_schedule(&layers).expect("baseline");
-    let xl = cross_layer_schedule(&layers, &deps, &EdgeCost::Free).expect("stage IV");
+    // Both schedulers read the same Stage-I/II outputs — one lane each.
+    // Results come back in input order, so the destructure below pairs
+    // position 0 with `false` (baseline) and 1 with `true` (cross-layer).
+    let schedules: Vec<Schedule> = parallel_map(&[false, true], runner.jobs, |_, &cross| {
+        if cross {
+            cross_layer_schedule(&layers, &deps, &EdgeCost::Free).expect("stage IV")
+        } else {
+            layer_by_layer_schedule(&layers).expect("baseline")
+        }
+    });
+    let [lbl, xl]: [Schedule; 2] = schedules.try_into().expect("two schedules");
     println!("\nStage IV — cross-layer schedule (start/finish in cycles)");
     let mut rows = Vec::new();
     for (li, l) in layers.iter().enumerate() {

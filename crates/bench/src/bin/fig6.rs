@@ -8,14 +8,15 @@
 //!   `wdup+{16,32}+xinf` (paper: `xinf` Ut = 4.1 %, `wdup+32+xinf`
 //!   Ut = 28.4 %, speedup up to 21.9×).
 //!
-//! Usage: `cargo run --release -p cim-bench --bin fig6 [-- --part a|b|c] [--json <path>]`
+//! Usage: `cargo run --release -p cim-bench --bin fig6 [-- --part a|b|c] [--json <path>] [--jobs N]`
 
 use cim_arch::Architecture;
-use cim_bench::{paper_sweep, parse_json_arg, render_table, SweepOptions};
+use cim_bench::runner::{fingerprint, RunnerOptions, ScheduleCache};
+use cim_bench::{paper_sweep_with, parse_common_args, render_table, SweepOptions};
 use cim_frontend::{canonicalize, CanonOptions};
 use cim_ir::Graph;
 use cim_mapping::Solver;
-use clsa_core::{gantt_text, run, RunConfig};
+use clsa_core::{gantt_text, RunConfig};
 
 fn case_study_graph() -> Graph {
     let model = cim_models::tiny_yolo_v4();
@@ -24,11 +25,36 @@ fn case_study_graph() -> Graph {
         .into_graph()
 }
 
-fn part_a(g: &Graph) {
+/// Parts a and b schedule the *same* `wdup+16` mapping two ways; routing
+/// both through one cache runs the mapping and Stage-I/II analyses once.
+struct CaseStudy {
+    g: Graph,
+    fp: u64,
+    cache: ScheduleCache,
+}
+
+impl CaseStudy {
+    fn new() -> Self {
+        let g = case_study_graph();
+        let fp = fingerprint(&g);
+        CaseStudy {
+            g,
+            fp,
+            cache: ScheduleCache::new(),
+        }
+    }
+
+    fn run(&self, cfg: &RunConfig) -> std::sync::Arc<clsa_core::RunResult> {
+        self.cache.run(self.fp, &self.g, cfg).expect("pipeline runs")
+    }
+}
+
+fn part_a(cs: &CaseStudy) {
     println!("Fig. 6a — weight duplication (wdup+16), layer-by-layer\n");
     let arch = Architecture::paper_case_study(117 + 16).expect("valid arch");
     let cfg = RunConfig::baseline(arch).with_duplication(Solver::Greedy);
-    let r = run(g, &cfg).expect("pipeline runs");
+    let r = cs.run(&cfg);
+    let g = &cs.g;
     let plan = r.plan.as_ref().expect("duplication requested");
 
     // Duplication table (the inset table of Fig. 6a).
@@ -51,24 +77,24 @@ fn part_a(g: &Graph) {
     println!("{}", gantt_text(&r.layers, &r.schedule, 100));
 }
 
-fn part_b(g: &Graph) {
+fn part_b(cs: &CaseStudy) {
     println!("Fig. 6b — weight duplication (wdup+16), CLSA-CIM (xinf)\n");
     let arch = Architecture::paper_case_study(117 + 16).expect("valid arch");
     let cfg = RunConfig::baseline(arch)
         .with_duplication(Solver::Greedy)
         .with_cross_layer();
-    let r = run(g, &cfg).expect("pipeline runs");
+    let r = cs.run(&cfg);
     println!("makespan: {} cycles — Gantt:\n", r.makespan());
     println!("{}", gantt_text(&r.layers, &r.schedule, 100));
 }
 
-fn part_c(g: &Graph, json: Option<&str>) {
+fn part_c(cs: &CaseStudy, runner: &RunnerOptions, json: Option<&str>) {
     println!("Fig. 6c — speedup and utilization (TinyYOLOv4)\n");
     let opts = SweepOptions {
         xs: vec![16, 32],
         ..SweepOptions::default()
     };
-    let results = paper_sweep("TinyYOLOv4", g, &opts).expect("sweep runs");
+    let results = paper_sweep_with("TinyYOLOv4", &cs.g, &opts, runner).expect("sweep runs");
     let rows: Vec<Vec<String>> = results
         .iter()
         .map(|r| {
@@ -102,8 +128,7 @@ fn part_c(g: &Graph, json: Option<&str>) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (rest, json) = parse_json_arg(&args);
+    let (rest, runner, json) = parse_common_args();
     let part = rest
         .iter()
         .position(|a| a == "--part")
@@ -111,17 +136,18 @@ fn main() {
         .map(String::as_str)
         .unwrap_or("all");
 
-    let g = case_study_graph();
+    let cs = CaseStudy::new();
     match part {
-        "a" => part_a(&g),
-        "b" => part_b(&g),
-        "c" => part_c(&g, json.as_deref()),
+        "a" => part_a(&cs),
+        "b" => part_b(&cs),
+        "c" => part_c(&cs, &runner, json.as_deref()),
         _ => {
-            part_a(&g);
+            part_a(&cs);
             println!();
-            part_b(&g);
+            part_b(&cs);
             println!();
-            part_c(&g, json.as_deref());
+            part_c(&cs, &runner, json.as_deref());
+            println!("case-study cache: {}", cs.cache.stats());
         }
     }
 }

@@ -8,20 +8,26 @@
 //! large models; `xinf` up to 4.4× for large models; utilization decreasing
 //! with ResNet depth.
 //!
-//! Usage: `cargo run --release -p cim-bench --bin fig7 [-- --json results/fig7.json]`
+//! Usage: `cargo run --release -p cim-bench --bin fig7 [-- --json results/fig7.json] [--jobs N]`
 
-use cim_bench::{paper_sweep, parse_args_json, render_table, ConfigResult, SweepOptions};
+use cim_bench::runner::{run_batch, sweep_jobs_for_models};
+use cim_bench::{parse_common_args, render_table, ConfigResult, SweepOptions};
 
 fn main() {
-    let json = parse_args_json();
+    let (_, runner, json) = parse_common_args();
     let opts = SweepOptions::default();
-    let mut all: Vec<ConfigResult> = Vec::new();
-    for info in cim_models::table2_models() {
-        let g = info.build();
-        eprintln!("sweeping {} (PE_min {})...", info.name, info.pe_min_256);
-        let results = paper_sweep(info.name, &g, &opts).expect("sweep runs");
-        all.extend(results);
-    }
+
+    // All models × all configurations as one flat job list: the pool keeps
+    // every worker busy across model boundaries instead of sweeping the
+    // zoo one model at a time.
+    let models: Vec<(String, cim_ir::Graph)> = cim_models::table2_models()
+        .iter()
+        .map(|info| (info.name.to_string(), info.build()))
+        .collect();
+    let jobs = sweep_jobs_for_models(&models, &opts).expect("job construction");
+    eprintln!("running {} configurations on {} workers...", jobs.len(), runner.jobs);
+    let batch = run_batch(&jobs, &runner).expect("sweep runs");
+    let all: Vec<ConfigResult> = batch.results;
 
     let labels: Vec<String> = {
         let mut v = vec!["layer-by-layer".to_string(), "xinf".to_string()];
@@ -98,6 +104,7 @@ fn main() {
         best_ut.label
     );
     println!("max Eq. 3 relative deviation: {:.1}%", worst_eq3 * 100.0);
+    println!("schedule cache: {}", batch.stats);
 
     if let Some(path) = json {
         cim_bench::write_json(&path, &all).expect("write json");

@@ -14,10 +14,12 @@
 //!   --gantt <width>    print a Gantt chart
 //!   --critical <n>     print the top-n critical-path layers
 //!   --json <path>      export the schedule rows as JSON
+//!   --jobs <n>         accepted for CLI uniformity with the other
+//!                      binaries (inspect evaluates one configuration)
 //! ```
 
 use cim_arch::Architecture;
-use cim_bench::{parse_json_arg, render_table};
+use cim_bench::{parse_common_args, render_table};
 use cim_frontend::{canonicalize, CanonOptions};
 use cim_mapping::Solver;
 use clsa_core::{
@@ -33,8 +35,7 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
 }
 
 fn main() {
-    let raw: Vec<String> = std::env::args().skip(1).collect();
-    let (args, json) = parse_json_arg(&raw);
+    let (args, _runner, json) = parse_common_args();
     let model_name = args.first().cloned().unwrap_or_else(|| {
         eprintln!(
             "usage: inspect <model> [--x n] [--wdup] [--lbl] [--sets n] [--gantt w] [--critical n]"

@@ -2,23 +2,29 @@
 //! TinyYOLOv4 — padded IFM shape, OFM shape, PE count (Eq. 1) and
 //! intra-layer latency `t_init` per convolution, on 256×256 crossbars.
 //!
-//! Usage: `cargo run -p cim-bench --bin table1 [-- --json results/table1.json]`
+//! Usage: `cargo run -p cim-bench --bin table1 [-- --json results/table1.json] [--jobs N]`
 
 use cim_arch::CrossbarSpec;
-use cim_bench::{parse_args_json, render_table};
+use cim_bench::runner::parallel_map;
+use cim_bench::{parse_common_args, render_table};
 use cim_frontend::{canonicalize, CanonOptions};
 use cim_mapping::{layer_costs, min_pes, MappingOptions};
 
 fn main() {
-    let json = parse_args_json();
-    let model = cim_models::tiny_yolo_v4();
-    let canon = canonicalize(&model, &CanonOptions::default()).expect("model canonicalizes");
-    let costs = layer_costs(
-        canon.graph(),
-        &CrossbarSpec::wan_nature_2022(),
-        &MappingOptions::default(),
-    )
-    .expect("model has base layers");
+    let (_, runner, json) = parse_common_args();
+    // One closed-form job; the pool degenerates to a sequential run but
+    // keeps the CLI uniform across the experiment binaries.
+    let costs = parallel_map(&[cim_models::tiny_yolo_v4()], runner.jobs, |_, model| {
+        let canon = canonicalize(model, &CanonOptions::default()).expect("model canonicalizes");
+        layer_costs(
+            canon.graph(),
+            &CrossbarSpec::wan_nature_2022(),
+            &MappingOptions::default(),
+        )
+        .expect("model has base layers")
+    })
+    .pop()
+    .expect("one job");
 
     let rows: Vec<Vec<String>> = costs
         .iter()

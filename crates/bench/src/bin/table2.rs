@@ -1,10 +1,11 @@
 //! Regenerates the paper's **Table II**: the benchmark list — input shape,
 //! base-layer count, and minimum required 256×256 PEs per model.
 //!
-//! Usage: `cargo run -p cim-bench --bin table2 [-- --json results/table2.json]`
+//! Usage: `cargo run -p cim-bench --bin table2 [-- --json results/table2.json] [--jobs N]`
 
 use cim_arch::CrossbarSpec;
-use cim_bench::{parse_args_json, render_table};
+use cim_bench::runner::parallel_map;
+use cim_bench::{parse_common_args, render_table};
 use cim_mapping::{layer_costs, min_pes, MappingOptions};
 use serde::Serialize;
 
@@ -18,9 +19,9 @@ struct Row {
 }
 
 fn main() {
-    let json = parse_args_json();
-    let mut rows = Vec::new();
-    for info in cim_models::table2_models() {
+    let (_, runner, json) = parse_common_args();
+    // Building + costing ResNet152 dominates; one lane per model.
+    let rows: Vec<Row> = parallel_map(&cim_models::table2_models(), runner.jobs, |_, info| {
         let g = info.build();
         let costs = layer_costs(
             &g,
@@ -28,14 +29,14 @@ fn main() {
             &MappingOptions::default(),
         )
         .expect("model has base layers");
-        rows.push(Row {
+        Row {
             benchmark: info.name,
             input: info.input,
             base_layers: g.base_layers().len(),
             pe_min_measured: min_pes(&costs),
             pe_min_paper: info.pe_min_256,
-        });
-    }
+        }
+    });
 
     let table: Vec<Vec<String>> = rows
         .iter()

@@ -1,14 +1,13 @@
 //! The shared sweep driver: runs the paper's four mapping × scheduling
-//! configurations over a model and a range of extra-PE budgets, in
-//! parallel.
+//! configurations over a model and a range of extra-PE budgets, through
+//! the parallel batched evaluation engine ([`crate::runner`]).
 
-use cim_arch::Architecture;
-use cim_frontend::{canonicalize, CanonOptions};
 use cim_ir::Graph;
 use cim_mapping::Solver;
-use clsa_core::{eq3_predicted_speedup, run, CoreError, RunConfig, RunResult, SetPolicy};
-use parking_lot::Mutex;
+use clsa_core::{CoreError, SetPolicy};
 use serde::{Deserialize, Serialize};
+
+use crate::runner::{run_batch, sweep_jobs, RunnerOptions};
 
 /// One configuration's outcome — one bar of Fig. 6c / Fig. 7.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -61,9 +60,12 @@ impl Default for SweepOptions {
 
 /// Runs the full paper sweep for one model: the layer-by-layer baseline and
 /// `xinf` at `PE_min`, plus `wdup+x` and `wdup+x+xinf` for every `x`.
-/// Configurations execute on parallel threads (`std::thread::scope`) and results
-/// are returned in deterministic order: baseline, xinf, then per `x`
-/// ascending (`wdup`, `wdup+xinf`).
+///
+/// Configurations execute on the lane-based worker pool (one worker per
+/// hardware thread) with the shared schedule cache; results are returned
+/// in deterministic order — baseline, xinf, then per `x` ascending
+/// (`wdup`, `wdup+xinf`) — and are bit-for-bit identical to a sequential
+/// run. Use [`paper_sweep_with`] to pick the worker count explicitly.
 ///
 /// # Errors
 ///
@@ -75,82 +77,22 @@ pub fn paper_sweep(
     graph: &Graph,
     opts: &SweepOptions,
 ) -> Result<Vec<ConfigResult>, CoreError> {
-    let canon =
-        canonicalize(graph, &CanonOptions::default()).map_err(|e| CoreError::StageMismatch {
-            detail: e.to_string(),
-        })?;
-    let g = canon.graph();
+    paper_sweep_with(name, graph, opts, &RunnerOptions::default())
+}
 
-    // Baseline first: everything else references its makespan.
-    let base_cfg = |pes: usize| -> Result<RunConfig, CoreError> {
-        let arch = Architecture::paper_case_study(pes)?;
-        let mut cfg = RunConfig::baseline(arch);
-        cfg.set_policy = opts.set_policy;
-        Ok(cfg)
-    };
-    let probe = clsa_core::run(g, &{
-        // Probe with a huge budget to learn PE_min cheaply.
-        let mut cfg = base_cfg(1_000_000)?;
-        cfg.set_policy = SetPolicy::coarse(1);
-        cfg
-    })?;
-    let pe_min = probe.pe_min;
-
-    let lbl = run(g, &base_cfg(pe_min)?)?;
-    let t_mvm = Architecture::paper_case_study(pe_min)?.crossbar().t_mvm_ns;
-    let ut_lbl = lbl.report.utilization;
-    let base_makespan = lbl.makespan();
-
-    let mk_result = |label: String, x: usize, r: &RunResult| ConfigResult {
-        model: name.to_string(),
-        label,
-        x,
-        pe_min,
-        total_pes: r.report.total_pes,
-        makespan_cycles: r.makespan(),
-        makespan_ns: r.makespan() * t_mvm,
-        speedup: base_makespan as f64 / r.makespan() as f64,
-        utilization: r.report.utilization,
-        eq3_predicted: eq3_predicted_speedup(r.report.utilization, ut_lbl, pe_min, x),
-        duplicated_layers: r.plan.as_ref().map_or(0, |p| p.duplicated_layers()),
-    };
-
-    // Job list: (label, x, config).
-    let mut jobs: Vec<(String, usize, RunConfig)> = Vec::new();
-    jobs.push(("xinf".into(), 0, base_cfg(pe_min)?.with_cross_layer()));
-    for &x in &opts.xs {
-        jobs.push((
-            format!("wdup+{x}"),
-            x,
-            base_cfg(pe_min + x)?.with_duplication(opts.solver),
-        ));
-        jobs.push((
-            format!("wdup+{x}+xinf"),
-            x,
-            base_cfg(pe_min + x)?
-                .with_duplication(opts.solver)
-                .with_cross_layer(),
-        ));
-    }
-
-    let slots: Mutex<Vec<Option<Result<ConfigResult, CoreError>>>> =
-        Mutex::new((0..jobs.len()).map(|_| None).collect());
-    std::thread::scope(|scope| {
-        for (i, (label, x, cfg)) in jobs.iter().enumerate() {
-            let slots = &slots;
-            let mk_result = &mk_result;
-            scope.spawn(move || {
-                let out = run(g, cfg).map(|r| mk_result(label.clone(), *x, &r));
-                slots.lock()[i] = Some(out);
-            });
-        }
-    });
-
-    let mut results = vec![mk_result("layer-by-layer".into(), 0, &lbl)];
-    for slot in slots.into_inner() {
-        results.push(slot.expect("every job ran")?);
-    }
-    Ok(results)
+/// [`paper_sweep`] with an explicit worker-pool configuration.
+///
+/// # Errors
+///
+/// Same conditions as [`paper_sweep`].
+pub fn paper_sweep_with(
+    name: &str,
+    graph: &Graph,
+    opts: &SweepOptions,
+    runner: &RunnerOptions,
+) -> Result<Vec<ConfigResult>, CoreError> {
+    let jobs = sweep_jobs(name, graph, opts)?;
+    Ok(run_batch(&jobs, runner)?.results)
 }
 
 #[cfg(test)]
@@ -184,6 +126,23 @@ mod tests {
         assert_eq!(a[1].makespan_cycles, 72);
         // Nanoseconds derive from the 1400 ns cycle.
         assert_eq!(a[0].makespan_ns, 80 * 1400);
+    }
+
+    #[test]
+    fn parallel_and_sequential_sweeps_agree_bit_for_bit() {
+        let g = cim_models::fig5_example();
+        let opts = SweepOptions {
+            xs: vec![1, 2, 3],
+            ..SweepOptions::default()
+        };
+        let parallel = paper_sweep_with("fig5", &g, &opts, &RunnerOptions::with_jobs(4)).unwrap();
+        let sequential = paper_sweep_with("fig5", &g, &opts, &RunnerOptions::sequential()).unwrap();
+        assert_eq!(parallel, sequential);
+        // Byte-identical through serialization, not just PartialEq.
+        assert_eq!(
+            serde_json::to_string(&parallel).unwrap(),
+            serde_json::to_string(&sequential).unwrap()
+        );
     }
 
     #[test]

@@ -31,6 +31,50 @@ pub fn parse_args_json() -> Option<String> {
     parse_json_arg(&args).1
 }
 
+/// Parses the two flags every experiment binary supports — `--jobs <N>`
+/// and `--json <path>` — from the process arguments, returning the
+/// remaining arguments alongside the worker-pool options and the export
+/// path.
+///
+/// # Panics
+///
+/// Panics with a usage message on a malformed `--jobs` value (see
+/// [`parse_jobs_arg`]).
+pub fn parse_common_args() -> (Vec<String>, crate::runner::RunnerOptions, Option<String>) {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (rest, runner) = parse_jobs_arg(&raw);
+    let (rest, json) = parse_json_arg(&rest);
+    (rest, runner, json)
+}
+
+/// Parses an optional `--jobs <N>` argument pair from a raw argument
+/// list, returning the remaining arguments and the worker-pool options —
+/// [`RunnerOptions::default`](crate::runner::RunnerOptions::default) (one
+/// worker per hardware thread) when the flag is absent.
+///
+/// # Panics
+///
+/// Panics with a usage message when the flag value is missing or not a
+/// positive integer (the experiment binaries treat bad flags as fatal).
+pub fn parse_jobs_arg(args: &[String]) -> (Vec<String>, crate::runner::RunnerOptions) {
+    let mut rest = Vec::new();
+    let mut options = crate::runner::RunnerOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            let n: usize = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n > 0)
+                .expect("--jobs takes a positive integer");
+            options = crate::runner::RunnerOptions::with_jobs(n);
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    (rest, options)
+}
+
 /// Parses an optional `--json <path>` argument pair from a raw argument
 /// list, returning the remaining arguments and the path if present.
 pub fn parse_json_arg(args: &[String]) -> (Vec<String>, Option<String>) {
@@ -60,6 +104,19 @@ mod tests {
             serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
         assert_eq!(back, vec![1, 2, 3]);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn parses_jobs_flag() {
+        let args: Vec<String> = ["--jobs", "3", "--part", "c"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (rest, options) = parse_jobs_arg(&args);
+        assert_eq!(rest, vec!["--part".to_string(), "c".to_string()]);
+        assert_eq!(options.jobs, 3);
+        let (_, default) = parse_jobs_arg(&rest);
+        assert!(default.jobs >= 1);
     }
 
     #[test]

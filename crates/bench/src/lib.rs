@@ -17,17 +17,40 @@
 //! | Ablation: cell resolution / bit slicing | `ablation_bitslice` |
 //!
 //! Run e.g. `cargo run --release -p cim-bench --bin fig7`. Every binary
-//! accepts `--json <path>` to additionally export its records.
+//! accepts `--json <path>` to additionally export its records and
+//! `--jobs <N>` to set the worker-thread count of the evaluation engine
+//! (default: one worker per hardware thread; `--jobs 1` is the sequential
+//! reference — results are bit-for-bit identical either way).
 //!
-//! The library part hosts the shared sweep driver ([`experiments`]), the
-//! text-table renderer ([`table`]), and JSON export ([`export`]).
+//! The library part hosts the parallel batched evaluation engine
+//! ([`runner`]: lane-based worker pool, concurrent schedule cache,
+//! deterministic [`BatchResult`](runner::BatchResult) aggregation), the
+//! shared sweep driver ([`experiments`]), the text-table renderer
+//! ([`table`]), and JSON export ([`export`]).
+//!
+//! # Examples
+//!
+//! Sweep the paper's Fig. 5 example through the parallel runner:
+//!
+//! ```
+//! use cim_bench::{paper_sweep, SweepOptions};
+//!
+//! # fn main() -> Result<(), clsa_core::CoreError> {
+//! let opts = SweepOptions { xs: vec![1], ..SweepOptions::default() };
+//! let rows = paper_sweep("fig5", &cim_models::fig5_example(), &opts)?;
+//! assert_eq!(rows.len(), 4); // baseline, xinf, wdup+1, wdup+1+xinf
+//! assert!(rows.iter().all(|r| r.speedup >= 1.0));
+//! # Ok(())
+//! # }
+//! ```
 
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod export;
+pub mod runner;
 pub mod table;
 
-pub use experiments::{paper_sweep, ConfigResult, SweepOptions};
-pub use export::{parse_args_json, parse_json_arg, write_json};
+pub use experiments::{paper_sweep, paper_sweep_with, ConfigResult, SweepOptions};
+pub use export::{parse_args_json, parse_common_args, parse_jobs_arg, parse_json_arg, write_json};
 pub use table::render_table;

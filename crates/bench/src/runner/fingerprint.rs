@@ -1,0 +1,171 @@
+//! Stable fingerprints for cache keys.
+//!
+//! A fingerprint is a 64-bit FNV-1a hash over a value's canonical JSON
+//! serialization. Every type on the sweep hot path (`Graph`,
+//! `Architecture`, the `RunConfig` components) serializes from plain
+//! `Vec`-backed data in insertion order, so the serialization — and with
+//! it the fingerprint — is deterministic across runs and thread
+//! interleavings. JSON as the hashing substrate trades a few microseconds
+//! for robustness: any `Serialize` type gets a fingerprint with zero
+//! per-type code, and two values collide only if they serialize
+//! identically (or in the astronomically unlikely 64-bit hash collision).
+
+use clsa_core::RunConfig;
+use serde::Serialize;
+
+/// 64-bit FNV-1a over a byte slice.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Fingerprints any serializable value.
+///
+/// # Examples
+///
+/// ```
+/// use cim_bench::runner::fingerprint;
+///
+/// let a = fingerprint(&vec![1u32, 2, 3]);
+/// assert_eq!(a, fingerprint(&vec![1u32, 2, 3]));
+/// assert_ne!(a, fingerprint(&vec![3u32, 2, 1]));
+/// ```
+pub fn fingerprint<T: Serialize>(value: &T) -> u64 {
+    let json = serde_json::to_string(value).expect("fingerprinted types serialize infallibly");
+    fnv1a(json.as_bytes())
+}
+
+/// Cache key of one job: `(model, architecture, strategy)` fingerprints.
+///
+/// `strategy` covers the full `RunConfig` minus the architecture; the
+/// schedule-level cache uses all three fields while the stage-level cache
+/// replaces `strategy` with the mapping-side prefix (see
+/// [`mapping_fingerprint`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Fingerprint of the (canonicalized) model graph.
+    pub model: u64,
+    /// Fingerprint of the target architecture.
+    pub arch: u64,
+    /// Fingerprint of the evaluation strategy.
+    pub strategy: u64,
+}
+
+impl CacheKey {
+    /// Builds the schedule-level key for `config` on a model fingerprint.
+    pub fn schedule(model: u64, config: &RunConfig) -> Self {
+        CacheKey {
+            model,
+            arch: fingerprint(&config.arch),
+            strategy: strategy_fingerprint(config),
+        }
+    }
+
+    /// Builds the stage-level key for `config` on a model fingerprint:
+    /// same model, but only the architecture facets and strategy prefix
+    /// that `clsa_core::prepare` actually reads — the crossbar spec and
+    /// the PE budget, plus the mapping-side strategy. Archs differing
+    /// only in scheduling-side hardware (NoC hop latency, tile GPEUs)
+    /// and every scheduling variant over one mapping share the entry.
+    pub fn stages(model: u64, config: &RunConfig) -> Self {
+        CacheKey {
+            model,
+            arch: fingerprint(&(config.arch.crossbar(), config.arch.total_pes())),
+            strategy: mapping_fingerprint(config),
+        }
+    }
+}
+
+/// Fingerprint of the mapping-side configuration prefix — everything
+/// `clsa_core::prepare` reads besides the architecture: mapping choice,
+/// Stage-I set policy, and the bit-slicing options.
+pub fn mapping_fingerprint(config: &RunConfig) -> u64 {
+    fingerprint(&(
+        &config.mapping,
+        &config.set_policy,
+        &config.mapping_options,
+    ))
+}
+
+/// Fingerprint of the full strategy (mapping prefix plus the
+/// scheduling-side fields `run_prepared` reads: scheduling choice,
+/// NoC/GPEU cost switches, placement).
+pub fn strategy_fingerprint(config: &RunConfig) -> u64 {
+    fingerprint(&(
+        (&config.mapping, &config.set_policy, &config.mapping_options),
+        (
+            &config.scheduling,
+            config.noc_cost,
+            config.gpeu_cost,
+            &config.placement,
+        ),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_arch::Architecture;
+    use cim_mapping::Solver;
+
+    fn cfg(pes: usize) -> RunConfig {
+        RunConfig::baseline(Architecture::paper_case_study(pes).unwrap())
+    }
+
+    #[test]
+    fn scheduling_choice_splits_schedule_key_but_not_stage_key() {
+        let baseline = cfg(4);
+        let xinf = cfg(4).with_cross_layer();
+        assert_eq!(CacheKey::stages(1, &baseline), CacheKey::stages(1, &xinf));
+        assert_ne!(
+            CacheKey::schedule(1, &baseline),
+            CacheKey::schedule(1, &xinf)
+        );
+    }
+
+    #[test]
+    fn mapping_choice_splits_both_keys() {
+        let once = cfg(8);
+        let wdup = cfg(8).with_duplication(Solver::Greedy);
+        assert_ne!(CacheKey::stages(1, &once), CacheKey::stages(1, &wdup));
+        assert_ne!(CacheKey::schedule(1, &once), CacheKey::schedule(1, &wdup));
+    }
+
+    #[test]
+    fn arch_and_model_split_keys() {
+        assert_ne!(CacheKey::schedule(1, &cfg(4)), CacheKey::schedule(2, &cfg(4)));
+        assert_ne!(CacheKey::schedule(1, &cfg(4)), CacheKey::schedule(1, &cfg(5)));
+        assert_ne!(CacheKey::stages(1, &cfg(4)), CacheKey::stages(1, &cfg(5)));
+    }
+
+    #[test]
+    fn scheduling_side_arch_facets_do_not_split_the_stage_key() {
+        // prepare() reads only the crossbar and the PE budget; archs that
+        // differ in NoC hop latency must share stage-cache entries while
+        // their schedule keys stay distinct.
+        let arch_with_hop = |hop: u64| {
+            cim_arch::Architecture::builder()
+                .tile(cim_arch::TileSpec::isaac_like())
+                .noc_hop_latency(hop)
+                .pes(4)
+                .build()
+                .unwrap()
+        };
+        let slow = RunConfig::baseline(arch_with_hop(64));
+        let fast = RunConfig::baseline(arch_with_hop(0));
+        assert_eq!(CacheKey::stages(1, &slow), CacheKey::stages(1, &fast));
+        assert_ne!(CacheKey::schedule(1, &slow), CacheKey::schedule(1, &fast));
+    }
+
+    #[test]
+    fn graph_fingerprint_is_stable_and_content_sensitive() {
+        let a = fingerprint(&cim_models::fig5_example());
+        let b = fingerprint(&cim_models::fig5_example());
+        assert_eq!(a, b);
+        assert_ne!(a, fingerprint(&cim_models::toy_cnn(None)));
+    }
+}

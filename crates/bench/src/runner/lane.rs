@@ -1,0 +1,146 @@
+//! Lane-based deterministic parallel map — the work-distribution core of
+//! the runner.
+//!
+//! Jobs are dealt round-robin onto `jobs` *lanes* (lane `l` owns job
+//! indices `l`, `l + jobs`, `l + 2·jobs`, …). Each worker thread first
+//! drains its own lane, then *steals* from the other lanes in cyclic
+//! order. Claims go through one atomic cursor per lane, so a job is
+//! executed exactly once no matter which worker picks it up; results are
+//! reassembled by job index, which makes the output **independent of the
+//! execution interleaving** — `parallel_map` with any worker count returns
+//! bit-for-bit the same vector as a sequential loop (assuming `f` itself
+//! is deterministic per item).
+//!
+//! This is the simplest member of the lane-scheduling family (cf. the
+//! lane-based work distribution in `D0liphin/LaneBasedScheduling`): lanes
+//! here carry no "happens-after" relationships because sweep jobs are
+//! independent by construction; the lanes exist purely to spread work and
+//! to keep claim contention away from a single global cursor until a
+//! worker actually runs dry.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Maps `f` over `items` on `jobs` worker threads, returning results in
+/// item order.
+///
+/// `f` receives `(index, &item)`. With `jobs <= 1` (or one item) the map
+/// degenerates to a plain sequential loop on the calling thread — the
+/// reference behaviour the parallel path must reproduce exactly.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope joins all workers first).
+///
+/// # Examples
+///
+/// ```
+/// use cim_bench::runner::parallel_map;
+///
+/// let squares = parallel_map(&[1u64, 2, 3, 4], 4, |_, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    // lane `l` owns indices {l, l + jobs, ...}; `cursors[l]` counts claims.
+    let cursors: Vec<AtomicUsize> = (0..jobs).map(|_| AtomicUsize::new(0)).collect();
+    let lane_len = |lane: usize| (items.len() - lane).div_ceil(jobs);
+
+    let mut per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|w| {
+                let cursors = &cursors;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    // Own lane first, then steal from the others cyclically.
+                    for offset in 0..jobs {
+                        let lane = (w + offset) % jobs;
+                        let len = lane_len(lane);
+                        loop {
+                            let pos = cursors[lane].fetch_add(1, Ordering::Relaxed);
+                            if pos >= len {
+                                break;
+                            }
+                            let index = lane + pos * jobs;
+                            out.push((index, f(index, &items[index])));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Reassemble in item order regardless of which worker ran what.
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for chunk in &mut per_worker {
+        for (index, result) in chunk.drain(..) {
+            debug_assert!(slots[index].is_none(), "job {index} ran twice");
+            slots[index] = Some(result);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn parallel_equals_sequential_for_every_worker_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        for jobs in [1, 2, 3, 4, 7, 16, 200] {
+            let got = parallel_map(&items, jobs, |_, &x| x * 3 + 1);
+            assert_eq!(got, expected, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let items: Vec<usize> = (0..61).collect();
+        let calls = AtomicU64::new(0);
+        let got = parallel_map(&items, 5, |i, &x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            assert_eq!(i, x);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 61);
+        assert_eq!(got, items);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, 8, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(&[42u32], 8, |_, &x| x + 1), vec![43]);
+    }
+
+    #[test]
+    fn workers_steal_from_stalled_lanes() {
+        // One slow item in lane 0 forces the other workers to steal the
+        // rest of lane 0's work; the result order must be unaffected.
+        let items: Vec<u64> = (0..32).collect();
+        let got = parallel_map(&items, 4, |i, &x| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            }
+            x
+        });
+        assert_eq!(got, items);
+    }
+}

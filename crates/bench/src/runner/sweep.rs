@@ -1,0 +1,254 @@
+//! Sweep construction and deterministic aggregation.
+//!
+//! A sweep is expressed as a **flat job list** — one [`SweepJob`] per
+//! `(model, architecture, strategy)` point — executed over the lane pool
+//! with a shared [`ScheduleCache`](super::ScheduleCache), then folded into
+//! a [`BatchResult`] whose rows come out in job order. Aggregation is the
+//! only cross-job step (speedups are relative to each model's
+//! layer-by-layer baseline row), so jobs stay embarrassingly parallel and
+//! the batch output is bit-for-bit identical for every `--jobs` value.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cim_arch::Architecture;
+use cim_frontend::{canonicalize, CanonOptions};
+use cim_ir::Graph;
+use cim_mapping::{layer_costs, min_pes, MappingOptions};
+use clsa_core::{eq3_predicted_speedup, CoreError, RunConfig};
+
+use super::cache::{CacheStats, ScheduleCache};
+use super::fingerprint::fingerprint;
+use super::lane::parallel_map;
+use super::RunnerOptions;
+use crate::experiments::{ConfigResult, SweepOptions};
+
+/// Label of the reference configuration every speedup is measured against.
+pub const BASELINE_LABEL: &str = "layer-by-layer";
+
+/// Closed-form `PE_min` of a canonicalized graph on the paper's 256×256
+/// crossbars (Eq. 1 over the layer costs — no probe run needed).
+///
+/// The paper-case-study crossbar is PE-count-independent, so this single
+/// probe serves any architecture in that family; sweeps over other
+/// crossbar specs must compute their own costs.
+///
+/// # Errors
+///
+/// Propagates cost-model errors (e.g. a graph without base layers).
+pub fn pe_min_of(graph: &Graph, options: &MappingOptions) -> Result<usize, CoreError> {
+    let costs = layer_costs(graph, &cim_arch::CrossbarSpec::wan_nature_2022(), options)?;
+    Ok(min_pes(&costs))
+}
+
+/// One point of a sweep: a model, an architecture, and a strategy.
+#[derive(Debug, Clone)]
+pub struct SweepJob {
+    /// Model name (the `model` column of the result row).
+    pub model: String,
+    /// Fingerprint of the canonicalized model graph.
+    pub model_fp: u64,
+    /// The canonicalized graph, shared across the model's jobs.
+    pub graph: Arc<Graph>,
+    /// Configuration label (`layer-by-layer`, `xinf`, `wdup+<x>`, …).
+    pub label: String,
+    /// Extra PEs over `PE_min` (the paper's `x`).
+    pub x: usize,
+    /// `PE_min` of the model on this job's crossbar/bit-slicing setup.
+    pub pe_min: usize,
+    /// Full pipeline configuration.
+    pub config: RunConfig,
+}
+
+/// Aggregated outcome of a batch run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchResult {
+    /// One row per job, in job order — identical to a sequential run.
+    pub results: Vec<ConfigResult>,
+    /// Cache counters accumulated over the batch.
+    pub stats: CacheStats,
+}
+
+/// Builds the paper's standard job list for one model: the layer-by-layer
+/// baseline and `xinf` at `PE_min`, plus `wdup+x` and `wdup+x+xinf` for
+/// every `x` in `opts.xs` — the flat form of the sweep
+/// [`paper_sweep`](crate::experiments::paper_sweep) evaluates.
+///
+/// # Errors
+///
+/// Propagates frontend canonicalization and architecture construction
+/// errors (raw TF-style models are accepted; the graph is canonicalized
+/// here, once, and shared by every job).
+pub fn sweep_jobs(name: &str, graph: &Graph, opts: &SweepOptions) -> Result<Vec<SweepJob>, CoreError> {
+    let canon =
+        canonicalize(graph, &CanonOptions::default()).map_err(|e| CoreError::StageMismatch {
+            detail: e.to_string(),
+        })?;
+    let g = Arc::new(canon.into_graph());
+    let model_fp = fingerprint(g.as_ref());
+
+    let pe_min = pe_min_of(&g, &MappingOptions::default())?;
+
+    let base_cfg = |pes: usize| -> Result<RunConfig, CoreError> {
+        let arch = Architecture::paper_case_study(pes)?;
+        let mut cfg = RunConfig::baseline(arch);
+        cfg.set_policy = opts.set_policy;
+        Ok(cfg)
+    };
+    let job = |label: String, x: usize, config: RunConfig| SweepJob {
+        model: name.to_string(),
+        model_fp,
+        graph: Arc::clone(&g),
+        label,
+        x,
+        pe_min,
+        config,
+    };
+
+    let mut jobs = vec![
+        job(BASELINE_LABEL.into(), 0, base_cfg(pe_min)?),
+        job("xinf".into(), 0, base_cfg(pe_min)?.with_cross_layer()),
+    ];
+    for &x in &opts.xs {
+        jobs.push(job(
+            format!("wdup+{x}"),
+            x,
+            base_cfg(pe_min + x)?.with_duplication(opts.solver),
+        ));
+        jobs.push(job(
+            format!("wdup+{x}+xinf"),
+            x,
+            base_cfg(pe_min + x)?
+                .with_duplication(opts.solver)
+                .with_cross_layer(),
+        ));
+    }
+    Ok(jobs)
+}
+
+/// [`sweep_jobs`] over several models, concatenated into one flat list.
+///
+/// # Errors
+///
+/// Propagates the first per-model job-construction error.
+pub fn sweep_jobs_for_models(
+    models: &[(String, Graph)],
+    opts: &SweepOptions,
+) -> Result<Vec<SweepJob>, CoreError> {
+    let mut jobs = Vec::new();
+    for (name, graph) in models {
+        jobs.extend(sweep_jobs(name, graph, opts)?);
+    }
+    Ok(jobs)
+}
+
+/// Executes a flat job list on the lane pool and aggregates the rows.
+///
+/// Every job resolves through one shared [`ScheduleCache`], so repeated
+/// `(model, arch, strategy)` prefixes (e.g. the baseline and `xinf` rows
+/// of one model) are computed once. Results are deterministic: rows come
+/// out in job order with values independent of `options.jobs`.
+///
+/// # Errors
+///
+/// Propagates the first job error in job order (deterministically, even
+/// when a later job fails first on the wall clock). Speedup aggregation
+/// requires each model's [`BASELINE_LABEL`] row to be part of `jobs`;
+/// a missing baseline is a [`CoreError::StageMismatch`].
+pub fn run_batch(jobs: &[SweepJob], options: &RunnerOptions) -> Result<BatchResult, CoreError> {
+    let cache = ScheduleCache::new();
+    let outcomes = parallel_map(jobs, options.jobs, |_, job| {
+        cache.run(job.model_fp, &job.graph, &job.config)
+    });
+
+    // Baselines first: every other row of a model references its makespan.
+    let mut baselines: HashMap<&str, (u64, f64)> = HashMap::new();
+    for (job, outcome) in jobs.iter().zip(&outcomes) {
+        if job.label == BASELINE_LABEL {
+            if let Ok(r) = outcome {
+                baselines.insert(&job.model, (r.makespan(), r.report.utilization));
+            }
+        }
+    }
+
+    let mut results = Vec::with_capacity(jobs.len());
+    for (job, outcome) in jobs.iter().zip(outcomes) {
+        let r = outcome?;
+        let &(base_makespan, ut_lbl) =
+            baselines
+                .get(job.model.as_str())
+                .ok_or_else(|| CoreError::StageMismatch {
+                    detail: format!("job list for model `{}` has no `{BASELINE_LABEL}` row", job.model),
+                })?;
+        let t_mvm = job.config.arch.crossbar().t_mvm_ns;
+        results.push(ConfigResult {
+            model: job.model.clone(),
+            label: job.label.clone(),
+            x: job.x,
+            pe_min: job.pe_min,
+            total_pes: r.report.total_pes,
+            makespan_cycles: r.makespan(),
+            makespan_ns: r.makespan() * t_mvm,
+            speedup: base_makespan as f64 / r.makespan() as f64,
+            utilization: r.report.utilization,
+            eq3_predicted: eq3_predicted_speedup(r.report.utilization, ut_lbl, job.pe_min, job.x),
+            duplicated_layers: r.plan.as_ref().map_or(0, |p| p.duplicated_layers()),
+        });
+    }
+    Ok(BatchResult {
+        results,
+        stats: cache.stats(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_list_covers_the_grid_in_order() {
+        let g = cim_models::fig5_example();
+        let opts = SweepOptions {
+            xs: vec![1, 2],
+            ..SweepOptions::default()
+        };
+        let jobs = sweep_jobs("fig5", &g, &opts).unwrap();
+        let labels: Vec<&str> = jobs.iter().map(|j| j.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            [
+                "layer-by-layer",
+                "xinf",
+                "wdup+1",
+                "wdup+1+xinf",
+                "wdup+2",
+                "wdup+2+xinf"
+            ]
+        );
+        assert!(jobs.iter().all(|j| j.pe_min == 2));
+        // All jobs of one model share one canonicalized graph allocation.
+        assert!(jobs[1..].iter().all(|j| Arc::ptr_eq(&j.graph, &jobs[0].graph)));
+    }
+
+    #[test]
+    fn batch_reuses_stage_work_across_the_baseline_pair() {
+        let g = cim_models::fig5_example();
+        let jobs = sweep_jobs("fig5", &g, &SweepOptions { xs: vec![], ..Default::default() }).unwrap();
+        let batch = run_batch(&jobs, &RunnerOptions::sequential()).unwrap();
+        assert_eq!(batch.results.len(), 2);
+        // baseline + xinf share the (model, arch, mapping) stage prefix.
+        assert_eq!(batch.stats.stage_computes, 1);
+        assert!(batch.stats.stage_hits() >= 1);
+        assert!((batch.results[0].speedup - 1.0).abs() < 1e-12);
+        assert!(batch.results[1].speedup > 1.0);
+    }
+
+    #[test]
+    fn missing_baseline_is_reported() {
+        let g = cim_models::fig5_example();
+        let mut jobs = sweep_jobs("fig5", &g, &SweepOptions::default()).unwrap();
+        jobs.remove(0);
+        let err = run_batch(&jobs, &RunnerOptions::sequential()).unwrap_err();
+        assert!(matches!(err, CoreError::StageMismatch { .. }));
+    }
+}

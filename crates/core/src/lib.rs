@@ -76,7 +76,9 @@ pub use deps::{determine_dependencies, Dependencies, SetRef};
 pub use error::{CoreError, Result};
 pub use gantt::{gantt_csv, gantt_rows, gantt_text, GanttRow};
 pub use metrics::{eq3_predicted_speedup, speedup, utilization, UtilizationReport};
-pub use pipeline::{run, MappingChoice, RunConfig, RunResult, SchedulingChoice};
+pub use pipeline::{
+    prepare, run, run_prepared, MappingChoice, Prepared, RunConfig, RunResult, SchedulingChoice,
+};
 pub use schedule::{
     batched_cross_layer_schedule, cross_layer_schedule, layer_by_layer_schedule, set_bytes,
     BatchedSchedule, EdgeCost, Schedule, SetTime,

@@ -95,6 +95,35 @@ impl RunConfig {
     }
 }
 
+/// The reusable front half of a pipeline run: mapping plus Stages I & II.
+///
+/// [`prepare`] computes everything that depends only on the graph, the
+/// architecture, and the *mapping-side* configuration (mapping choice, set
+/// policy, bit slicing) — the expensive `determine_sets` /
+/// `determine_dependencies` analyses. A `Prepared` can then be scheduled
+/// any number of times under different *scheduling-side* configurations
+/// (baseline vs cross-layer, NoC/GPEU cost, placement) via
+/// [`run_prepared`] without redoing the stage work. The parallel sweep
+/// runner in `cim-bench` memoizes values of this type in a concurrent
+/// cache so that e.g. a baseline and a CLSA run over the same model share
+/// one stage computation.
+///
+/// All fields are plain owned data (`Send + Sync`), so a `Prepared` can be
+/// shared across worker threads behind an `Arc`.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    /// The mapped graph (duplicates expanded, logical layers marked).
+    pub mapped_graph: Graph,
+    /// Stage-I sets per base layer of the mapped graph.
+    pub layers: Vec<LayerSets>,
+    /// Stage-II dependencies.
+    pub deps: Dependencies,
+    /// `PE_min` of the *original* graph (weights stored once).
+    pub pe_min: usize,
+    /// The duplication plan, when weight duplication was requested.
+    pub plan: Option<DuplicationPlan>,
+}
+
 /// Everything a pipeline run produces.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -155,6 +184,37 @@ impl RunResult {
 /// # }
 /// ```
 pub fn run(graph: &Graph, config: &RunConfig) -> Result<RunResult> {
+    let prepared = prepare(graph, config)?;
+    let (schedule, report) = schedule_prepared(&prepared, config)?;
+    // Moving the stage outputs keeps the one-shot path clone-free; only
+    // `run_prepared` (shared/cached Prepared) pays for clones.
+    Ok(RunResult {
+        mapped_graph: prepared.mapped_graph,
+        layers: prepared.layers,
+        deps: prepared.deps,
+        schedule,
+        report,
+        pe_min: prepared.pe_min,
+        plan: prepared.plan,
+    })
+}
+
+/// Runs the front half of the pipeline: mapping plus Stages I & II.
+///
+/// Only the mapping-side fields of `config` are read (`arch`, `mapping`,
+/// `set_policy`, `mapping_options`); the scheduling-side fields are
+/// consumed later by [`run_prepared`], so one `Prepared` serves every
+/// scheduling variant over the same mapping. Of the architecture, only
+/// the crossbar spec and the total PE budget are read — `cim-bench`'s
+/// stage cache keys on exactly those two facets, so widen that key if
+/// this function ever reads more of the architecture.
+///
+/// # Errors
+///
+/// Propagates mapping errors, including
+/// [`MappingError::BudgetTooSmall`](cim_mapping::MappingError::BudgetTooSmall)
+/// when the architecture cannot store the network.
+pub fn prepare(graph: &Graph, config: &RunConfig) -> Result<Prepared> {
     let xbar = config.arch.crossbar();
     let budget = config.arch.total_pes();
 
@@ -181,6 +241,48 @@ pub fn run(graph: &Graph, config: &RunConfig) -> Result<RunResult> {
     let layers = determine_sets(&mapped_graph, &costs, &config.set_policy)?;
     let deps = determine_dependencies(&mapped_graph, &layers)?;
 
+    Ok(Prepared {
+        mapped_graph,
+        layers,
+        deps,
+        pe_min,
+        plan: keep_plan.then_some(plan),
+    })
+}
+
+/// Runs the back half of the pipeline — the edge-cost model, Stages III &
+/// IV (or the baseline), validation, and metrics — on stage outputs from
+/// [`prepare`].
+///
+/// `config` must carry the same architecture the `Prepared` was built
+/// with; the mapping-side fields are not re-read.
+///
+/// # Errors
+///
+/// Propagates placement, scheduling, and validation failures.
+pub fn run_prepared(prepared: &Prepared, config: &RunConfig) -> Result<RunResult> {
+    let (schedule, report) = schedule_prepared(prepared, config)?;
+    Ok(RunResult {
+        mapped_graph: prepared.mapped_graph.clone(),
+        layers: prepared.layers.clone(),
+        deps: prepared.deps.clone(),
+        schedule,
+        report,
+        pe_min: prepared.pe_min,
+        plan: prepared.plan.clone(),
+    })
+}
+
+/// The scheduling core shared by [`run`] and [`run_prepared`]: borrows the
+/// stage outputs, never clones them.
+fn schedule_prepared(
+    prepared: &Prepared,
+    config: &RunConfig,
+) -> Result<(Schedule, UtilizationReport)> {
+    let budget = config.arch.total_pes();
+    let layers = &prepared.layers;
+    let deps = &prepared.deps;
+
     // Edge-cost model.
     let edge_cost = if config.noc_cost || config.gpeu_cost {
         let sizes: Vec<usize> = layers.iter().map(|l| l.pes).collect();
@@ -197,32 +299,38 @@ pub fn run(graph: &Graph, config: &RunConfig) -> Result<RunResult> {
 
     // Stages III & IV (or the baseline).
     let schedule = match config.scheduling {
-        SchedulingChoice::LayerByLayer => layer_by_layer_schedule(&layers)?,
-        SchedulingChoice::CrossLayer => cross_layer_schedule(&layers, &deps, &edge_cost)?,
+        SchedulingChoice::LayerByLayer => layer_by_layer_schedule(layers)?,
+        SchedulingChoice::CrossLayer => cross_layer_schedule(layers, deps, &edge_cost)?,
     };
     match config.scheduling {
         // The baseline keeps whole layers sequential, which trivially
         // satisfies data deps but not necessarily with edge costs — it
         // models DRAM round-trips instead, so validate it cost-free.
         SchedulingChoice::LayerByLayer => {
-            validate_schedule(&layers, &deps, &schedule, &EdgeCost::Free)?;
+            validate_schedule(layers, deps, &schedule, &EdgeCost::Free)?;
         }
         SchedulingChoice::CrossLayer => {
-            validate_schedule(&layers, &deps, &schedule, &edge_cost)?;
+            validate_schedule(layers, deps, &schedule, &edge_cost)?;
         }
     }
 
-    let report = utilization(&layers, &schedule, budget)?;
-    Ok(RunResult {
-        mapped_graph,
-        layers,
-        deps,
-        schedule,
-        report,
-        pe_min,
-        plan: keep_plan.then_some(plan),
-    })
+    let report = utilization(layers, &schedule, budget)?;
+    Ok((schedule, report))
 }
+
+// The sweep runner shares graphs, configs, and stage outputs across worker
+// threads; keep the whole hot path free of interior mutability.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Graph>();
+    assert_send_sync::<RunConfig>();
+    assert_send_sync::<Prepared>();
+    assert_send_sync::<RunResult>();
+    assert_send_sync::<crate::sets::LayerSets>();
+    assert_send_sync::<crate::deps::Dependencies>();
+    assert_send_sync::<crate::schedule::Schedule>();
+    assert_send_sync::<crate::schedule::EdgeCost>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -299,6 +407,33 @@ mod tests {
         assert!(both.makespan() <= wdup.makespan());
         // Utilization ordering mirrors speedup (same work, Eq. 3).
         assert!(both.report.utilization >= lbl.report.utilization);
+    }
+
+    #[test]
+    fn prepared_split_reproduces_run_for_every_scheduling_variant() {
+        let g = small_cnn();
+        // One prepare serves both scheduling variants over the same mapping.
+        let cfg_lbl = RunConfig::baseline(arch(3));
+        let cfg_xinf = cfg_lbl.clone().with_cross_layer();
+        let prepared = prepare(&g, &cfg_lbl).unwrap();
+        for cfg in [&cfg_lbl, &cfg_xinf] {
+            let split = run_prepared(&prepared, cfg).unwrap();
+            let whole = run(&g, cfg).unwrap();
+            assert_eq!(split.schedule, whole.schedule);
+            assert_eq!(split.report, whole.report);
+            assert_eq!(split.pe_min, whole.pe_min);
+            assert_eq!(split.mapped_graph, whole.mapped_graph);
+        }
+    }
+
+    #[test]
+    fn prepare_rejects_insufficient_budget() {
+        let g = small_cnn();
+        let err = prepare(&g, &RunConfig::baseline(arch(2))).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::CoreError::Mapping(cim_mapping::MappingError::BudgetTooSmall { .. })
+        ));
     }
 
     #[test]

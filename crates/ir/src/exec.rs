@@ -29,6 +29,15 @@ pub struct Executor<'g> {
     graph: &'g Graph,
 }
 
+// Graphs, tensors, and the borrowing executor are shared read-only across
+// sweep worker threads; none of them may grow interior mutability.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Graph>();
+    assert_send_sync::<Tensor>();
+    assert_send_sync::<Executor<'_>>();
+};
+
 impl<'g> Executor<'g> {
     /// Creates an executor for `graph`.
     pub fn new(graph: &'g Graph) -> Self {

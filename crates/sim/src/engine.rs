@@ -33,6 +33,14 @@ pub struct SimResult {
     pub stats: SimStats,
 }
 
+// Simulations run concurrently over shared workloads in the sweep runner;
+// the engine borrows its inputs immutably and keeps all run state local.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Simulator<'_>>();
+    assert_send_sync::<SimResult>();
+};
+
 impl<'a> Simulator<'a> {
     /// Creates a simulator for the given Stage-I/II outputs.
     pub fn new(layers: &'a [LayerSets], deps: &'a Dependencies) -> Self {

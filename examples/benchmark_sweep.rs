@@ -1,80 +1,69 @@
 //! Fig. 7-style sweep over the benchmark zoo: speedup and utilization of
-//! `wdup+x`, `xinf`, and `wdup+x+xinf` against layer-by-layer inference.
+//! `wdup+x`, `xinf`, and `wdup+x+xinf` against layer-by-layer inference,
+//! executed on the parallel batched evaluation engine.
 //!
 //! Run with: `cargo run --release --example benchmark_sweep`
-//! (pass a model name to restrict, e.g. `-- VGG16`)
+//! (pass a model name to restrict, e.g. `-- VGG16`; pass `--jobs N` to
+//! set the worker count — results are identical for every N)
 
-use clsa_cim::arch::Architecture;
-use clsa_cim::core::{run, RunConfig};
-use clsa_cim::frontend::{canonicalize, CanonOptions};
-use clsa_cim::mapping::Solver;
+use clsa_cim::bench::runner::{run_batch, sweep_jobs_for_models};
+use clsa_cim::bench::{parse_jobs_arg, SweepOptions};
+use clsa_cim::ir::Graph;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let filter = std::env::args().nth(1);
-    for info in clsa_cim::models::table2_models() {
-        if let Some(f) = &filter {
-            if !info.name.eq_ignore_ascii_case(f) {
-                continue;
-            }
-        }
-        let graph = canonicalize(&info.build(), &CanonOptions::default())?.into_graph();
-        let pe_min = info.pe_min_256;
-        let baseline = run(
-            &graph,
-            &RunConfig::baseline(Architecture::paper_case_study(pe_min)?),
-        )?;
-        let xinf = run(
-            &graph,
-            &RunConfig::baseline(Architecture::paper_case_study(pe_min)?).with_cross_layer(),
-        )?;
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (rest, runner) = parse_jobs_arg(&raw);
+    let filter = rest.first();
 
+    let models: Vec<(String, Graph)> = clsa_cim::models::table2_models()
+        .iter()
+        .filter(|info| {
+            filter.is_none_or(|f| info.name.eq_ignore_ascii_case(f))
+        })
+        .map(|info| (info.name.to_string(), info.build()))
+        .collect();
+    if models.is_empty() {
+        eprintln!("no model matches the filter; known:");
+        for m in clsa_cim::models::table2_models() {
+            eprintln!("  {}", m.name);
+        }
+        std::process::exit(2);
+    }
+
+    // One flat job list over all models; the engine canonicalizes each
+    // graph once, shares Stage-I/II work between the baseline and xinf
+    // rows of a model, and spreads the jobs over the worker lanes.
+    let opts = SweepOptions::default();
+    let jobs = sweep_jobs_for_models(&models, &opts)?;
+    eprintln!(
+        "running {} configurations on {} workers...",
+        jobs.len(),
+        runner.jobs
+    );
+    let batch = run_batch(&jobs, &runner)?;
+
+    for (name, _) in &models {
+        let rows: Vec<_> = batch.results.iter().filter(|r| &r.model == name).collect();
+        let base = rows.first().expect("baseline row");
         println!(
-            "\n{} — {} base layers, PE_min {}",
-            info.name,
-            graph.base_layers().len(),
-            pe_min
+            "\n{} — PE_min {}",
+            name, base.pe_min
         );
         println!(
             "  {:<14} {:>9} cycles  {:>6}   {:>6}",
             "config", "makespan", "speedup", "util"
         );
-        let row = |label: &str, makespan: u64, ut: f64| {
+        for r in rows {
             println!(
-                "  {label:<14} {makespan:>9} cycles  {:>6.2}x  {:>6.2}%",
-                baseline.makespan() as f64 / makespan as f64,
-                ut * 100.0
-            );
-        };
-        row(
-            "layer-by-layer",
-            baseline.makespan(),
-            baseline.report.utilization,
-        );
-        row("xinf", xinf.makespan(), xinf.report.utilization);
-        for x in [4usize, 8, 16, 32] {
-            let arch = Architecture::paper_case_study(pe_min + x)?;
-            let wdup = run(
-                &graph,
-                &RunConfig::baseline(arch.clone()).with_duplication(Solver::Greedy),
-            )?;
-            row(
-                &format!("wdup+{x}"),
-                wdup.makespan(),
-                wdup.report.utilization,
-            );
-            let both = run(
-                &graph,
-                &RunConfig::baseline(arch)
-                    .with_duplication(Solver::Greedy)
-                    .with_cross_layer(),
-            )?;
-            row(
-                &format!("wdup+{x}+xinf"),
-                both.makespan(),
-                both.report.utilization,
+                "  {:<14} {:>9} cycles  {:>6.2}x  {:>6.2}%",
+                r.label,
+                r.makespan_cycles,
+                r.speedup,
+                r.utilization * 100.0
             );
         }
     }
-    println!("\npaper reference: best speedup 29.2x / best utilization 20.1 % (TinyYOLOv3)");
+    println!("\nschedule cache: {}", batch.stats);
+    println!("paper reference: best speedup 29.2x / best utilization 20.1 % (TinyYOLOv3)");
     Ok(())
 }

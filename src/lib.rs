@@ -68,7 +68,7 @@
 //!            ├── cim-sim ─────────────┘
 //!            └── cim-models (also ► frontend)
 //! cim-bench depends on all of the above;
-//! clsa-cim (this facade) re-exports the seven library crates.
+//! clsa-cim (this facade) re-exports all eight crates.
 //! ```
 //!
 //! # Reproducing the paper
@@ -81,6 +81,7 @@
 #![warn(missing_docs)]
 
 pub use cim_arch as arch;
+pub use cim_bench as bench;
 pub use cim_frontend as frontend;
 pub use cim_ir as ir;
 pub use cim_mapping as mapping;

@@ -2,10 +2,40 @@
 //!
 //! Provides the API shape the workspace benches use (`Criterion`,
 //! `benchmark_group`, `bench_with_input`, `BenchmarkId`, `Throughput`,
-//! `criterion_group!` / `criterion_main!`). Instead of statistical
-//! sampling, each benchmark closure is run a handful of times and the best
-//! wall-clock time is printed — enough to compare orders of magnitude and
-//! to keep the bench targets compiling and runnable offline.
+//! `criterion_group!` / `criterion_main!`). Each benchmark closure is run
+//! for one warm-up plus a configurable number of timed samples and the
+//! report shows **mean ± spread (min … max)** over those samples — enough
+//! to compare orders of magnitude, spot bimodal timings, and keep the
+//! bench targets compiling and runnable offline.
+//!
+//! Set `CIM_BENCH_SAMPLES` to change the per-benchmark sample count
+//! (default 10, minimum 1).
+//!
+//! # Remaining differences vs. the real `criterion`
+//!
+//! * No iteration batching: `Bencher::iter` times each closure call
+//!   individually instead of amortizing the clock over auto-tuned
+//!   batches, so sub-microsecond closures are dominated by timer
+//!   overhead (the workspace benches all run well above that).
+//! * Fixed sample count, no time-targeted auto-tuning of warm-up or
+//!   measurement windows (real criterion: 100 samples fitted into a
+//!   ~5 s budget).
+//! * Summary statistics only — no bootstrap confidence intervals,
+//!   outlier classification, regression slope, or HTML/plot output.
+//! * No baseline persistence (`--save-baseline` / change detection
+//!   between runs).
+//! * `Throughput` is accepted but not converted into elements/second.
+//!
+//! # Examples
+//!
+//! ```
+//! use criterion::{black_box, Criterion};
+//!
+//! let mut c = Criterion::default();
+//! c.bench_function("sum_to_100", |b| {
+//!     b.iter(|| (0..100u64).map(black_box).sum::<u64>())
+//! });
+//! ```
 
 #![allow(clippy::all, clippy::pedantic, clippy::nursery)]
 
@@ -15,8 +45,17 @@ use std::time::{Duration, Instant};
 /// Re-export so `criterion::black_box` works as in the real crate.
 pub use std::hint::black_box;
 
-/// Number of timed runs per benchmark (after one warm-up run).
-const MEASURED_RUNS: u32 = 3;
+/// Default number of timed samples per benchmark (after one warm-up run).
+const DEFAULT_SAMPLES: u32 = 10;
+
+/// Timed samples per benchmark: `CIM_BENCH_SAMPLES` or the default.
+fn configured_samples() -> u32 {
+    std::env::var("CIM_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(DEFAULT_SAMPLES)
+}
 
 /// The benchmark driver.
 #[derive(Debug, Default)]
@@ -46,29 +85,54 @@ impl Criterion {
 /// Times closures passed to [`Bencher::iter`].
 #[derive(Debug, Default)]
 pub struct Bencher {
-    best: Option<Duration>,
+    samples: Vec<Duration>,
+}
+
+/// Summary statistics over one benchmark's timed samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Summary {
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+    count: u32,
+}
+
+fn summarize(samples: &[Duration]) -> Option<Summary> {
+    let (&min, &max) = (samples.iter().min()?, samples.iter().max()?);
+    let total: Duration = samples.iter().sum();
+    Some(Summary {
+        mean: total / samples.len() as u32,
+        min,
+        max,
+        count: samples.len() as u32,
+    })
 }
 
 impl Bencher {
-    /// Calls `f` repeatedly, recording the best time.
+    /// Calls `f` once to warm up, then `CIM_BENCH_SAMPLES` (default 10)
+    /// timed times, recording every sample.
     pub fn iter<O, F>(&mut self, mut f: F)
     where
         F: FnMut() -> O,
     {
         black_box(f()); // warm-up
-        for _ in 0..MEASURED_RUNS {
+        for _ in 0..configured_samples() {
             let start = Instant::now();
             black_box(f());
-            let elapsed = start.elapsed();
-            if self.best.map_or(true, |b| elapsed < b) {
-                self.best = Some(elapsed);
-            }
+            self.samples.push(start.elapsed());
         }
     }
 
     fn report(&self, id: &str) {
-        match self.best {
-            Some(best) => println!("bench {id:<50} {best:>12.3?} (best of {MEASURED_RUNS})"),
+        match summarize(&self.samples) {
+            Some(s) => {
+                // Half the min-to-max span as the ± spread around the mean.
+                let spread = (s.max - s.min) / 2;
+                println!(
+                    "bench {id:<50} {:>12.3?} ± {:>9.3?} (min {:.3?} … max {:.3?}, n = {})",
+                    s.mean, spread, s.min, s.max, s.count
+                );
+            }
             None => println!("bench {id:<50} (no iterations)"),
         }
     }
@@ -182,8 +246,30 @@ mod tests {
     fn bench_function_runs_closure() {
         let mut calls = 0u32;
         Criterion::default().bench_function("t", |b| b.iter(|| calls += 1));
-        // 1 warm-up + MEASURED_RUNS timed calls.
-        assert_eq!(calls, 1 + MEASURED_RUNS);
+        // 1 warm-up + one call per timed sample.
+        assert_eq!(calls, 1 + configured_samples());
+    }
+
+    #[test]
+    fn summary_reports_mean_min_max() {
+        let samples = [
+            Duration::from_micros(10),
+            Duration::from_micros(20),
+            Duration::from_micros(60),
+        ];
+        let s = summarize(&samples).unwrap();
+        assert_eq!(s.mean, Duration::from_micros(30));
+        assert_eq!(s.min, Duration::from_micros(10));
+        assert_eq!(s.max, Duration::from_micros(60));
+        assert_eq!(s.count, 3);
+        assert!(summarize(&[]).is_none());
+    }
+
+    #[test]
+    fn sample_count_has_a_sane_default() {
+        // The env var may or may not be set in the test environment; the
+        // resolved count must always be usable.
+        assert!(configured_samples() >= 1);
     }
 
     #[test]

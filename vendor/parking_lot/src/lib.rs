@@ -3,6 +3,14 @@
 //! Wraps `std::sync` primitives behind the `parking_lot` API shape the
 //! workspace uses: a [`Mutex`] whose `lock()` returns the guard directly
 //! (poisoning is swallowed, as parking_lot has no poisoning).
+//!
+//! # Examples
+//!
+//! ```
+//! let counter = parking_lot::Mutex::new(0u32);
+//! *counter.lock() += 1; // no `.unwrap()` — the lock cannot poison
+//! assert_eq!(counter.into_inner(), 1);
+//! ```
 
 #![allow(clippy::all, clippy::pedantic, clippy::nursery)]
 

@@ -12,6 +12,19 @@
 //! * deterministic seeding per test (derived from the test function name),
 //!   so failures reproduce across runs;
 //! * `ProptestConfig::default()` runs 64 cases (the real crate runs 256).
+//!
+//! # Examples
+//!
+//! ```
+//! use proptest::strategy::{Just, Strategy};
+//! use proptest::test_runner::TestRng;
+//!
+//! let doubled = (0usize..10).prop_map(|n| n * 2);
+//! let mut rng = TestRng::for_test("doctest");
+//! let v = doubled.new_value(&mut rng);
+//! assert!(v < 20 && v % 2 == 0);
+//! assert_eq!(Just(7).new_value(&mut rng), 7);
+//! ```
 
 #![allow(clippy::all, clippy::pedantic, clippy::nursery)]
 

@@ -5,6 +5,19 @@
 //! [`SeedableRng::seed_from_u64`], and the [`Rng`] methods `random_range`
 //! and `random_bool`. The generator is SplitMix64 — statistically fine for
 //! seeded test-data generation, *not* cryptographic.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::{Rng, SeedableRng};
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let x = rng.random_range(0..10usize);
+//! assert!(x < 10);
+//! // Same seed, same stream.
+//! let mut again = rand::rngs::StdRng::seed_from_u64(7);
+//! assert_eq!(again.random_range(0..10usize), x);
+//! ```
 
 #![allow(clippy::all, clippy::pedantic, clippy::nursery)]
 

@@ -12,6 +12,18 @@
 //!
 //! `serde_json` (also vendored) renders [`Value`] trees to JSON text and
 //! parses them back, which is all the workspace uses serialization for.
+//!
+//! # Examples
+//!
+//! ```
+//! use serde::{Serialize, Value};
+//!
+//! let value = vec![1u32, 2, 3].to_value();
+//! assert_eq!(
+//!     value,
+//!     Value::Seq(vec![Value::U64(1), Value::U64(2), Value::U64(3)])
+//! );
+//! ```
 
 #![allow(clippy::all, clippy::pedantic, clippy::nursery)]
 

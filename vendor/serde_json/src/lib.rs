@@ -6,6 +6,15 @@
 //! (integers verbatim; floats via Rust's shortest-representation
 //! formatting, with a `.0` suffix forced on integral floats so they parse
 //! back as floats).
+//!
+//! # Examples
+//!
+//! ```
+//! let json = serde_json::to_string(&vec![1u32, 2, 3]).unwrap();
+//! assert_eq!(json, "[1,2,3]");
+//! let back: Vec<u32> = serde_json::from_str(&json).unwrap();
+//! assert_eq!(back, vec![1, 2, 3]);
+//! ```
 
 #![allow(clippy::all, clippy::pedantic, clippy::nursery)]
 
