@@ -25,7 +25,9 @@ struct Record {
 }
 
 fn main() {
-    let (_, runner, json) = parse_common_args();
+    let args = parse_common_args();
+    args.note_cache_dir_unused();
+    let (runner, json) = (args.runner, args.json);
 
     // One job per (model, config); the four batch depths inside a job
     // reuse that job's single pipeline run.

@@ -22,7 +22,9 @@ struct Record {
 }
 
 fn main() {
-    let (_, runner, json) = parse_common_args();
+    let args = parse_common_args();
+    args.note_cache_dir_unused();
+    let (runner, json) = (args.runner, args.json);
 
     // One job per (model, precision): both scheduling variants resolve
     // through the shared cache inside the job, so the lbl/xinf pair still

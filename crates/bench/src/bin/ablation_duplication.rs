@@ -27,7 +27,9 @@ struct Record {
 }
 
 fn main() {
-    let (_, runner, json) = parse_common_args();
+    let args = parse_common_args();
+    args.note_cache_dir_unused();
+    let (runner, json) = (args.runner, args.json);
 
     // One job per (model, x); the two solver runs inside a job share
     // nothing (different mappings), but across jobs the grid of

@@ -25,7 +25,9 @@ struct Record {
 }
 
 fn main() {
-    let (_, runner, json) = parse_common_args();
+    let args = parse_common_args();
+    args.note_cache_dir_unused();
+    let (runner, json) = (args.runner, args.json);
     let models: Vec<(&str, cim_ir::Graph)> = vec![
         ("TinyYOLOv4", cim_models::tiny_yolo_v4()),
         ("VGG16", cim_models::vgg16()),

@@ -30,7 +30,9 @@ enum Kind {
 }
 
 fn main() {
-    let (_, runner, json) = parse_common_args();
+    let args = parse_common_args();
+    args.note_cache_dir_unused();
+    let (runner, json) = (args.runner, args.json);
 
     struct Job {
         model: String,

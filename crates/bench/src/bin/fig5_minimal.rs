@@ -15,7 +15,9 @@ use clsa_core::{
 };
 
 fn main() {
-    let (_, runner, _) = parse_common_args();
+    let args = parse_common_args();
+    args.note_cache_dir_unused();
+    let runner = args.runner;
     let g = cim_models::fig5_example();
     println!("Fig. 5 — minimal example: two Conv2D layers with a non-base path");
     println!(

@@ -8,22 +8,19 @@
 //!   `wdup+{16,32}+xinf` (paper: `xinf` Ut = 4.1 %, `wdup+32+xinf`
 //!   Ut = 28.4 %, speedup up to 21.9×).
 //!
-//! Usage: `cargo run --release -p cim-bench --bin fig6 [-- --part a|b|c] [--json <path>] [--jobs N]`
+//! Usage: `cargo run --release -p cim-bench --bin fig6 [-- --part a|b|c] [--json <path>] [--jobs N] [--cache-dir <path>]`
+//!
+//! With `--cache-dir`, part c's sweep summaries persist across runs: a
+//! warm re-run replays from disk (byte-identical `--json` output) and
+//! prints the store's hit/miss/evict counters.
 
 use cim_arch::Architecture;
-use cim_bench::runner::{fingerprint, RunnerOptions, ScheduleCache};
-use cim_bench::{paper_sweep_with, parse_common_args, render_table, SweepOptions};
-use cim_frontend::{canonicalize, CanonOptions};
+use cim_bench::artifacts::{case_study_graph, fig6c_results_for};
+use cim_bench::runner::{fingerprint, ResultStore, RunnerOptions, ScheduleCache};
+use cim_bench::{parse_common_args, render_table};
 use cim_ir::Graph;
 use cim_mapping::Solver;
 use clsa_core::{gantt_text, RunConfig};
-
-fn case_study_graph() -> Graph {
-    let model = cim_models::tiny_yolo_v4();
-    canonicalize(&model, &CanonOptions::default())
-        .expect("model canonicalizes")
-        .into_graph()
-}
 
 /// Parts a and b schedule the *same* `wdup+16` mapping two ways; routing
 /// both through one cache runs the mapping and Stage-I/II analyses once.
@@ -88,13 +85,9 @@ fn part_b(cs: &CaseStudy) {
     println!("{}", gantt_text(&r.layers, &r.schedule, 100));
 }
 
-fn part_c(cs: &CaseStudy, runner: &RunnerOptions, json: Option<&str>) {
+fn part_c(g: &Graph, runner: &RunnerOptions, store: Option<&ResultStore>, json: Option<&str>) {
     println!("Fig. 6c — speedup and utilization (TinyYOLOv4)\n");
-    let opts = SweepOptions {
-        xs: vec![16, 32],
-        ..SweepOptions::default()
-    };
-    let results = paper_sweep_with("TinyYOLOv4", &cs.g, &opts, runner).expect("sweep runs");
+    let results = fig6c_results_for(g, runner, store).expect("sweep runs");
     let rows: Vec<Vec<String>> = results
         .iter()
         .map(|r| {
@@ -121,6 +114,9 @@ fn part_c(cs: &CaseStudy, runner: &RunnerOptions, json: Option<&str>) {
         )
     );
     println!("paper reference: xinf Ut = 4.1 %; wdup+32+xinf Ut = 28.4 %, S = 21.9x");
+    if let Some(store) = store {
+        println!("persistent store: {}", store.stats());
+    }
     if let Some(path) = json {
         cim_bench::write_json(path, &results).expect("write json");
         println!("wrote {path}");
@@ -128,25 +124,46 @@ fn part_c(cs: &CaseStudy, runner: &RunnerOptions, json: Option<&str>) {
 }
 
 fn main() {
-    let (rest, runner, json) = parse_common_args();
-    let part = rest
+    let args = parse_common_args();
+    let part = args
+        .rest
         .iter()
         .position(|a| a == "--part")
-        .and_then(|i| rest.get(i + 1))
+        .and_then(|i| args.rest.get(i + 1))
         .map(String::as_str)
         .unwrap_or("all");
 
-    let cs = CaseStudy::new();
+    // Only part c runs a batch sweep; a/b alone must not create (or
+    // silently ignore) a --cache-dir.
     match part {
-        "a" => part_a(&cs),
-        "b" => part_b(&cs),
-        "c" => part_c(&cs, &runner, json.as_deref()),
+        "a" | "b" => {
+            args.note_cache_dir_unused();
+            let cs = CaseStudy::new();
+            if part == "a" {
+                part_a(&cs);
+            } else {
+                part_b(&cs);
+            }
+        }
+        "c" => {
+            let store = args.open_store();
+            part_c(
+                &case_study_graph(),
+                &args.runner,
+                store.as_ref(),
+                args.json.as_deref(),
+            );
+        }
         _ => {
+            let store = args.open_store();
+            let cs = CaseStudy::new();
             part_a(&cs);
             println!();
             part_b(&cs);
             println!();
-            part_c(&cs, &runner, json.as_deref());
+            // Reuse the parts' canonicalized graph — one canonicalize
+            // per process.
+            part_c(&cs.g, &args.runner, store.as_ref(), args.json.as_deref());
             println!("case-study cache: {}", cs.cache.stats());
         }
     }

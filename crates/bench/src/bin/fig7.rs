@@ -8,13 +8,18 @@
 //! large models; `xinf` up to 4.4× for large models; utilization decreasing
 //! with ResNet depth.
 //!
-//! Usage: `cargo run --release -p cim-bench --bin fig7 [-- --json results/fig7.json] [--jobs N]`
+//! Usage: `cargo run --release -p cim-bench --bin fig7 [-- --json results/fig7.json] [--jobs N] [--cache-dir <path>]`
+//!
+//! With `--cache-dir`, the sweep's summaries persist across runs: a warm
+//! re-run replays from disk (byte-identical `--json` output).
 
-use cim_bench::runner::{run_batch, sweep_jobs_for_models};
+use cim_bench::runner::{run_batch_with_store, sweep_jobs_for_models};
 use cim_bench::{parse_common_args, render_table, ConfigResult, SweepOptions};
 
 fn main() {
-    let (_, runner, json) = parse_common_args();
+    let args = parse_common_args();
+    let (runner, json) = (args.runner, args.json.clone());
+    let store = args.open_store();
     let opts = SweepOptions::default();
 
     // All models × all configurations as one flat job list: the pool keeps
@@ -26,7 +31,7 @@ fn main() {
         .collect();
     let jobs = sweep_jobs_for_models(&models, &opts).expect("job construction");
     eprintln!("running {} configurations on {} workers...", jobs.len(), runner.jobs);
-    let batch = run_batch(&jobs, &runner).expect("sweep runs");
+    let batch = run_batch_with_store(&jobs, &runner, store.as_ref()).expect("sweep runs");
     let all: Vec<ConfigResult> = batch.results;
 
     let labels: Vec<String> = {
@@ -105,6 +110,9 @@ fn main() {
     );
     println!("max Eq. 3 relative deviation: {:.1}%", worst_eq3 * 100.0);
     println!("schedule cache: {}", batch.stats);
+    if let Some(stats) = batch.store_stats {
+        println!("persistent store: {stats}");
+    }
 
     if let Some(path) = json {
         cim_bench::write_json(&path, &all).expect("write json");

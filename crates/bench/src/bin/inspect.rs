@@ -35,7 +35,9 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
 }
 
 fn main() {
-    let (args, _runner, json) = parse_common_args();
+    let common = parse_common_args();
+    common.note_cache_dir_unused();
+    let (args, json) = (common.rest, common.json);
     let model_name = args.first().cloned().unwrap_or_else(|| {
         eprintln!(
             "usage: inspect <model> [--x n] [--wdup] [--lbl] [--sets n] [--gantt w] [--critical n]"

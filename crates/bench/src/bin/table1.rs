@@ -4,27 +4,17 @@
 //!
 //! Usage: `cargo run -p cim-bench --bin table1 [-- --json results/table1.json] [--jobs N]`
 
-use cim_arch::CrossbarSpec;
-use cim_bench::runner::parallel_map;
+use cim_bench::artifacts::table1_costs;
 use cim_bench::{parse_common_args, render_table};
-use cim_frontend::{canonicalize, CanonOptions};
-use cim_mapping::{layer_costs, min_pes, MappingOptions};
+use cim_mapping::min_pes;
 
 fn main() {
-    let (_, runner, json) = parse_common_args();
-    // One closed-form job; the pool degenerates to a sequential run but
-    // keeps the CLI uniform across the experiment binaries.
-    let costs = parallel_map(&[cim_models::tiny_yolo_v4()], runner.jobs, |_, model| {
-        let canon = canonicalize(model, &CanonOptions::default()).expect("model canonicalizes");
-        layer_costs(
-            canon.graph(),
-            &CrossbarSpec::wan_nature_2022(),
-            &MappingOptions::default(),
-        )
-        .expect("model has base layers")
-    })
-    .pop()
-    .expect("one job");
+    let args = parse_common_args();
+    args.note_cache_dir_unused();
+    // One closed-form artifact (shared with the golden-file regression
+    // suite); `--jobs` is accepted for CLI uniformity but has no work to
+    // spread.
+    let costs = table1_costs();
 
     let rows: Vec<Vec<String>> = costs
         .iter()
@@ -56,8 +46,8 @@ fn main() {
     println!("PE_min (all weights stored once): {}", min_pes(&costs));
     println!("Paper reference: PE_min = 117");
 
-    if let Some(path) = json {
-        cim_bench::write_json(&path, &costs).expect("write json");
+    if let Some(path) = &args.json {
+        cim_bench::write_json(path, &costs).expect("write json");
         println!("wrote {path}");
     }
 }

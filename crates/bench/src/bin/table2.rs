@@ -3,40 +3,14 @@
 //!
 //! Usage: `cargo run -p cim-bench --bin table2 [-- --json results/table2.json] [--jobs N]`
 
-use cim_arch::CrossbarSpec;
-use cim_bench::runner::parallel_map;
+use cim_bench::artifacts::table2_rows;
 use cim_bench::{parse_common_args, render_table};
-use cim_mapping::{layer_costs, min_pes, MappingOptions};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    benchmark: &'static str,
-    input: (usize, usize, usize),
-    base_layers: usize,
-    pe_min_measured: usize,
-    pe_min_paper: usize,
-}
 
 fn main() {
-    let (_, runner, json) = parse_common_args();
-    // Building + costing ResNet152 dominates; one lane per model.
-    let rows: Vec<Row> = parallel_map(&cim_models::table2_models(), runner.jobs, |_, info| {
-        let g = info.build();
-        let costs = layer_costs(
-            &g,
-            &CrossbarSpec::wan_nature_2022(),
-            &MappingOptions::default(),
-        )
-        .expect("model has base layers");
-        Row {
-            benchmark: info.name,
-            input: info.input,
-            base_layers: g.base_layers().len(),
-            pe_min_measured: min_pes(&costs),
-            pe_min_paper: info.pe_min_256,
-        }
-    });
+    let args = parse_common_args();
+    args.note_cache_dir_unused();
+    // Row computation is shared with the golden-file regression suite.
+    let rows = table2_rows(args.runner.jobs);
 
     let table: Vec<Vec<String>> = rows
         .iter()
@@ -69,8 +43,8 @@ fn main() {
         )
     );
 
-    if let Some(path) = json {
-        cim_bench::write_json(&path, &rows).expect("write json");
+    if let Some(path) = &args.json {
+        cim_bench::write_json(path, &rows).expect("write json");
         println!("wrote {path}");
     }
 }

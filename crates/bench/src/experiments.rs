@@ -7,7 +7,7 @@ use cim_mapping::Solver;
 use clsa_core::{CoreError, SetPolicy};
 use serde::{Deserialize, Serialize};
 
-use crate::runner::{run_batch, sweep_jobs, RunnerOptions};
+use crate::runner::{run_batch_with_store, sweep_jobs, ResultStore, RunnerOptions};
 
 /// One configuration's outcome — one bar of Fig. 6c / Fig. 7.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -91,8 +91,27 @@ pub fn paper_sweep_with(
     opts: &SweepOptions,
     runner: &RunnerOptions,
 ) -> Result<Vec<ConfigResult>, CoreError> {
+    paper_sweep_stored(name, graph, opts, runner, None)
+}
+
+/// [`paper_sweep_with`] backed by a persistent result store
+/// (`--cache-dir`): jobs whose summaries are already on disk replay
+/// without scheduling, and fresh results are persisted for the next
+/// process. Rows are byte-identical to an unstored run.
+///
+/// # Errors
+///
+/// Same conditions as [`paper_sweep`]; store I/O problems are absorbed
+/// (see [`run_batch_with_store`]).
+pub fn paper_sweep_stored(
+    name: &str,
+    graph: &Graph,
+    opts: &SweepOptions,
+    runner: &RunnerOptions,
+    store: Option<&ResultStore>,
+) -> Result<Vec<ConfigResult>, CoreError> {
     let jobs = sweep_jobs(name, graph, opts)?;
-    Ok(run_batch(&jobs, runner)?.results)
+    Ok(run_batch_with_store(&jobs, runner, store)?.results)
 }
 
 #[cfg(test)]

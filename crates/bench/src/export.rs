@@ -31,20 +31,67 @@ pub fn parse_args_json() -> Option<String> {
     parse_json_arg(&args).1
 }
 
-/// Parses the two flags every experiment binary supports — `--jobs <N>`
-/// and `--json <path>` — from the process arguments, returning the
-/// remaining arguments alongside the worker-pool options and the export
-/// path.
+/// The flags shared by every experiment binary, parsed off the process
+/// arguments by [`parse_common_args`].
+#[derive(Debug, Clone, Default)]
+pub struct CommonArgs {
+    /// Arguments left over after the shared flags (binary-specific).
+    pub rest: Vec<String>,
+    /// `--jobs <N>` → worker-pool options.
+    pub runner: crate::runner::RunnerOptions,
+    /// `--json <path>` → export path.
+    pub json: Option<String>,
+    /// `--cache-dir <path>` → persistent result store directory.
+    pub cache_dir: Option<String>,
+}
+
+impl CommonArgs {
+    /// Opens the persistent [`ResultStore`](crate::runner::ResultStore)
+    /// named by `--cache-dir`, or `None` when the flag was not given.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a diagnostic when the directory cannot be created or
+    /// scanned — an unusable `--cache-dir` is a fatal flag error in the
+    /// experiment binaries, same as a malformed `--jobs`.
+    pub fn open_store(&self) -> Option<crate::runner::ResultStore> {
+        self.cache_dir.as_deref().map(|dir| {
+            crate::runner::ResultStore::open(dir)
+                .unwrap_or_else(|e| panic!("--cache-dir {dir}: {e}"))
+        })
+    }
+
+    /// Prints a note when `--cache-dir` was passed to a binary whose
+    /// artifact is closed-form (no batch sweep to persist).
+    pub fn note_cache_dir_unused(&self) {
+        if let Some(dir) = &self.cache_dir {
+            eprintln!(
+                "note: --cache-dir {dir} ignored — this binary computes its \
+                 artifact directly and runs no batch sweep"
+            );
+        }
+    }
+}
+
+/// Parses the three flags every experiment binary supports — `--jobs <N>`,
+/// `--json <path>`, and `--cache-dir <path>` — from the process
+/// arguments.
 ///
 /// # Panics
 ///
 /// Panics with a usage message on a malformed `--jobs` value (see
 /// [`parse_jobs_arg`]).
-pub fn parse_common_args() -> (Vec<String>, crate::runner::RunnerOptions, Option<String>) {
+pub fn parse_common_args() -> CommonArgs {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let (rest, runner) = parse_jobs_arg(&raw);
     let (rest, json) = parse_json_arg(&rest);
-    (rest, runner, json)
+    let (rest, cache_dir) = parse_cache_dir_arg(&rest);
+    CommonArgs {
+        rest,
+        runner,
+        json,
+        cache_dir,
+    }
 }
 
 /// Parses an optional `--jobs <N>` argument pair from a raw argument
@@ -73,6 +120,23 @@ pub fn parse_jobs_arg(args: &[String]) -> (Vec<String>, crate::runner::RunnerOpt
         }
     }
     (rest, options)
+}
+
+/// Parses an optional `--cache-dir <path>` argument pair from a raw
+/// argument list, returning the remaining arguments and the persistent
+/// store directory if present.
+pub fn parse_cache_dir_arg(args: &[String]) -> (Vec<String>, Option<String>) {
+    let mut rest = Vec::new();
+    let mut dir = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--cache-dir" {
+            dir = it.next().cloned();
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    (rest, dir)
 }
 
 /// Parses an optional `--json <path>` argument pair from a raw argument
@@ -117,6 +181,19 @@ mod tests {
         assert_eq!(options.jobs, 3);
         let (_, default) = parse_jobs_arg(&rest);
         assert!(default.jobs >= 1);
+    }
+
+    #[test]
+    fn parses_cache_dir_flag() {
+        let args: Vec<String> = ["--cache-dir", "/tmp/store", "--part", "c"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (rest, dir) = parse_cache_dir_arg(&args);
+        assert_eq!(rest, vec!["--part".to_string(), "c".to_string()]);
+        assert_eq!(dir.as_deref(), Some("/tmp/store"));
+        let (_, none) = parse_cache_dir_arg(&rest);
+        assert!(none.is_none());
     }
 
     #[test]

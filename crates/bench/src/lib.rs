@@ -46,11 +46,15 @@
 
 #![warn(missing_docs)]
 
+pub mod artifacts;
 pub mod experiments;
 pub mod export;
 pub mod runner;
 pub mod table;
 
-pub use experiments::{paper_sweep, paper_sweep_with, ConfigResult, SweepOptions};
-pub use export::{parse_args_json, parse_common_args, parse_jobs_arg, parse_json_arg, write_json};
+pub use experiments::{paper_sweep, paper_sweep_stored, paper_sweep_with, ConfigResult, SweepOptions};
+pub use export::{
+    parse_args_json, parse_cache_dir_arg, parse_common_args, parse_jobs_arg, parse_json_arg,
+    write_json, CommonArgs,
+};
 pub use table::render_table;

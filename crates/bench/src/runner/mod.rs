@@ -18,10 +18,18 @@
 //!    ([`parallel_map`]), so one slow model (ResNet152) cannot idle the
 //!    rest of the pool.
 //!
+//! 4. **Durability (opt-in)** — an on-disk [`ResultStore`] (`--cache-dir
+//!    <path>`) persists per-job [`RunSummary`] rows across processes, so
+//!    a warm re-run of a sweep replays from disk (byte-identical output)
+//!    instead of re-scheduling. See [`store`] for the row format and the
+//!    corruption policy.
+//!
 //! Layering: [`parallel_map`] (lane pool) → [`ScheduleCache`] (memo) →
-//! [`run_batch`] (sweep jobs → [`BatchResult`]). The experiment binaries
-//! all sit on top and accept `--jobs N` (see
-//! [`parse_jobs_arg`](crate::parse_jobs_arg)).
+//! [`run_batch`] / [`run_batch_with_store`] (sweep jobs →
+//! [`BatchResult`]). The experiment binaries all sit on top and accept
+//! `--jobs N` (see [`parse_jobs_arg`](crate::parse_jobs_arg)) plus
+//! `--cache-dir <path>` (see
+//! [`parse_common_args`](crate::parse_common_args)).
 //!
 //! # Examples
 //!
@@ -43,13 +51,16 @@
 mod cache;
 mod fingerprint;
 mod lane;
+pub mod store;
 mod sweep;
 
 pub use cache::{CacheStats, ScheduleCache};
 pub use fingerprint::{fingerprint, mapping_fingerprint, strategy_fingerprint, CacheKey};
 pub use lane::parallel_map;
+pub use store::{ResultStore, RunSummary, StoreStats, STORE_FORMAT_VERSION};
 pub use sweep::{
-    pe_min_of, run_batch, sweep_jobs, sweep_jobs_for_models, BatchResult, SweepJob, BASELINE_LABEL,
+    pe_min_of, run_batch, run_batch_with_store, sweep_jobs, sweep_jobs_for_models, BatchResult,
+    SweepJob, BASELINE_LABEL,
 };
 
 /// Worker-pool options.

@@ -1,0 +1,476 @@
+//! The persistent cross-run result store (`--cache-dir`).
+//!
+//! The in-memory [`ScheduleCache`](super::ScheduleCache) dies with the
+//! process; this store makes sweep results durable. It is an on-disk,
+//! versioned, fingerprint-keyed map from a job's [`CacheKey`] —
+//! `(model, architecture, strategy)` fingerprints — to the
+//! [`RunSummary`] the batch aggregator needs, so a
+//! re-run of `fig6`/`fig7`/`paper_sweep` after a code-irrelevant change
+//! replays from disk instead of re-scheduling.
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! <cache-dir>/
+//!   index.json                                    # StoreIndex row
+//!   <model:016x>-<arch:016x>-<strategy:016x>.json # one StoreEntry row each
+//! ```
+//!
+//! Every row is a single serde_json document carrying
+//! [`STORE_FORMAT_VERSION`]. Writes go through a temp file in the same
+//! directory followed by an atomic rename, so concurrent readers (and a
+//! second process sharing the directory) never observe a half-written
+//! row — at worst they observe the previous row or none.
+//!
+//! # Corruption policy
+//!
+//! Entries are **recomputed, never trusted**: a row that fails to parse,
+//! carries a different format version, or names a different key than its
+//! file is *evicted* (deleted best-effort, counted in
+//! [`StoreStats::evictions`]) and the lookup reports a miss. The rows on
+//! disk are the ground truth; `index.json` is a write-only manifest
+//! (rewritten on [`open`] and on drop) — lookups probe the entry file
+//! derived from the key and the in-memory index is rebuilt by scan on
+//! every open, so a stale or corrupt `index.json` (crash, concurrent
+//! writer) affects nothing.
+//!
+//! [`open`]: ResultStore::open
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use clsa_core::RunResult;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use super::fingerprint::CacheKey;
+
+/// Version stamp of the on-disk row format. Bump on **any change that
+/// alters computed summaries** — not just the [`RunSummary`] shape,
+/// [`CacheKey`] semantics, or the fingerprint function, but also
+/// scheduler/mapping/cost-model behavior: the key fingerprints cover the
+/// *inputs* only, so a stale store would otherwise replay the old
+/// algorithm's rows forever. The golden-file suite drifting (a
+/// `CIM_BLESS=1` re-bless) is the tell-tale that this constant must move
+/// with it. Rows with any other version are evicted and recomputed.
+pub const STORE_FORMAT_VERSION: u32 = 1;
+
+/// The serializable reduction of a [`RunResult`] the batch aggregator
+/// consumes — everything `run_batch` reads from a run, and nothing else.
+///
+/// Floats round-trip exactly through serde_json (shortest-representation
+/// formatting), so a summary replayed from disk reproduces byte-identical
+/// aggregated JSON output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Makespan in crossbar cycles.
+    pub makespan_cycles: u64,
+    /// Eq. 2 utilization.
+    pub utilization: f64,
+    /// Total PEs of the architecture evaluated.
+    pub total_pes: usize,
+    /// Layers duplicated by the mapping (0 without duplication).
+    pub duplicated_layers: usize,
+}
+
+impl RunSummary {
+    /// Extracts the summary of a completed run.
+    pub fn of(result: &RunResult) -> Self {
+        RunSummary {
+            makespan_cycles: result.makespan(),
+            utilization: result.report.utilization,
+            total_pes: result.report.total_pes,
+            duplicated_layers: result.plan.as_ref().map_or(0, |p| p.duplicated_layers()),
+        }
+    }
+}
+
+/// One persisted row: the format version, the full key (so a misfiled or
+/// colliding row is detected), and the payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct StoreEntry {
+    version: u32,
+    model: u64,
+    arch: u64,
+    strategy: u64,
+    summary: RunSummary,
+}
+
+/// The index row: format version plus the known entry file stems.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct StoreIndex {
+    version: u32,
+    entries: Vec<String>,
+}
+
+/// Cumulative counters of one store handle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Lookups issued.
+    pub lookups: u64,
+    /// Lookups served from disk.
+    pub hits: u64,
+    /// Corrupt / version-mismatched rows deleted on contact.
+    pub evictions: u64,
+    /// Rows successfully persisted.
+    pub writes: u64,
+    /// Failed row or index writes (the run continues; the row is simply
+    /// not persisted).
+    pub write_errors: u64,
+}
+
+impl StoreStats {
+    /// Lookups that had to be recomputed.
+    pub fn misses(&self) -> u64 {
+        self.lookups - self.hits
+    }
+}
+
+impl std::fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{} hit, {} written, {} evicted",
+            self.hits, self.lookups, self.writes, self.evictions
+        )?;
+        if self.write_errors > 0 {
+            write!(f, ", {} write errors", self.write_errors)?;
+        }
+        Ok(())
+    }
+}
+
+/// A handle on one `--cache-dir`. Cheap to share by reference across the
+/// worker pool (all state is atomics plus a mutex-guarded index set).
+#[derive(Debug)]
+pub struct ResultStore {
+    dir: PathBuf,
+    index: Mutex<BTreeSet<String>>,
+    tmp_counter: AtomicU64,
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    evictions: AtomicU64,
+    writes: AtomicU64,
+    write_errors: AtomicU64,
+}
+
+/// File stem of a key's row: three fixed-width hex fingerprints.
+fn key_stem(key: &CacheKey) -> String {
+    format!(
+        "{:016x}-{:016x}-{:016x}",
+        key.model, key.arch, key.strategy
+    )
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) the store rooted at `dir`.
+    ///
+    /// The in-memory index is rebuilt from a directory scan — the rows
+    /// on disk are the ground truth, so an `index.json` left stale by a
+    /// concurrent writer or a killed process heals on every open (it is
+    /// a write-only manifest, never read back for correctness). Entry
+    /// rows themselves are validated lazily on [`get`](Self::get), so
+    /// the index never serves stale data.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from directory creation or the scan; a corrupt
+    /// index alone is not an error.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+
+        // Scan: every non-index .json file is a candidate row (validated
+        // on first contact). Temp files orphaned by a killed writer are
+        // swept here so a long-lived cache dir cannot accumulate them.
+        let mut entries = BTreeSet::new();
+        for dirent in fs::read_dir(&dir)? {
+            let path = dirent?.path();
+            let name = path.file_name().unwrap_or_default().to_string_lossy();
+            if name.starts_with(".tmp-") {
+                let _ = fs::remove_file(&path);
+            } else if let Some(stem) = name.strip_suffix(".json") {
+                if stem != "index" && !name.starts_with('.') {
+                    entries.insert(stem.to_string());
+                }
+            }
+        }
+
+        let store = ResultStore {
+            dir,
+            index: Mutex::new(entries),
+            tmp_counter: AtomicU64::new(0),
+            lookups: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+        };
+        store.persist_index();
+        Ok(store)
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of rows the index currently knows about.
+    pub fn len(&self) -> usize {
+        self.index.lock().len()
+    }
+
+    /// Whether the index currently knows no rows.
+    pub fn is_empty(&self) -> bool {
+        self.index.lock().is_empty()
+    }
+
+    fn entry_path(&self, key: &CacheKey) -> PathBuf {
+        self.dir.join(format!("{}.json", key_stem(key)))
+    }
+
+    /// Looks up `key`, returning its persisted summary if a trustworthy
+    /// row exists.
+    ///
+    /// The entry file is probed directly (the index is not consulted), so
+    /// rows written by a concurrent process are found. A row that cannot
+    /// be parsed, has a different [`STORE_FORMAT_VERSION`], or carries a
+    /// different key than its file name is deleted (best-effort), counted
+    /// as an eviction, and reported as a miss.
+    pub fn get(&self, key: &CacheKey) -> Option<RunSummary> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let path = self.entry_path(key);
+        let text = fs::read_to_string(&path).ok()?;
+        let trusted = serde_json::from_str::<StoreEntry>(&text)
+            .ok()
+            .filter(|row| {
+                row.version == STORE_FORMAT_VERSION
+                    && row.model == key.model
+                    && row.arch == key.arch
+                    && row.strategy == key.strategy
+            });
+        match trusted {
+            Some(row) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(row.summary)
+            }
+            None => {
+                self.evict(key, &path);
+                None
+            }
+        }
+    }
+
+    /// Persists `summary` under `key` (temp file + atomic rename), then
+    /// updates the index. Failures are counted in
+    /// [`StoreStats::write_errors`] and otherwise ignored — the sweep's
+    /// results never depend on the store accepting a row.
+    pub fn put(&self, key: &CacheKey, summary: &RunSummary) {
+        let row = StoreEntry {
+            version: STORE_FORMAT_VERSION,
+            model: key.model,
+            arch: key.arch,
+            strategy: key.strategy,
+            summary: summary.clone(),
+        };
+        let json = serde_json::to_string(&row).expect("store rows serialize");
+        if self.write_atomic(&self.entry_path(key), &json).is_err() {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.index.lock().insert(key_stem(key));
+    }
+
+    /// Snapshot of this handle's counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops an untrustworthy row: best-effort delete + index removal.
+    fn evict(&self, key: &CacheKey, path: &Path) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        let _ = fs::remove_file(path);
+        self.index.lock().remove(&key_stem(key));
+    }
+
+    /// Rewrites `index.json` from the in-memory set (temp + rename) —
+    /// called on open and on drop, not per row, so a batch of N puts
+    /// costs two index writes instead of N. Pure bookkeeping: failures
+    /// are counted but never propagated, and a manifest left stale by a
+    /// crash or a concurrent process is healed by the scan in `open`.
+    fn persist_index(&self) {
+        let index = StoreIndex {
+            version: STORE_FORMAT_VERSION,
+            entries: self.index.lock().iter().cloned().collect(),
+        };
+        let json = serde_json::to_string(&index).expect("store index serializes");
+        if self.write_atomic(&self.dir.join("index.json"), &json).is_err() {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Writes `contents` to `path` via a uniquely-named temp file in the
+    /// same directory and an atomic rename.
+    fn write_atomic(&self, path: &Path, contents: &str) -> io::Result<()> {
+        let nonce = self.tmp_counter.fetch_add(1, Ordering::Relaxed);
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}-{}",
+            std::process::id(),
+            nonce,
+            path.file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default()
+        ));
+        fs::write(&tmp, contents)?;
+        fs::rename(&tmp, path).inspect_err(|_| {
+            let _ = fs::remove_file(&tmp);
+        })
+    }
+}
+
+impl Drop for ResultStore {
+    /// Persists the manifest once per handle lifetime (end of process
+    /// for the binaries' stores) instead of once per row.
+    fn drop(&mut self) {
+        self.persist_index();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "cim_store_unit_{tag}_{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn key(n: u64) -> CacheKey {
+        CacheKey {
+            model: n,
+            arch: n.wrapping_mul(31),
+            strategy: n.wrapping_mul(97),
+        }
+    }
+
+    fn summary(n: u64) -> RunSummary {
+        RunSummary {
+            makespan_cycles: n * 100,
+            utilization: 1.0 / (n as f64 + 1.5),
+            total_pes: n as usize + 3,
+            duplicated_layers: n as usize % 4,
+        }
+    }
+
+    #[test]
+    fn put_get_round_trip_within_and_across_handles() {
+        let dir = tmp_dir("roundtrip");
+        let store = ResultStore::open(&dir).unwrap();
+        assert!(store.is_empty());
+        assert_eq!(store.get(&key(1)), None, "empty store misses");
+
+        store.put(&key(1), &summary(1));
+        assert_eq!(store.get(&key(1)), Some(summary(1)));
+        assert_eq!(store.get(&key(2)), None);
+
+        // A fresh handle (new process in spirit) sees the persisted row.
+        let reopened = ResultStore::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 1);
+        assert_eq!(reopened.get(&key(1)), Some(summary(1)));
+
+        let stats = store.stats();
+        assert_eq!(stats.lookups, 3);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.writes, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn index_corruption_is_healed_by_scan() {
+        let dir = tmp_dir("badindex");
+        let store = ResultStore::open(&dir).unwrap();
+        store.put(&key(7), &summary(7));
+        drop(store);
+        fs::write(dir.join("index.json"), "{ not json").unwrap();
+        let store = ResultStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 1, "scan recovers the row");
+        assert_eq!(store.get(&key(7)), Some(summary(7)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_mismatch_and_garbage_rows_are_evicted() {
+        let dir = tmp_dir("evict");
+        let store = ResultStore::open(&dir).unwrap();
+        store.put(&key(1), &summary(1));
+        store.put(&key(2), &summary(2));
+
+        // Bump the version of row 1, truncate row 2.
+        let p1 = store.entry_path(&key(1));
+        let futuristic = fs::read_to_string(&p1)
+            .unwrap()
+            .replace(
+                &format!("\"version\":{STORE_FORMAT_VERSION}"),
+                "\"version\":999999",
+            );
+        assert!(futuristic.contains("999999"), "version field rewritten");
+        fs::write(&p1, futuristic).unwrap();
+        let p2 = store.entry_path(&key(2));
+        let text = fs::read_to_string(&p2).unwrap();
+        fs::write(&p2, &text[..text.len() / 2]).unwrap();
+
+        assert_eq!(store.get(&key(1)), None, "future version distrusted");
+        assert_eq!(store.get(&key(2)), None, "truncated row distrusted");
+        assert!(!p1.exists() && !p2.exists(), "bad rows deleted");
+        assert_eq!(store.stats().evictions, 2);
+
+        // The keys are recomputable and storable again.
+        store.put(&key(1), &summary(1));
+        assert_eq!(store.get(&key(1)), Some(summary(1)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn misfiled_row_is_distrusted() {
+        let dir = tmp_dir("misfiled");
+        let store = ResultStore::open(&dir).unwrap();
+        store.put(&key(3), &summary(3));
+        // Copy row 3's bytes over row 4's file name: parses, right
+        // version, wrong key — must be evicted, not served.
+        fs::copy(store.entry_path(&key(3)), store.entry_path(&key(4))).unwrap();
+        assert_eq!(store.get(&key(4)), None);
+        assert_eq!(store.stats().evictions, 1);
+        assert_eq!(store.get(&key(3)), Some(summary(3)), "original intact");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn summary_floats_round_trip_bit_exactly() {
+        // The warm-run byte-identity guarantee rests on this.
+        for f in [0.016442451420029897f64, 2.5012942191544436, 1.0 / 3.0] {
+            let s = RunSummary {
+                makespan_cycles: 1,
+                utilization: f,
+                total_pes: 1,
+                duplicated_layers: 0,
+            };
+            let back: RunSummary =
+                serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+            assert_eq!(back.utilization.to_bits(), f.to_bits());
+        }
+    }
+}

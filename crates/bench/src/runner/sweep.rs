@@ -18,8 +18,9 @@ use cim_mapping::{layer_costs, min_pes, MappingOptions};
 use clsa_core::{eq3_predicted_speedup, CoreError, RunConfig};
 
 use super::cache::{CacheStats, ScheduleCache};
-use super::fingerprint::fingerprint;
+use super::fingerprint::{fingerprint, CacheKey};
 use super::lane::parallel_map;
+use super::store::{ResultStore, RunSummary, StoreStats};
 use super::RunnerOptions;
 use crate::experiments::{ConfigResult, SweepOptions};
 
@@ -65,8 +66,11 @@ pub struct SweepJob {
 pub struct BatchResult {
     /// One row per job, in job order — identical to a sequential run.
     pub results: Vec<ConfigResult>,
-    /// Cache counters accumulated over the batch.
+    /// In-memory cache counters accumulated over the batch.
     pub stats: CacheStats,
+    /// Persistent-store counters, when the batch ran against a
+    /// `--cache-dir` ([`run_batch_with_store`]).
+    pub store_stats: Option<StoreStats>,
 }
 
 /// Builds the paper's standard job list for one model: the layer-by-layer
@@ -156,24 +160,58 @@ pub fn sweep_jobs_for_models(
 /// requires each model's [`BASELINE_LABEL`] row to be part of `jobs`;
 /// a missing baseline is a [`CoreError::StageMismatch`].
 pub fn run_batch(jobs: &[SweepJob], options: &RunnerOptions) -> Result<BatchResult, CoreError> {
+    run_batch_with_store(jobs, options, None)
+}
+
+/// [`run_batch`] backed by a persistent [`ResultStore`].
+///
+/// Each job first consults the store under its schedule-level
+/// [`CacheKey`]; a trustworthy row skips the whole pipeline (mapping,
+/// stages, scheduling) and replays the persisted [`RunSummary`]. Misses
+/// compute through the shared in-memory [`ScheduleCache`] as usual and
+/// persist their summary afterwards, so a warm re-run of the same sweep
+/// is nearly free and — because aggregation consumes only summaries, and
+/// summaries round-trip bit-exactly — produces byte-identical rows.
+///
+/// # Errors
+///
+/// Same conditions as [`run_batch`]. Store I/O problems never fail the
+/// batch: unreadable rows are evicted and recomputed, failed writes are
+/// counted in [`StoreStats::write_errors`].
+pub fn run_batch_with_store(
+    jobs: &[SweepJob],
+    options: &RunnerOptions,
+    store: Option<&ResultStore>,
+) -> Result<BatchResult, CoreError> {
     let cache = ScheduleCache::new();
     let outcomes = parallel_map(jobs, options.jobs, |_, job| {
-        cache.run(job.model_fp, &job.graph, &job.config)
+        let key = CacheKey::schedule(job.model_fp, &job.config);
+        if let Some(store) = store {
+            if let Some(summary) = store.get(&key) {
+                return Ok(summary);
+            }
+        }
+        let result = cache.run(job.model_fp, &job.graph, &job.config)?;
+        let summary = RunSummary::of(&result);
+        if let Some(store) = store {
+            store.put(&key, &summary);
+        }
+        Ok::<RunSummary, CoreError>(summary)
     });
 
     // Baselines first: every other row of a model references its makespan.
     let mut baselines: HashMap<&str, (u64, f64)> = HashMap::new();
     for (job, outcome) in jobs.iter().zip(&outcomes) {
         if job.label == BASELINE_LABEL {
-            if let Ok(r) = outcome {
-                baselines.insert(&job.model, (r.makespan(), r.report.utilization));
+            if let Ok(s) = outcome {
+                baselines.insert(&job.model, (s.makespan_cycles, s.utilization));
             }
         }
     }
 
     let mut results = Vec::with_capacity(jobs.len());
     for (job, outcome) in jobs.iter().zip(outcomes) {
-        let r = outcome?;
+        let s = outcome?;
         let &(base_makespan, ut_lbl) =
             baselines
                 .get(job.model.as_str())
@@ -186,18 +224,19 @@ pub fn run_batch(jobs: &[SweepJob], options: &RunnerOptions) -> Result<BatchResu
             label: job.label.clone(),
             x: job.x,
             pe_min: job.pe_min,
-            total_pes: r.report.total_pes,
-            makespan_cycles: r.makespan(),
-            makespan_ns: r.makespan() * t_mvm,
-            speedup: base_makespan as f64 / r.makespan() as f64,
-            utilization: r.report.utilization,
-            eq3_predicted: eq3_predicted_speedup(r.report.utilization, ut_lbl, job.pe_min, job.x),
-            duplicated_layers: r.plan.as_ref().map_or(0, |p| p.duplicated_layers()),
+            total_pes: s.total_pes,
+            makespan_cycles: s.makespan_cycles,
+            makespan_ns: s.makespan_cycles * t_mvm,
+            speedup: base_makespan as f64 / s.makespan_cycles as f64,
+            utilization: s.utilization,
+            eq3_predicted: eq3_predicted_speedup(s.utilization, ut_lbl, job.pe_min, job.x),
+            duplicated_layers: s.duplicated_layers,
         });
     }
     Ok(BatchResult {
         results,
         stats: cache.stats(),
+        store_stats: store.map(ResultStore::stats),
     })
 }
 

@@ -77,7 +77,8 @@ pub use error::{CoreError, Result};
 pub use gantt::{gantt_csv, gantt_rows, gantt_text, GanttRow};
 pub use metrics::{eq3_predicted_speedup, speedup, utilization, UtilizationReport};
 pub use pipeline::{
-    prepare, run, run_prepared, MappingChoice, Prepared, RunConfig, RunResult, SchedulingChoice,
+    prepare, run, run_prepared, Deps, Layers, MappedGraph, MappingChoice, Prepared, RunConfig,
+    RunResult, SchedulingChoice,
 };
 pub use schedule::{
     batched_cross_layer_schedule, cross_layer_schedule, layer_by_layer_schedule, set_bytes,

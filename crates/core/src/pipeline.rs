@@ -2,6 +2,8 @@
 //! architecture — the four configurations evaluated in the paper's Sec. V
 //! (`layer-by-layer`, `wdup`, `xinf`, `wdup+xinf`).
 
+use std::sync::Arc;
+
 use cim_arch::{place_groups, Architecture, PlacementStrategy};
 use cim_ir::Graph;
 use cim_mapping::{
@@ -108,31 +110,54 @@ impl RunConfig {
 /// cache so that e.g. a baseline and a CLSA run over the same model share
 /// one stage computation.
 ///
-/// All fields are plain owned data (`Send + Sync`), so a `Prepared` can be
-/// shared across worker threads behind an `Arc`.
+/// The stage artifacts are handed out behind [`Arc`]s ([`MappedGraph`],
+/// [`Layers`], [`Deps`]): cloning a `Prepared` — and building any number of
+/// [`RunResult`]s from it via [`run_prepared`] — bumps three reference
+/// counts instead of deep-copying a multi-hundred-layer graph, so a batch
+/// over N configurations of one model holds **one** copy of the stage
+/// outputs, not N. All payloads are plain owned data (`Send + Sync`), so
+/// the `Arc`s share freely across worker threads.
 #[derive(Debug, Clone)]
 pub struct Prepared {
     /// The mapped graph (duplicates expanded, logical layers marked).
-    pub mapped_graph: Graph,
+    pub mapped_graph: MappedGraph,
     /// Stage-I sets per base layer of the mapped graph.
-    pub layers: Vec<LayerSets>,
+    pub layers: Layers,
     /// Stage-II dependencies.
-    pub deps: Dependencies,
+    pub deps: Deps,
     /// `PE_min` of the *original* graph (weights stored once).
     pub pe_min: usize,
     /// The duplication plan, when weight duplication was requested.
     pub plan: Option<DuplicationPlan>,
 }
 
+/// Shared handle to a mapped graph (duplicates expanded, logical layers
+/// marked). Cloning is a reference-count bump.
+pub type MappedGraph = Arc<Graph>;
+
+/// Shared handle to the Stage-I sets of every base layer. Cloning is a
+/// reference-count bump; `&layers` deref-coerces to `&[LayerSets]`
+/// wherever a slice is expected.
+pub type Layers = Arc<Vec<LayerSets>>;
+
+/// Shared handle to the Stage-II dependency relation. Cloning is a
+/// reference-count bump.
+pub type Deps = Arc<Dependencies>;
+
 /// Everything a pipeline run produces.
+///
+/// The stage artifacts (`mapped_graph`, `layers`, `deps`) are the *same*
+/// [`Arc`]s as the [`Prepared`] the run came from — results of different
+/// scheduling variants over one mapping share one copy of the stage
+/// outputs (checked by `tests/arc_sharing.rs`).
 #[derive(Debug, Clone)]
 pub struct RunResult {
     /// The mapped graph (duplicates expanded, logical layers marked).
-    pub mapped_graph: Graph,
+    pub mapped_graph: MappedGraph,
     /// Stage-I sets per base layer of the mapped graph.
-    pub layers: Vec<LayerSets>,
+    pub layers: Layers,
     /// Stage-II dependencies.
-    pub deps: Dependencies,
+    pub deps: Deps,
     /// The schedule (Stage IV or the baseline).
     pub schedule: Schedule,
     /// Eq. 2 utilization report over the architecture's PEs.
@@ -185,18 +210,7 @@ impl RunResult {
 /// ```
 pub fn run(graph: &Graph, config: &RunConfig) -> Result<RunResult> {
     let prepared = prepare(graph, config)?;
-    let (schedule, report) = schedule_prepared(&prepared, config)?;
-    // Moving the stage outputs keeps the one-shot path clone-free; only
-    // `run_prepared` (shared/cached Prepared) pays for clones.
-    Ok(RunResult {
-        mapped_graph: prepared.mapped_graph,
-        layers: prepared.layers,
-        deps: prepared.deps,
-        schedule,
-        report,
-        pe_min: prepared.pe_min,
-        plan: prepared.plan,
-    })
+    run_prepared(&prepared, config)
 }
 
 /// Runs the front half of the pipeline: mapping plus Stages I & II.
@@ -242,9 +256,9 @@ pub fn prepare(graph: &Graph, config: &RunConfig) -> Result<Prepared> {
     let deps = determine_dependencies(&mapped_graph, &layers)?;
 
     Ok(Prepared {
-        mapped_graph,
-        layers,
-        deps,
+        mapped_graph: Arc::new(mapped_graph),
+        layers: Arc::new(layers),
+        deps: Arc::new(deps),
         pe_min,
         plan: keep_plan.then_some(plan),
     })
@@ -257,15 +271,20 @@ pub fn prepare(graph: &Graph, config: &RunConfig) -> Result<Prepared> {
 /// `config` must carry the same architecture the `Prepared` was built
 /// with; the mapping-side fields are not re-read.
 ///
+/// The returned result *shares* the `Prepared`'s stage artifacts — the
+/// `mapped_graph`/`layers`/`deps` clones below are `Arc` reference-count
+/// bumps, never deep copies, so scheduling a cached `Prepared` under many
+/// strategies is zero-copy on the stage outputs.
+///
 /// # Errors
 ///
 /// Propagates placement, scheduling, and validation failures.
 pub fn run_prepared(prepared: &Prepared, config: &RunConfig) -> Result<RunResult> {
     let (schedule, report) = schedule_prepared(prepared, config)?;
     Ok(RunResult {
-        mapped_graph: prepared.mapped_graph.clone(),
-        layers: prepared.layers.clone(),
-        deps: prepared.deps.clone(),
+        mapped_graph: Arc::clone(&prepared.mapped_graph),
+        layers: Arc::clone(&prepared.layers),
+        deps: Arc::clone(&prepared.deps),
         schedule,
         report,
         pe_min: prepared.pe_min,

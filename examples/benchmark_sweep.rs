@@ -4,15 +4,18 @@
 //!
 //! Run with: `cargo run --release --example benchmark_sweep`
 //! (pass a model name to restrict, e.g. `-- VGG16`; pass `--jobs N` to
-//! set the worker count — results are identical for every N)
+//! set the worker count — results are identical for every N; pass
+//! `--cache-dir <path>` to persist sweep summaries across runs)
 
-use clsa_cim::bench::runner::{run_batch, sweep_jobs_for_models};
-use clsa_cim::bench::{parse_jobs_arg, SweepOptions};
+use clsa_cim::bench::runner::{run_batch_with_store, sweep_jobs_for_models, ResultStore};
+use clsa_cim::bench::{parse_cache_dir_arg, parse_jobs_arg, SweepOptions};
 use clsa_cim::ir::Graph;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let (rest, runner) = parse_jobs_arg(&raw);
+    let (rest, cache_dir) = parse_cache_dir_arg(&rest);
+    let store = cache_dir.as_deref().map(ResultStore::open).transpose()?;
     let filter = rest.first();
 
     let models: Vec<(String, Graph)> = clsa_cim::models::table2_models()
@@ -40,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         jobs.len(),
         runner.jobs
     );
-    let batch = run_batch(&jobs, &runner)?;
+    let batch = run_batch_with_store(&jobs, &runner, store.as_ref())?;
 
     for (name, _) in &models {
         let rows: Vec<_> = batch.results.iter().filter(|r| &r.model == name).collect();
@@ -64,6 +67,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     println!("\nschedule cache: {}", batch.stats);
+    if let Some(stats) = batch.store_stats {
+        println!("persistent store: {stats}");
+    }
     println!("paper reference: best speedup 29.2x / best utilization 20.1 % (TinyYOLOv3)");
     Ok(())
 }

@@ -1,0 +1,104 @@
+//! Memory-sharing assertions for the zero-copy schedule refactor.
+//!
+//! `Prepared` and `RunResult` hand out `Arc<MappedGraph>`-style shared
+//! handles; these tests pin the sharing topology with `Arc::ptr_eq` /
+//! `Arc::strong_count`, so a future change that silently reintroduces a
+//! deep clone (dropping batch memory sharing back to O(configs × graph))
+//! fails loudly instead of just slowing down.
+
+use std::sync::Arc;
+
+use cim_bench::runner::{fingerprint, run_batch, sweep_jobs, RunnerOptions, ScheduleCache};
+use cim_bench::SweepOptions;
+use clsa_cim::arch::Architecture;
+use clsa_cim::core::{prepare, run_prepared, RunConfig};
+
+fn cfg(pes: usize) -> RunConfig {
+    RunConfig::baseline(Architecture::paper_case_study(pes).unwrap())
+}
+
+#[test]
+fn run_prepared_shares_the_stage_artifacts() {
+    let g = cim_models::fig5_example();
+    let prepared = prepare(&g, &cfg(2)).unwrap();
+    assert_eq!(Arc::strong_count(&prepared.layers), 1);
+
+    let baseline = run_prepared(&prepared, &cfg(2)).unwrap();
+    let clsa = run_prepared(&prepared, &cfg(2).with_cross_layer()).unwrap();
+
+    // Both results alias the Prepared's artifacts — reference bumps, not
+    // deep copies.
+    for result in [&baseline, &clsa] {
+        assert!(Arc::ptr_eq(&result.mapped_graph, &prepared.mapped_graph));
+        assert!(Arc::ptr_eq(&result.layers, &prepared.layers));
+        assert!(Arc::ptr_eq(&result.deps, &prepared.deps));
+    }
+    // Exactly three holders each: the Prepared plus the two results. A
+    // silent re-clone would leave the count at 2 (and ptr_eq false).
+    assert_eq!(Arc::strong_count(&prepared.layers), 3);
+    assert_eq!(Arc::strong_count(&prepared.deps), 3);
+    assert_eq!(Arc::strong_count(&prepared.mapped_graph), 3);
+
+    drop(baseline);
+    assert_eq!(Arc::strong_count(&prepared.layers), 2, "drops release shares");
+}
+
+#[test]
+fn cached_runs_of_one_mapping_share_one_prepared() {
+    let g = cim_models::fig5_example();
+    let fp = fingerprint(&g);
+    let cache = ScheduleCache::new();
+
+    let baseline = cache.run(fp, &g, &cfg(2)).unwrap();
+    let clsa = cache.run(fp, &g, &cfg(2).with_cross_layer()).unwrap();
+    assert_eq!(cache.stats().stage_computes, 1, "one stage computation");
+
+    // Different schedules, same stage artifacts, one underlying copy.
+    assert!(!Arc::ptr_eq(&baseline, &clsa));
+    assert!(Arc::ptr_eq(&baseline.mapped_graph, &clsa.mapped_graph));
+    assert!(Arc::ptr_eq(&baseline.layers, &clsa.layers));
+    assert!(Arc::ptr_eq(&baseline.deps, &clsa.deps));
+    // Holders: the cached Prepared + the two cached RunResults. Handing
+    // out more Arc<RunResult> clones must not grow this.
+    assert_eq!(Arc::strong_count(&baseline.layers), 3);
+    let again = cache.run(fp, &g, &cfg(2)).unwrap();
+    assert!(Arc::ptr_eq(&again, &baseline), "schedule-level hit");
+    assert_eq!(Arc::strong_count(&baseline.layers), 3);
+}
+
+#[test]
+fn identical_configs_in_a_cache_share_one_run_result() {
+    let g = cim_models::fig5_example();
+    let fp = fingerprint(&g);
+    let cache = ScheduleCache::new();
+    let handles: Vec<_> = (0..8).map(|_| cache.run(fp, &g, &cfg(2)).unwrap()).collect();
+    assert!(handles.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])));
+    // 8 handles + the cache's slot = 9; any re-compute or deep clone
+    // would break the pointer equality above and this count.
+    assert_eq!(Arc::strong_count(&handles[0]), 9);
+    assert_eq!(cache.stats().schedule_computes, 1);
+}
+
+#[test]
+fn batched_sweep_peaks_at_one_prepared_per_mapping() {
+    // The observable contract of the batch path: a full sweep performs
+    // one stage computation per distinct (model, arch, mapping) even
+    // though several jobs consume each Prepared, and the results are
+    // unaffected (golden tests pin the bytes; here we pin the sharing).
+    let g = cim_models::fig5_example();
+    let opts = SweepOptions {
+        xs: vec![1, 2],
+        ..SweepOptions::default()
+    };
+    let jobs = sweep_jobs("fig5", &g, &opts).unwrap();
+    assert_eq!(jobs.len(), 6);
+    // All six jobs share one canonicalized graph allocation.
+    assert!(jobs[1..].iter().all(|j| Arc::ptr_eq(&j.graph, &jobs[0].graph)));
+
+    let batch = run_batch(&jobs, &RunnerOptions::with_jobs(4)).unwrap();
+    // 3 distinct mappings (once-each, wdup+1, wdup+2) serve 6 schedules:
+    // each baseline/xinf pair shared one Prepared instead of cloning it.
+    assert_eq!(batch.stats.stage_computes, 3);
+    assert_eq!(batch.stats.schedule_computes, 6);
+    assert_eq!(batch.stats.stage_hits(), 3);
+}

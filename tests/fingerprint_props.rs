@@ -1,0 +1,161 @@
+//! Property coverage for the runner's fingerprints — the keys of both the
+//! in-memory schedule cache and the persistent `--cache-dir` store. The
+//! store trusts a row whenever its key matches, so these properties are
+//! the store's correctness contract: equal values must collide, distinct
+//! values must (overwhelmingly) not.
+
+use std::collections::HashMap;
+
+use cim_bench::runner::{fingerprint, mapping_fingerprint, strategy_fingerprint, CacheKey};
+use clsa_cim::arch::{Architecture, PlacementStrategy};
+use clsa_cim::core::{RunConfig, SetPolicy};
+use clsa_cim::mapping::Solver;
+use proptest::prelude::*;
+
+/// One strategy point of the mutation space, buildable twice over.
+fn config(
+    pes: usize,
+    cross_layer: bool,
+    wdup_exact: Option<bool>,
+    noc: bool,
+    gpeu: bool,
+    spread: bool,
+    coarse: Option<usize>,
+) -> RunConfig {
+    let mut cfg = RunConfig::baseline(Architecture::paper_case_study(pes).unwrap());
+    if cross_layer {
+        cfg = cfg.with_cross_layer();
+    }
+    if let Some(exact) = wdup_exact {
+        cfg = cfg.with_duplication(if exact { Solver::ExactDp } else { Solver::Greedy });
+    }
+    cfg.noc_cost = noc;
+    cfg.gpeu_cost = gpeu;
+    if spread {
+        cfg.placement = PlacementStrategy::RoundRobinTiles;
+    }
+    if let Some(k) = coarse {
+        cfg.set_policy = SetPolicy::coarse(k);
+    }
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Equal values ⇒ equal fingerprints: a graph, its clone, and an
+    /// independently rebuilt copy (same generator inputs) all collide.
+    #[test]
+    fn equal_graphs_have_equal_fingerprints(seed in 0u64..50_000, n in 1usize..8) {
+        let a = cim_models::random_cnn(seed, n);
+        let rebuilt = cim_models::random_cnn(seed, n);
+        prop_assert_eq!(fingerprint(&a), fingerprint(&a.clone()));
+        prop_assert_eq!(fingerprint(&a), fingerprint(&rebuilt));
+    }
+
+    /// Serialization-order stability: the fingerprint substrate (the
+    /// canonical JSON) is identical across repeated serializations of one
+    /// value — no map-iteration or thread-interleaving wobble — so the
+    /// fingerprint is a pure function of the value.
+    #[test]
+    fn serialization_is_order_stable(seed in 0u64..50_000, n in 1usize..8) {
+        let g = cim_models::random_cnn(seed, n);
+        let first = serde_json::to_string(&g).unwrap();
+        let second = serde_json::to_string(&g).unwrap();
+        prop_assert_eq!(&first, &second);
+        prop_assert_eq!(fingerprint(&g), fingerprint(&g));
+    }
+
+    /// Equal configurations (rebuilt from the same choices) produce equal
+    /// mapping/strategy fingerprints and equal cache keys.
+    #[test]
+    fn equal_configs_have_equal_keys(
+        pes in 2usize..64,
+        cross in proptest::bool::ANY,
+        wdup_code in 0usize..3, // 0 = once-each, 1 = greedy wdup, 2 = exact wdup
+        noc in proptest::bool::ANY,
+        spread in proptest::bool::ANY,
+        coarse_code in 0usize..5, // 0 = finest, k = coarse(k)
+    ) {
+        let wdup = match wdup_code {
+            0 => None,
+            1 => Some(false),
+            _ => Some(true),
+        };
+        let coarse = (coarse_code > 0).then_some(coarse_code);
+        let a = config(pes, cross, wdup, noc, false, spread, coarse);
+        let b = config(pes, cross, wdup, noc, false, spread, coarse);
+        prop_assert_eq!(mapping_fingerprint(&a), mapping_fingerprint(&b));
+        prop_assert_eq!(strategy_fingerprint(&a), strategy_fingerprint(&b));
+        prop_assert_eq!(CacheKey::schedule(7, &a), CacheKey::schedule(7, &b));
+        prop_assert_eq!(CacheKey::stages(7, &a), CacheKey::stages(7, &b));
+    }
+}
+
+/// Records `fp` for a value with canonical serialization `json`,
+/// asserting that any fingerprint collision is a genuine value collision.
+fn record(seen: &mut HashMap<u64, String>, fp: u64, json: String) {
+    if let Some(previous) = seen.get(&fp) {
+        assert_eq!(
+            previous, &json,
+            "64-bit fingerprint collision between distinct values"
+        );
+    } else {
+        seen.insert(fp, json);
+    }
+}
+
+/// Birthday-style distinctness over random *model* mutations: hundreds of
+/// structurally distinct graphs, zero fingerprint collisions.
+#[test]
+fn random_model_mutations_stay_distinct() {
+    let mut seen = HashMap::new();
+    for seed in 0..160 {
+        for n in [1, 3, 6] {
+            let g = cim_models::random_cnn(seed, n);
+            record(&mut seen, fingerprint(&g), serde_json::to_string(&g).unwrap());
+        }
+    }
+    assert!(seen.len() > 400, "mutation space produced {} distinct graphs", seen.len());
+}
+
+/// Birthday-style distinctness over *architecture* mutations.
+#[test]
+fn arch_mutations_stay_distinct() {
+    let mut seen = HashMap::new();
+    for pes in 1..400 {
+        let arch = Architecture::paper_case_study(pes).unwrap();
+        record(&mut seen, fingerprint(&arch), serde_json::to_string(&arch).unwrap());
+    }
+    assert_eq!(seen.len(), 399, "one fingerprint per PE budget");
+}
+
+/// Birthday-style distinctness over *strategy* mutations: every
+/// scheduling-relevant choice splits the strategy fingerprint, and the
+/// mapping prefix splits exactly when a mapping-side choice differs.
+#[test]
+fn strategy_mutations_stay_distinct() {
+    let mut strategies = HashMap::new();
+    let mut count = 0;
+    for cross in [false, true] {
+        for wdup in [None, Some(false), Some(true)] {
+            for noc in [false, true] {
+                for gpeu in [false, true] {
+                    for spread in [false, true] {
+                        for coarse in [None, Some(1), Some(3)] {
+                            let cfg = config(8, cross, wdup, noc, gpeu, spread, coarse);
+                            let strat = strategy_fingerprint(&cfg);
+                            let json = serde_json::to_string(&(
+                                cross, wdup, noc, gpeu, spread, coarse,
+                            ))
+                            .unwrap();
+                            record(&mut strategies, strat, json);
+                            count += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(strategies.len(), count, "every strategy point distinct");
+}

@@ -93,12 +93,12 @@ fn schedule_artifacts_round_trip_through_json() {
     let layers_json = serde_json::to_string(&r.layers).expect("layers serialize");
     let layers_back: Vec<clsa_cim::core::LayerSets> =
         serde_json::from_str(&layers_json).expect("layers deserialize");
-    assert_eq!(layers_back, r.layers);
+    assert_eq!(&layers_back, r.layers.as_ref());
 
     let deps_json = serde_json::to_string(&r.deps).expect("deps serialize");
     let deps_back: clsa_cim::core::Dependencies =
         serde_json::from_str(&deps_json).expect("deps deserialize");
-    assert_eq!(deps_back, r.deps);
+    assert_eq!(&deps_back, r.deps.as_ref());
 
     let schedule_json = serde_json::to_string(&r.schedule).expect("schedule serializes");
     let schedule_back: clsa_cim::core::Schedule =

@@ -13,6 +13,11 @@
 //! `serde_json` (also vendored) renders [`Value`] trees to JSON text and
 //! parses them back, which is all the workspace uses serialization for.
 //!
+//! Unlike real serde, the `Rc`/`Arc` impls (feature `rc` upstream) are
+//! always available — the pipeline shares its stage artifacts behind
+//! `Arc` and serializes them transparently (no reference-count tracking,
+//! same as upstream).
+//!
 //! # Examples
 //!
 //! ```
@@ -270,6 +275,33 @@ impl<T: Serialize + ?Sized> Serialize for Box<T> {
 impl<T: Deserialize> Deserialize for Box<T> {
     fn from_value(v: &Value) -> Result<Self, Error> {
         T::from_value(v).map(Box::new)
+    }
+}
+
+// Real serde gates the reference-counted impls behind the `rc` feature;
+// the stand-in ships them unconditionally (the workspace shares pipeline
+// artifacts behind `Arc` and still serializes them transparently).
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(std::sync::Arc::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::rc::Rc<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(std::rc::Rc::new)
     }
 }
 
