@@ -1,0 +1,155 @@
+//! Criterion benchmarks over the scheduling core on the fig6 model set
+//! (the paper's TinyYOLOv4 case study) — the repository's tracked perf
+//! trajectory.
+//!
+//! Run with `CIM_BENCH_JSON=BENCH_schedule.json cargo bench -p cim-bench
+//! --bench schedule_core` to (re)generate the `BENCH_schedule.json`
+//! snapshot at the repo root; CI runs the same command in smoke mode
+//! (`CIM_BENCH_SAMPLES=3`) and re-runs the golden suite afterwards so the
+//! numbers always describe output-neutral code.
+//!
+//! Covered surfaces:
+//!
+//! * `cold_pipeline` — a full `clsa_core::run` (mapping + Stages I–IV +
+//!   validation) from scratch;
+//! * `stage2_dependencies` — the CSR `determine_dependencies` (scratch
+//!   buffer, flat arena) on the case-study mapping;
+//! * `batched_noc_gpeu_b32` — `batched_cross_layer_schedule` under the
+//!   `NocAndGpeu` cost model at batch 32, both the optimized (costs
+//!   precomputed once per batch) and the retained naive reference
+//!   implementation (`clsa_core::reference`, cost model re-evaluated per
+//!   edge per instance) — the pair whose ratio is the PR-gating ≥ 2×
+//!   speedup;
+//! * `warm_sweep` — the fig6c sweep replayed from a warm persistent
+//!   store (the cross-run caching hot path).
+
+use cim_arch::{place_groups, Architecture, PlacementStrategy, TileSpec};
+use cim_bench::artifacts::{case_study_graph, fig6c_results_for};
+use cim_bench::runner::{ResultStore, RunnerOptions};
+use clsa_core::{
+    batched_cross_layer_schedule, prepare, reference, run, Dependencies, EdgeCost, LayerSets,
+    RunConfig,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+/// TinyYOLOv4's `PE_min` on the paper's 256×256 crossbars (Table II).
+const PE_MIN: usize = 117;
+
+fn xinf_config() -> RunConfig {
+    let arch = Architecture::paper_case_study(PE_MIN).expect("case-study arch");
+    RunConfig::baseline(arch).with_cross_layer()
+}
+
+/// The Stage-I/II outputs of the case-study mapping, shared by the
+/// scheduling benches.
+fn case_study_stages() -> (Vec<LayerSets>, Dependencies) {
+    let g = case_study_graph();
+    let prepared = prepare(&g, &xinf_config()).expect("prepare");
+    (
+        prepared.layers.as_ref().clone(),
+        prepared.deps.as_ref().clone(),
+    )
+}
+
+/// A NocAndGpeu cost model over the case-study group sizes: 16-PE tiles,
+/// 2-cycle hops, a 256-op/cycle GPEU — enough structure that edge costs
+/// are non-trivial without dwarfing the compute.
+fn noc_gpeu_cost(layers: &[LayerSets]) -> EdgeCost {
+    let sizes: Vec<usize> = layers.iter().map(|l| l.pes).collect();
+    let used: usize = sizes.iter().sum();
+    let arch = Architecture::builder()
+        .tile(TileSpec {
+            pes_per_tile: 16,
+            gpeu_ops_per_cycle: 256,
+            ..TileSpec::isaac_like()
+        })
+        .noc_hop_latency(2)
+        .pes(used)
+        .build()
+        .expect("bench arch");
+    let placement = place_groups(&arch, &sizes, PlacementStrategy::Contiguous).expect("placement");
+    EdgeCost::NocAndGpeu { arch, placement }
+}
+
+fn bench_cold_pipeline(c: &mut Criterion) {
+    let g = case_study_graph();
+    let cfg = xinf_config();
+    let mut group = c.benchmark_group("schedule_core");
+    group.bench_with_input(
+        BenchmarkId::new("cold_pipeline", "TinyYOLOv4_xinf"),
+        &g,
+        |b, g| b.iter(|| run(g, &cfg).expect("pipeline")),
+    );
+    group.finish();
+}
+
+fn bench_stage2(c: &mut Criterion) {
+    let g = case_study_graph();
+    let prepared = prepare(&g, &xinf_config()).expect("prepare");
+    let mut group = c.benchmark_group("schedule_core");
+    group.throughput(Throughput::Elements(prepared.deps.num_edges() as u64));
+    group.bench_with_input(
+        BenchmarkId::new("stage2_dependencies", "TinyYOLOv4"),
+        &prepared,
+        |b, p| {
+            b.iter(|| {
+                clsa_core::determine_dependencies(&p.mapped_graph, &p.layers).expect("stage II")
+            })
+        },
+    );
+    group.finish();
+}
+
+fn bench_batched(c: &mut Criterion) {
+    let (layers, deps) = case_study_stages();
+    let cost = noc_gpeu_cost(&layers);
+    let mut group = c.benchmark_group("schedule_core");
+    group.throughput(Throughput::Elements(32 * deps.num_edges() as u64));
+    group.bench_with_input(
+        BenchmarkId::new("batched_noc_gpeu_b32", "csr_precomputed"),
+        &(&layers, &deps),
+        |b, (layers, deps)| {
+            b.iter(|| batched_cross_layer_schedule(layers, deps, &cost, 32).expect("batched"))
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("batched_noc_gpeu_b32", "naive_reference"),
+        &(&layers, &deps),
+        |b, (layers, deps)| {
+            b.iter(|| {
+                reference::batched_cross_layer_schedule_naive(layers, deps, &cost, 32)
+                    .expect("naive batched")
+            })
+        },
+    );
+    group.finish();
+}
+
+fn bench_warm_sweep(c: &mut Criterion) {
+    let g = case_study_graph();
+    let dir = std::env::temp_dir().join(format!("cim-bench-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        // Populate the store once; the bench then measures warm replays.
+        let store = ResultStore::open(&dir).expect("store opens");
+        fig6c_results_for(&g, &RunnerOptions::sequential(), Some(&store)).expect("cold sweep");
+    }
+    let mut group = c.benchmark_group("schedule_core");
+    group.bench_with_input(BenchmarkId::new("warm_sweep", "fig6c"), &g, |b, g| {
+        b.iter(|| {
+            let store = ResultStore::open(&dir).expect("store opens");
+            fig6c_results_for(g, &RunnerOptions::sequential(), Some(&store)).expect("warm sweep")
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(
+    benches,
+    bench_cold_pipeline,
+    bench_stage2,
+    bench_batched,
+    bench_warm_sweep
+);
+criterion_main!(benches);

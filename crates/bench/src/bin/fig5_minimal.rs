@@ -90,7 +90,7 @@ fn main() {
     println!("\nStage IV — cross-layer schedule (start/finish in cycles)");
     let mut rows = Vec::new();
     for (li, l) in layers.iter().enumerate() {
-        for (si, t) in xl.times[li].iter().enumerate() {
+        for (si, t) in xl.layer(li).iter().enumerate() {
             rows.push(vec![
                 format!("{}.set{si}", l.name),
                 t.start.to_string(),

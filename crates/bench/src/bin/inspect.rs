@@ -119,11 +119,13 @@ fn main() {
                 l.name.clone(),
                 l.pes.to_string(),
                 l.sets.len().to_string(),
-                r.schedule.times[li]
+                r.schedule
+                    .layer(li)
                     .first()
                     .map_or(0, |t| t.start)
                     .to_string(),
-                r.schedule.times[li]
+                r.schedule
+                    .layer(li)
                     .last()
                     .map_or(0, |t| t.finish)
                     .to_string(),

@@ -9,21 +9,79 @@
 //! for robustness: any `Serialize` type gets a fingerprint with zero
 //! per-type code, and two values collide only if they serialize
 //! identically (or in the astronomically unlikely 64-bit hash collision).
+//!
+//! Hashing **streams**: the serializer writes its output chunks straight
+//! into a rolling [`FnvWriter`] sink (`serde_json::to_fmt_writer`), so the
+//! JSON *text* is never materialized — for a multi-hundred-layer graph
+//! that is a multi-hundred-kilobyte `String` (plus the copy through it)
+//! saved per fingerprint. Note the vendored serde is `Value`-tree based,
+//! so the intermediate `Value` tree is still built; eliminating it too
+//! would need an event-driven serializer in the stand-in. The byte stream
+//! equals the `to_string` output, so the produced `u64`s — and with them
+//! every key in an on-disk [`ResultStore`](super::store::ResultStore) —
+//! are unchanged (pinned by this module's tests).
+
+use std::fmt;
 
 use clsa_core::RunConfig;
 use serde::Serialize;
 
-/// 64-bit FNV-1a over a byte slice.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+/// The FNV-1a offset basis (the hash of the empty stream).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// The FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A [`fmt::Write`] sink folding every incoming chunk into a rolling
+/// 64-bit FNV-1a state — the streaming substrate of [`fingerprint`].
+#[derive(Debug, Clone, Copy)]
+pub struct FnvWriter(u64);
+
+impl FnvWriter {
+    /// A writer in the initial (offset-basis) state.
+    pub fn new() -> Self {
+        FnvWriter(FNV_OFFSET)
     }
-    hash
+
+    /// The hash of everything written so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+
+    /// Folds raw bytes into the state.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        let mut hash = self.0;
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = hash;
+    }
 }
 
-/// Fingerprints any serializable value.
+impl Default for FnvWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Write for FnvWriter {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.write_bytes(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// 64-bit FNV-1a over a byte slice (the one-shot form; [`fingerprint`]
+/// streams instead).
+#[cfg(test)]
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut w = FnvWriter::new();
+    w.write_bytes(bytes);
+    w.finish()
+}
+
+/// Fingerprints any serializable value by streaming its canonical JSON
+/// serialization through a [`FnvWriter`] — no intermediate `String`.
 ///
 /// # Examples
 ///
@@ -35,8 +93,9 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// assert_ne!(a, fingerprint(&vec![3u32, 2, 1]));
 /// ```
 pub fn fingerprint<T: Serialize>(value: &T) -> u64 {
-    let json = serde_json::to_string(value).expect("fingerprinted types serialize infallibly");
-    fnv1a(json.as_bytes())
+    let mut sink = FnvWriter::new();
+    serde_json::to_fmt_writer(&mut sink, value).expect("fingerprinted types serialize infallibly");
+    sink.finish()
 }
 
 /// Cache key of one job: `(model, architecture, strategy)` fingerprints.
@@ -159,6 +218,30 @@ mod tests {
         let fast = RunConfig::baseline(arch_with_hop(0));
         assert_eq!(CacheKey::stages(1, &slow), CacheKey::stages(1, &fast));
         assert_ne!(CacheKey::schedule(1, &slow), CacheKey::schedule(1, &fast));
+    }
+
+    #[test]
+    fn known_fingerprint_values_are_pinned() {
+        // The streaming hasher must keep producing the exact FNV-1a-over-
+        // canonical-JSON values of the pre-streaming implementation: every
+        // on-disk store row is named by these u64s, so a drift here would
+        // silently invalidate persisted caches.
+        assert_eq!(fingerprint(&vec![1u32, 2, 3]), 0x28bb_ee43_9869_9f19);
+        assert_eq!(fingerprint(&"clsa-cim".to_string()), 0x1295_43c7_7019_3a7e);
+        // Offset basis: the hash of an empty stream.
+        assert_eq!(FnvWriter::new().finish(), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn streaming_equals_hashing_the_materialized_string() {
+        // Differential pin: for structured real-world values the streamed
+        // bytes must equal the `to_string` output byte for byte.
+        let g = cim_models::fig5_example();
+        let json = serde_json::to_string(&g).unwrap();
+        assert_eq!(fingerprint(&g), fnv1a(json.as_bytes()));
+        let cfg_parts = (1.5f64, -7i64, "esc\"ape\n".to_string(), vec![0u8; 3]);
+        let json = serde_json::to_string(&cfg_parts).unwrap();
+        assert_eq!(fingerprint(&cfg_parts), fnv1a(json.as_bytes()));
     }
 
     #[test]

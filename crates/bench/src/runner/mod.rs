@@ -55,7 +55,7 @@ pub mod store;
 mod sweep;
 
 pub use cache::{CacheStats, ScheduleCache};
-pub use fingerprint::{fingerprint, mapping_fingerprint, strategy_fingerprint, CacheKey};
+pub use fingerprint::{fingerprint, mapping_fingerprint, strategy_fingerprint, CacheKey, FnvWriter};
 pub use lane::parallel_map;
 pub use store::{ResultStore, RunSummary, StoreStats, STORE_FORMAT_VERSION};
 pub use sweep::{

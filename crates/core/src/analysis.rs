@@ -9,9 +9,10 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::cost::CostedDeps;
 use crate::deps::{Dependencies, SetRef};
 use crate::error::{CoreError, Result};
-use crate::schedule::{set_bytes, EdgeCost, Schedule};
+use crate::schedule::{EdgeCost, Schedule};
 use crate::sets::LayerSets;
 
 /// One step of the critical path.
@@ -51,10 +52,13 @@ pub fn critical_path(
             detail: "analysis inputs cover different layer counts".into(),
         });
     }
+    // Edge latencies, precomputed once for the whole walk (consumer side
+    // only — the walk never needs the fan-out view).
+    let costed = CostedDeps::build_consumer_only(layers, deps, edge_cost)?;
     // Find the set finishing last.
     let mut cur: Option<SetRef> = None;
     let mut best_finish = 0u64;
-    for (li, lt) in schedule.times.iter().enumerate() {
+    for (li, lt) in schedule.iter_layers().enumerate() {
         for (si, t) in lt.iter().enumerate() {
             if t.finish >= best_finish {
                 best_finish = t.finish;
@@ -67,7 +71,7 @@ pub fn critical_path(
         detail: "empty schedule".into(),
     })?;
     loop {
-        let t = schedule.times[cur.layer][cur.set];
+        let t = schedule.time(cur.layer, cur.set);
         path.push(CriticalStep {
             set: cur,
             start: t.start,
@@ -78,10 +82,13 @@ pub fn critical_path(
         }
         // Prefer a data dependency whose arrival binds the start.
         let mut binding: Option<SetRef> = None;
-        for dep in deps.of(cur.layer, cur.set) {
-            let dt = schedule.times[dep.layer][dep.set];
-            let bytes = set_bytes(&layers[dep.layer], dep.set);
-            if dt.finish + edge_cost.cycles(dep.layer, cur.layer, bytes)? == t.start {
+        for (dep, &lat) in deps
+            .of(cur.layer, cur.set)
+            .iter()
+            .zip(costed.latencies_of(cur.layer, cur.set))
+        {
+            let dt = schedule.time(dep.layer, dep.set);
+            if dt.finish + lat == t.start {
                 binding = Some(*dep);
                 break;
             }
@@ -92,7 +99,7 @@ pub fn critical_path(
                 layer: cur.layer,
                 set: cur.set - 1,
             };
-            if schedule.times[prev.layer][prev.set].finish == t.start {
+            if schedule.time(prev.layer, prev.set).finish == t.start {
                 binding = Some(prev);
             }
         }
@@ -206,9 +213,9 @@ mod tests {
         let (layers, deps, mut s) = two_convs();
         // Delay the final set artificially: its start no longer has a
         // binding predecessor, and it still ends the schedule.
-        let last = s.times[1].len() - 1;
-        s.times[1][last].start += 1;
-        s.times[1][last].finish += 1;
+        let last = s.layer(1).len() - 1;
+        s.time_mut(1, last).start += 1;
+        s.time_mut(1, last).finish += 1;
         s.makespan += 1;
         assert!(matches!(
             critical_path(&layers, &deps, &s, &EdgeCost::Free),

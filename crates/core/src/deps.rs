@@ -9,14 +9,24 @@
 //!
 //! One producer set can influence multiple consumer sets (the paper's `Q`
 //! relation) and one consumer set can require multiple producer sets (`P`).
-
-use std::collections::HashSet;
+//!
+//! # Representation
+//!
+//! The relation is stored in **CSR form** over the global
+//! [`SetSpace`] index: one flat `producers` arena holding
+//! every edge's producer [`SetRef`], sliced per consumer set by an offset
+//! table. Compared to the former `Vec<Vec<Vec<SetRef>>>` nesting this is
+//! one allocation instead of one per set, with cache-linear edge walks in
+//! the Stage III/IV longest-path sweep. The public API (`of`, `edges`,
+//! `fan_in`, `fan_out`) and the serde format (the nested `deps` array) are
+//! unchanged.
 
 use cim_ir::{input_region, Graph, NodeId, Op, Rect};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 use crate::error::{CoreError, Result};
 use crate::sets::LayerSets;
+use crate::space::SetSpace;
 
 /// Identifier of a set: layer index (into the Stage-I slice) and set index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -34,11 +44,19 @@ impl std::fmt::Display for SetRef {
 }
 
 /// The Stage-II result: per consumer set, the producer sets it depends on.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// CSR-backed: `producers[offsets[i]..offsets[i + 1]]` are the (sorted,
+/// deduplicated) producers of the consumer set with global index `i` (see
+/// [`SetSpace::index`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Dependencies {
-    /// `deps[l][s]` — producer sets required by set `s` of layer `l`,
-    /// sorted and deduplicated.
-    deps: Vec<Vec<Vec<SetRef>>>,
+    /// The `(layer, set) → usize` index space the CSR arrays are sliced by.
+    space: SetSpace,
+    /// `offsets[i]..offsets[i + 1]` bounds consumer `i`'s producer slice.
+    offsets: Vec<usize>,
+    /// Flat producer arena (`edge_producers`), concatenated in consumer
+    /// order; each consumer's slice is sorted and deduplicated.
+    producers: Vec<SetRef>,
 }
 
 impl Dependencies {
@@ -57,10 +75,10 @@ impl Dependencies {
     /// Returns [`CoreError::StageMismatch`] when an edge references a
     /// nonexistent layer or set.
     pub fn from_edges(sets_per_layer: &[usize], edges: &[(SetRef, SetRef)]) -> Result<Self> {
-        let mut deps: Vec<Vec<Vec<SetRef>>> = sets_per_layer
-            .iter()
-            .map(|&n| vec![Vec::new(); n])
-            .collect();
+        let space = SetSpace::from_counts(sets_per_layer);
+        // Validate endpoints, then sort the edge list by (consumer global
+        // index, producer) so the CSR arena can be filled in one pass.
+        let mut keyed: Vec<(usize, SetRef)> = Vec::with_capacity(edges.len());
         for &(consumer, producer) in edges {
             for r in [consumer, producer] {
                 let ok = r.layer < sets_per_layer.len() && r.set < sets_per_layer[r.layer];
@@ -70,15 +88,53 @@ impl Dependencies {
                     });
                 }
             }
-            deps[consumer.layer][consumer.set].push(producer);
+            keyed.push((space.index(consumer.layer, consumer.set), producer));
         }
-        for sets in &mut deps {
-            for d in sets {
-                d.sort_unstable();
-                d.dedup();
+        keyed.sort_unstable();
+        keyed.dedup();
+
+        let total = space.total_sets();
+        let mut offsets = Vec::with_capacity(total + 1);
+        let mut producers = Vec::with_capacity(keyed.len());
+        offsets.push(0);
+        let mut cursor = 0usize;
+        for i in 0..total {
+            while cursor < keyed.len() && keyed[cursor].0 == i {
+                producers.push(keyed[cursor].1);
+                cursor += 1;
+            }
+            offsets.push(producers.len());
+        }
+        Ok(Self {
+            space,
+            offsets,
+            producers,
+        })
+    }
+
+    /// Rebuilds the CSR form from the legacy nested `deps[l][s]` shape
+    /// (each inner list is sorted and deduplicated on ingestion) — the
+    /// serde wire format.
+    fn from_nested(nested: Vec<Vec<Vec<SetRef>>>) -> Self {
+        let counts: Vec<usize> = nested.iter().map(Vec::len).collect();
+        let space = SetSpace::from_counts(&counts);
+        let mut offsets = Vec::with_capacity(space.total_sets() + 1);
+        let mut producers =
+            Vec::with_capacity(nested.iter().flatten().map(Vec::len).sum::<usize>());
+        offsets.push(0);
+        for sets in nested {
+            for mut ds in sets {
+                ds.sort_unstable();
+                ds.dedup();
+                producers.extend_from_slice(&ds);
+                offsets.push(producers.len());
             }
         }
-        Ok(Self { deps })
+        Self {
+            space,
+            offsets,
+            producers,
+        }
     }
 
     /// Producer sets required by set `s` of layer `l`.
@@ -86,27 +142,44 @@ impl Dependencies {
     /// # Panics
     ///
     /// Panics if the indices are out of range.
+    #[inline]
     pub fn of(&self, l: usize, s: usize) -> &[SetRef] {
-        &self.deps[l][s]
+        let i = self.space.index(l, s);
+        &self.producers[self.offsets[i]..self.offsets[i + 1]]
     }
 
     /// Number of layers covered.
     pub fn num_layers(&self) -> usize {
-        self.deps.len()
+        self.space.num_layers()
+    }
+
+    /// The global `(layer, set) → usize` index space of the CSR arrays.
+    pub fn space(&self) -> &SetSpace {
+        &self.space
+    }
+
+    /// The raw CSR view: the per-consumer offset table (length
+    /// `total_sets + 1`) and the flat producer arena it slices. Consumer
+    /// `i`'s producers are `producers[offsets[i]..offsets[i + 1]]`, with
+    /// `i` as assigned by [`space`](Self::space).
+    pub fn csr(&self) -> (&[usize], &[SetRef]) {
+        (&self.offsets, &self.producers)
     }
 
     /// Iterates over all `(consumer, producer)` edges.
     pub fn edges(&self) -> impl Iterator<Item = (SetRef, SetRef)> + '_ {
-        self.deps.iter().enumerate().flat_map(|(l, sets)| {
-            sets.iter()
-                .enumerate()
-                .flat_map(move |(s, ds)| ds.iter().map(move |&p| (SetRef { layer: l, set: s }, p)))
+        (0..self.num_layers()).flat_map(move |l| {
+            (0..self.space.sets_in(l)).flat_map(move |s| {
+                self.of(l, s)
+                    .iter()
+                    .map(move |&p| (SetRef { layer: l, set: s }, p))
+            })
         })
     }
 
     /// Total number of dependency edges.
     pub fn num_edges(&self) -> usize {
-        self.deps.iter().flatten().map(Vec::len).sum()
+        self.producers.len()
     }
 
     /// The paper's `P` value for a consumer set: how many producer sets it
@@ -116,21 +189,77 @@ impl Dependencies {
     ///
     /// Panics if the indices are out of range.
     pub fn fan_in(&self, l: usize, s: usize) -> usize {
-        self.deps[l][s].len()
+        self.of(l, s).len()
     }
 
     /// The paper's `Q` relation, inverted from the stored edges: for every
     /// producer set, the consumer sets it influences.
     pub fn fan_out(&self) -> Vec<Vec<Vec<SetRef>>> {
-        let mut out: Vec<Vec<Vec<SetRef>>> = self
-            .deps
-            .iter()
-            .map(|sets| vec![Vec::new(); sets.len()])
+        let mut out: Vec<Vec<Vec<SetRef>>> = (0..self.num_layers())
+            .map(|l| vec![Vec::new(); self.space.sets_in(l)])
             .collect();
         for (consumer, producer) in self.edges() {
             out[producer.layer][producer.set].push(consumer);
         }
         out
+    }
+
+    /// Checks, once, that every edge points to a topologically earlier
+    /// layer — the precondition of the forward longest-path sweep. The
+    /// schedulers run this once per `(layers, deps)` pair (formerly the
+    /// check was duplicated inside both scheduling inner loops and re-run
+    /// for every batch instance).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::StageMismatch`] naming the first offending
+    /// edge.
+    pub fn ensure_backward(&self) -> Result<()> {
+        for l in 0..self.num_layers() {
+            for s in 0..self.space.sets_in(l) {
+                for dep in self.of(l, s) {
+                    if dep.layer >= l {
+                        return Err(CoreError::StageMismatch {
+                            detail: format!(
+                                "dependency {dep} of layer {l} is not topologically earlier"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// The wire format predates the CSR backing: a `deps` field holding the
+// nested `deps[l][s] -> [SetRef]` lists. Serialization reconstitutes that
+// shape so on-disk artifacts and fingerprints are byte-identical to the
+// pre-CSR representation.
+impl Serialize for Dependencies {
+    fn to_value(&self) -> Value {
+        let layers: Vec<Value> = (0..self.num_layers())
+            .map(|l| {
+                Value::Seq(
+                    (0..self.space.sets_in(l))
+                        .map(|s| Value::Seq(self.of(l, s).iter().map(|p| p.to_value()).collect()))
+                        .collect(),
+                )
+            })
+            .collect();
+        Value::Map(vec![("deps".to_string(), Value::Seq(layers))])
+    }
+}
+
+impl Deserialize for Dependencies {
+    fn from_value(v: &Value) -> std::result::Result<Self, serde::Error> {
+        let entries = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("Dependencies: expected a map"))?;
+        let deps = Value::map_get(entries, "deps")
+            .ok_or_else(|| serde::Error::custom("Dependencies: missing `deps`"))?;
+        let nested: Vec<Vec<Vec<SetRef>>> = Deserialize::from_value(deps)?;
+        Ok(Self::from_nested(nested))
     }
 }
 
@@ -157,43 +286,53 @@ pub fn determine_dependencies(graph: &Graph, layers: &[LayerSets]) -> Result<Dep
         layer_of[l.node.index()] = i;
     }
 
-    let mut deps: Vec<Vec<Vec<SetRef>>> = layers
-        .iter()
-        .map(|l| vec![Vec::new(); l.sets.len()])
-        .collect();
+    let space = SetSpace::of_layers(layers);
+    let mut offsets = Vec::with_capacity(space.total_sets() + 1);
+    let mut producers: Vec<SetRef> = Vec::new();
+    offsets.push(0);
+    // One scratch buffer reused across every set (duplicates from multiple
+    // propagation paths are sorted out before the arena append) — no
+    // per-set `HashSet` allocation.
+    let mut scratch: Vec<SetRef> = Vec::new();
 
-    for (li, layer) in layers.iter().enumerate() {
+    for layer in layers {
         let node = graph.node(layer.node)?;
         let in_shapes: Vec<_> = node
             .inputs
             .iter()
             .map(|&i| graph.node(i).map(|n| n.out_shape))
             .collect::<std::result::Result<_, _>>()?;
-        for (si, set) in layer.sets.iter().enumerate() {
+        for set in &layer.sets {
             // The IFM region this conv/dense set needs.
-            let mut found: HashSet<SetRef> = HashSet::new();
+            scratch.clear();
             for (idx, &inp) in node.inputs.iter().enumerate() {
                 if let Some(r) = input_region(&node.op, set.rect, &in_shapes, idx, node.out_shape) {
-                    back_propagate(graph, &layer_of, layers, inp, r, &mut found)?;
+                    back_propagate(graph, &layer_of, layers, inp, r, &mut scratch)?;
                 }
             }
-            let mut v: Vec<SetRef> = found.into_iter().collect();
-            v.sort_unstable();
-            deps[li][si] = v;
+            scratch.sort_unstable();
+            scratch.dedup();
+            producers.extend_from_slice(&scratch);
+            offsets.push(producers.len());
         }
     }
-    Ok(Dependencies { deps })
+    Ok(Dependencies {
+        space,
+        offsets,
+        producers,
+    })
 }
 
 /// Propagates `rect` (a region of `node`'s output) backwards until base
-/// layers or graph inputs are reached, recording intersecting producer sets.
+/// layers or graph inputs are reached, recording intersecting producer sets
+/// (possibly with duplicates — the caller sort-dedups the scratch buffer).
 fn back_propagate(
     graph: &Graph,
     layer_of: &[usize],
     layers: &[LayerSets],
     node: NodeId,
     rect: Rect,
-    found: &mut HashSet<SetRef>,
+    found: &mut Vec<SetRef>,
 ) -> Result<()> {
     let n = graph.node(node)?;
     if n.op.is_base() {
@@ -205,7 +344,7 @@ fn back_propagate(
         }
         for (si, set) in layers[li].sets.iter().enumerate() {
             if set.rect.intersects(&rect) {
-                found.insert(SetRef { layer: li, set: si });
+                found.push(SetRef { layer: li, set: si });
             }
         }
         return Ok(());
@@ -495,6 +634,7 @@ mod tests {
         for (consumer, producer) in deps.edges() {
             assert!(producer.layer < consumer.layer);
         }
+        deps.ensure_backward().unwrap();
     }
 
     #[test]
@@ -512,5 +652,52 @@ mod tests {
             determine_dependencies(&g, &layers),
             Err(CoreError::StageMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn from_edges_dedups_into_the_csr_arena() {
+        let edges = [
+            (SetRef { layer: 1, set: 0 }, SetRef { layer: 0, set: 1 }),
+            (SetRef { layer: 1, set: 0 }, SetRef { layer: 0, set: 0 }),
+            (SetRef { layer: 1, set: 0 }, SetRef { layer: 0, set: 1 }), // dup
+            (SetRef { layer: 1, set: 1 }, SetRef { layer: 0, set: 1 }),
+        ];
+        let deps = Dependencies::from_edges(&[2, 2], &edges).unwrap();
+        assert_eq!(deps.num_edges(), 3);
+        assert_eq!(
+            deps.of(1, 0),
+            &[SetRef { layer: 0, set: 0 }, SetRef { layer: 0, set: 1 }]
+        );
+        assert_eq!(deps.of(1, 1), &[SetRef { layer: 0, set: 1 }]);
+        let (offsets, producers) = deps.csr();
+        assert_eq!(offsets, &[0, 0, 0, 2, 3]);
+        assert_eq!(producers.len(), 3);
+    }
+
+    #[test]
+    fn ensure_backward_rejects_forward_edges() {
+        let deps = Dependencies::from_edges(
+            &[1, 1],
+            &[(SetRef { layer: 0, set: 0 }, SetRef { layer: 1, set: 0 })],
+        )
+        .unwrap();
+        let err = deps.ensure_backward().unwrap_err();
+        assert!(
+            err.to_string().contains("not topologically earlier"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn serde_format_is_the_legacy_nested_shape() {
+        let g = fig5_graph();
+        let (_, deps) = stages(&g, &SetPolicy::finest());
+        let json = serde_json::to_string(&deps).unwrap();
+        // Wire format: {"deps": [[[{"layer":..,"set":..}, ...], ...], ...]}
+        assert!(json.starts_with("{\"deps\":[["), "{json}");
+        let back: Dependencies = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, deps);
+        // CSR internals survive the round-trip exactly.
+        assert_eq!(back.csr(), deps.csr());
     }
 }

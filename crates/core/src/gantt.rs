@@ -26,7 +26,7 @@ pub struct GanttRow {
 pub fn gantt_rows(layers: &[LayerSets], schedule: &Schedule) -> Vec<GanttRow> {
     layers
         .iter()
-        .zip(&schedule.times)
+        .zip(schedule.iter_layers())
         .map(|(l, times)| GanttRow {
             name: l.name.clone(),
             logical: l.logical,
@@ -49,13 +49,13 @@ pub fn gantt_rows(layers: &[LayerSets], schedule: &Schedule) -> Vec<GanttRow> {
 ///     ofm: FeatureShape::new(1, 4, 8), pes: 2, quantum: 1,
 ///     sets: vec![OfmSet { rect: Rect::new(0, 0, 0, 3), duration: 4 }],
 /// }];
-/// let s = Schedule { times: vec![vec![SetTime { start: 0, finish: 4 }]], makespan: 4 };
+/// let s = Schedule::from_nested(vec![vec![SetTime { start: 0, finish: 4 }]], 4);
 /// let csv = gantt_csv(&layers, &s);
 /// assert!(csv.lines().nth(1).unwrap().starts_with("conv,1,2,0,0,4"));
 /// ```
 pub fn gantt_csv(layers: &[LayerSets], schedule: &Schedule) -> String {
     let mut out = String::from("layer,logical,pes,set,start,finish\n");
-    for (l, times) in layers.iter().zip(&schedule.times) {
+    for (l, times) in layers.iter().zip(schedule.iter_layers()) {
         for (si, t) in times.iter().enumerate() {
             out.push_str(&format!(
                 "{},{},{},{si},{},{}\n",
@@ -105,7 +105,7 @@ pub fn gantt_text(layers: &[LayerSets], schedule: &Schedule, width: usize) -> St
         "{:name_w$} | {:>6} | timeline 0..{} cycles\n",
         "layer", "#PE", schedule.makespan
     ));
-    for (l, times) in layers.iter().zip(&schedule.times) {
+    for (l, times) in layers.iter().zip(schedule.iter_layers()) {
         let mut cells = vec!['·'; width];
         for t in times {
             let a = (t.start as u128 * width as u128 / span as u128) as usize;
@@ -160,8 +160,8 @@ mod tests {
                 }],
             },
         ];
-        let schedule = Schedule {
-            times: vec![
+        let schedule = Schedule::from_nested(
+            vec![
                 vec![
                     SetTime {
                         start: 0,
@@ -177,8 +177,8 @@ mod tests {
                     finish: 12,
                 }],
             ],
-            makespan: 12,
-        };
+            12,
+        );
         (layers, schedule)
     }
 
@@ -212,10 +212,7 @@ mod tests {
     #[test]
     fn text_chart_handles_zero_makespan() {
         let layers: Vec<LayerSets> = Vec::new();
-        let s = Schedule {
-            times: vec![],
-            makespan: 0,
-        };
+        let s = Schedule::from_nested(vec![], 0);
         let chart = gantt_text(&layers, &s, 20);
         assert!(chart.contains("timeline"));
     }

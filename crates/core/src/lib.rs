@@ -62,27 +62,33 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod cost;
 pub mod deps;
 pub mod error;
 pub mod gantt;
 pub mod metrics;
 pub mod pipeline;
+pub mod reference;
 pub mod schedule;
 pub mod sets;
+pub mod space;
 pub mod validate;
 
 pub use analysis::{critical_cycles_per_layer, critical_path, CriticalStep};
+pub use cost::CostedDeps;
 pub use deps::{determine_dependencies, Dependencies, SetRef};
 pub use error::{CoreError, Result};
 pub use gantt::{gantt_csv, gantt_rows, gantt_text, GanttRow};
 pub use metrics::{eq3_predicted_speedup, speedup, utilization, UtilizationReport};
 pub use pipeline::{
-    prepare, run, run_prepared, Deps, Layers, MappedGraph, MappingChoice, Prepared, RunConfig,
-    RunResult, SchedulingChoice,
+    prepare, run, run_prepared, Costs, Deps, Layers, MappedGraph, MappingChoice, Prepared,
+    RunConfig, RunResult, SchedulingChoice,
 };
 pub use schedule::{
-    batched_cross_layer_schedule, cross_layer_schedule, layer_by_layer_schedule, set_bytes,
-    BatchedSchedule, EdgeCost, Schedule, SetTime,
+    batched_cross_layer_schedule, batched_cross_layer_schedule_costed, cross_layer_schedule,
+    cross_layer_schedule_costed, layer_by_layer_schedule, set_bytes, BatchedSchedule, EdgeCost,
+    Schedule, SetTime,
 };
 pub use sets::{determine_sets, LayerSets, OfmSet, SetPolicy};
-pub use validate::validate_schedule;
+pub use space::SetSpace;
+pub use validate::{validate_schedule, validate_schedule_costed};

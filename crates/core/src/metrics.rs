@@ -196,8 +196,8 @@ mod tests {
         let ut_lbl = utilization(&layers, &lbl, pe_min).unwrap().utilization;
 
         // A hypothetical faster schedule with the same active cycles.
-        let fast = Schedule {
-            times: vec![
+        let fast = Schedule::from_nested(
+            vec![
                 vec![
                     SetTime {
                         start: 0,
@@ -219,8 +219,8 @@ mod tests {
                     },
                 ],
             ],
-            makespan: 12,
-        };
+            12,
+        );
         let ut_fast = utilization(&layers, &fast, pe_min).unwrap().utilization;
         let s_measured = speedup(lbl.makespan, fast.makespan).unwrap();
         let s_predicted = eq3_predicted_speedup(ut_fast, ut_lbl, pe_min, 0);
@@ -233,10 +233,7 @@ mod tests {
     #[test]
     fn mismatched_inputs_rejected() {
         let layers = vec![layer(1, &[1])];
-        let s = Schedule {
-            times: vec![],
-            makespan: 0,
-        };
+        let s = Schedule::from_nested(vec![], 0);
         assert!(matches!(
             utilization(&layers, &s, 1),
             Err(CoreError::StageMismatch { .. })

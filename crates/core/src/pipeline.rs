@@ -11,12 +11,15 @@ use cim_mapping::{
 };
 use serde::{Deserialize, Serialize};
 
+use crate::cost::CostedDeps;
 use crate::deps::{determine_dependencies, Dependencies};
 use crate::error::Result;
 use crate::metrics::{utilization, UtilizationReport};
-use crate::schedule::{cross_layer_schedule, layer_by_layer_schedule, EdgeCost, Schedule};
+use crate::schedule::{
+    cross_layer_schedule_costed, layer_by_layer_schedule, EdgeCost, Schedule,
+};
 use crate::sets::{determine_sets, LayerSets, SetPolicy};
-use crate::validate::validate_schedule;
+use crate::validate::validate_schedule_costed;
 
 /// Weight-mapping configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -125,6 +128,12 @@ pub struct Prepared {
     pub layers: Layers,
     /// Stage-II dependencies.
     pub deps: Deps,
+    /// Precomputed zero-cost edge tables for the paper's peak model
+    /// ([`EdgeCost::Free`]): byte counts, fan-out CSR, all-zeros
+    /// latencies. Cached here — like the other stage artifacts — because
+    /// it depends only on the mapping side; every `Free`-model schedule,
+    /// validation, and simulation over this mapping shares the one table.
+    pub costed_free: Costs,
     /// `PE_min` of the *original* graph (weights stored once).
     pub pe_min: usize,
     /// The duplication plan, when weight duplication was requested.
@@ -144,6 +153,10 @@ pub type Layers = Arc<Vec<LayerSets>>;
 /// reference-count bump.
 pub type Deps = Arc<Dependencies>;
 
+/// Shared handle to a precomputed [`CostedDeps`] edge-cost table. Cloning
+/// is a reference-count bump.
+pub type Costs = Arc<CostedDeps>;
+
 /// Everything a pipeline run produces.
 ///
 /// The stage artifacts (`mapped_graph`, `layers`, `deps`) are the *same*
@@ -158,6 +171,11 @@ pub struct RunResult {
     pub layers: Layers,
     /// Stage-II dependencies.
     pub deps: Deps,
+    /// The precomputed edge-cost table the schedule was built and
+    /// validated with. For the paper's peak model this *is* the
+    /// [`Prepared::costed_free`] `Arc` (shared, never rebuilt); cost-model
+    /// runs carry their own table.
+    pub costed: Costs,
     /// The schedule (Stage IV or the baseline).
     pub schedule: Schedule,
     /// Eq. 2 utilization report over the architecture's PEs.
@@ -255,10 +273,12 @@ pub fn prepare(graph: &Graph, config: &RunConfig) -> Result<Prepared> {
     let layers = determine_sets(&mapped_graph, &costs, &config.set_policy)?;
     let deps = determine_dependencies(&mapped_graph, &layers)?;
 
+    let costed_free = CostedDeps::free(&layers, &deps)?;
     Ok(Prepared {
         mapped_graph: Arc::new(mapped_graph),
         layers: Arc::new(layers),
         deps: Arc::new(deps),
+        costed_free: Arc::new(costed_free),
         pe_min,
         plan: keep_plan.then_some(plan),
     })
@@ -280,11 +300,12 @@ pub fn prepare(graph: &Graph, config: &RunConfig) -> Result<Prepared> {
 ///
 /// Propagates placement, scheduling, and validation failures.
 pub fn run_prepared(prepared: &Prepared, config: &RunConfig) -> Result<RunResult> {
-    let (schedule, report) = schedule_prepared(prepared, config)?;
+    let (schedule, report, costed) = schedule_prepared(prepared, config)?;
     Ok(RunResult {
         mapped_graph: Arc::clone(&prepared.mapped_graph),
         layers: Arc::clone(&prepared.layers),
         deps: Arc::clone(&prepared.deps),
+        costed,
         schedule,
         report,
         pe_min: prepared.pe_min,
@@ -297,44 +318,50 @@ pub fn run_prepared(prepared: &Prepared, config: &RunConfig) -> Result<RunResult
 fn schedule_prepared(
     prepared: &Prepared,
     config: &RunConfig,
-) -> Result<(Schedule, UtilizationReport)> {
+) -> Result<(Schedule, UtilizationReport, Costs)> {
     let budget = config.arch.total_pes();
     let layers = &prepared.layers;
     let deps = &prepared.deps;
 
-    // Edge-cost model.
-    let edge_cost = if config.noc_cost || config.gpeu_cost {
+    // Edge-cost model, precomputed once per `(mapping, EdgeCost)` pair:
+    // the peak model reuses the table cached on the `Prepared`; the
+    // NoC/GPEU extensions build theirs here, and everything downstream
+    // (scheduler, validator, callers simulating the result) consumes the
+    // flat `u64` tables instead of the cost model. The baseline keeps
+    // whole layers sequential, which trivially satisfies data deps but
+    // not necessarily with edge costs — it models DRAM round-trips
+    // instead, so it schedules and validates cost-free.
+    let costed: Costs = if config.noc_cost || config.gpeu_cost {
+        // Placement must succeed whenever a data-movement model is
+        // requested — also for baseline runs, which schedule cost-free
+        // but still reject unplaceable configurations.
         let sizes: Vec<usize> = layers.iter().map(|l| l.pes).collect();
         let placement = place_groups(&config.arch, &sizes, config.placement)?;
-        let arch = config.arch.clone();
-        if config.gpeu_cost {
-            EdgeCost::NocAndGpeu { arch, placement }
-        } else {
-            EdgeCost::NocHops { arch, placement }
+        match config.scheduling {
+            SchedulingChoice::LayerByLayer => Arc::clone(&prepared.costed_free),
+            SchedulingChoice::CrossLayer => {
+                let arch = config.arch.clone();
+                let edge_cost = if config.gpeu_cost {
+                    EdgeCost::NocAndGpeu { arch, placement }
+                } else {
+                    EdgeCost::NocHops { arch, placement }
+                };
+                Arc::new(CostedDeps::build(layers, deps, &edge_cost)?)
+            }
         }
     } else {
-        EdgeCost::Free
+        Arc::clone(&prepared.costed_free)
     };
 
     // Stages III & IV (or the baseline).
     let schedule = match config.scheduling {
         SchedulingChoice::LayerByLayer => layer_by_layer_schedule(layers)?,
-        SchedulingChoice::CrossLayer => cross_layer_schedule(layers, deps, &edge_cost)?,
+        SchedulingChoice::CrossLayer => cross_layer_schedule_costed(layers, deps, &costed)?,
     };
-    match config.scheduling {
-        // The baseline keeps whole layers sequential, which trivially
-        // satisfies data deps but not necessarily with edge costs — it
-        // models DRAM round-trips instead, so validate it cost-free.
-        SchedulingChoice::LayerByLayer => {
-            validate_schedule(layers, deps, &schedule, &EdgeCost::Free)?;
-        }
-        SchedulingChoice::CrossLayer => {
-            validate_schedule(layers, deps, &schedule, &edge_cost)?;
-        }
-    }
+    validate_schedule_costed(layers, deps, &schedule, &costed)?;
 
     let report = utilization(layers, &schedule, budget)?;
-    Ok((schedule, report))
+    Ok((schedule, report, costed))
 }
 
 // The sweep runner shares graphs, configs, and stage outputs across worker
@@ -349,6 +376,7 @@ const _: () = {
     assert_send_sync::<crate::deps::Dependencies>();
     assert_send_sync::<crate::schedule::Schedule>();
     assert_send_sync::<crate::schedule::EdgeCost>();
+    assert_send_sync::<crate::cost::CostedDeps>();
 };
 
 #[cfg(test)]
@@ -491,6 +519,21 @@ mod tests {
                 available: 2
             })
         ));
+    }
+
+    #[test]
+    fn baseline_with_noc_cost_schedules_cost_free_but_places_groups() {
+        // A data-movement model on a LayerByLayer run must still resolve
+        // the placement (surfacing placement errors exactly as before the
+        // cost tables), while scheduling and validating cost-free.
+        let g = small_cnn();
+        let mut cfg = RunConfig::baseline(arch(3));
+        cfg.noc_cost = true;
+        let prepared = prepare(&g, &cfg).unwrap();
+        let r = run_prepared(&prepared, &cfg).unwrap();
+        let free = run(&g, &RunConfig::baseline(arch(3))).unwrap();
+        assert_eq!(r.schedule, free.schedule);
+        assert!(std::sync::Arc::ptr_eq(&r.costed, &prepared.costed_free));
     }
 
     #[test]

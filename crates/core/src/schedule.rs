@@ -14,17 +14,25 @@
 //! each dependency point backwards in topological order, one forward sweep
 //! computes the longest path exactly.
 //!
+//! The sweep runs on flat arenas: schedules store one contiguous
+//! `Vec<SetTime>` sliced by the global [`SetSpace`], and
+//! all per-edge latencies come precomputed from a
+//! [`CostedDeps`] table — the `*_costed` entry points
+//! accept a prebuilt table so batch sweeps never recompute edge costs.
+//!
 //! The **layer-by-layer baseline** runs logical layers strictly one after
 //! another (only one layer's PEs active at a time); duplicates created by
 //! weight duplication share a logical id and run concurrently within their
 //! layer's slot — reproducing the `wdup` configuration of the evaluation.
 
 use cim_arch::{Architecture, Placement};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
+use crate::cost::CostedDeps;
 use crate::deps::Dependencies;
 use crate::error::{CoreError, Result};
 use crate::sets::LayerSets;
+use crate::space::SetSpace;
 
 /// Start/finish times of one scheduled set, in crossbar cycles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -69,6 +77,10 @@ impl EdgeCost {
     /// layer `c` (indices in Stage-I order), forwarding `bytes` bytes of
     /// producer-set data.
     ///
+    /// Hot paths should not call this per edge: build a
+    /// [`CostedDeps`] once instead and read the
+    /// precomputed tables.
+    ///
     /// # Errors
     ///
     /// Propagates architecture errors when the placement and architecture
@@ -90,34 +102,168 @@ impl EdgeCost {
 }
 
 /// A complete schedule: per layer, per set, start and finish times.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Stored as one flat `Vec<SetTime>` arena sliced by a [`SetSpace`] —
+/// a single allocation per schedule regardless of layer count. The serde
+/// wire format is unchanged from the pre-arena representation (a nested
+/// `times` array plus `makespan`).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schedule {
-    /// Per layer, per set, the assigned execution window.
-    pub times: Vec<Vec<SetTime>>,
+    /// The `(layer, set) → usize` space slicing the arena.
+    space: SetSpace,
+    /// All execution windows, layers concatenated in order.
+    arena: Vec<SetTime>,
     /// Total makespan in cycles (`t_NN` in Eq. 2).
     pub makespan: u64,
 }
 
 impl Schedule {
+    /// Assembles a schedule from a flat arena covering `space`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arena.len() != space.total_sets()`.
+    pub fn from_arena(space: SetSpace, arena: Vec<SetTime>, makespan: u64) -> Self {
+        assert_eq!(
+            arena.len(),
+            space.total_sets(),
+            "arena length must match the set space"
+        );
+        Self {
+            space,
+            arena,
+            makespan,
+        }
+    }
+
+    /// Assembles a schedule from the legacy nested per-layer shape — for
+    /// tests and external tooling constructing schedules by hand.
+    pub fn from_nested(times: Vec<Vec<SetTime>>, makespan: u64) -> Self {
+        let counts: Vec<usize> = times.iter().map(Vec::len).collect();
+        let space = SetSpace::from_counts(&counts);
+        let arena: Vec<SetTime> = times.into_iter().flatten().collect();
+        Self {
+            space,
+            arena,
+            makespan,
+        }
+    }
+
+    /// The nested per-layer shape (allocates; prefer [`layer`](Self::layer)
+    /// or [`iter_layers`](Self::iter_layers) on hot paths).
+    pub fn to_nested(&self) -> Vec<Vec<SetTime>> {
+        (0..self.num_layers())
+            .map(|l| self.layer(l).to_vec())
+            .collect()
+    }
+
+    /// The execution windows of layer `l`, in set order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    #[inline]
+    pub fn layer(&self, l: usize) -> &[SetTime] {
+        &self.arena[self.space.layer_range(l)]
+    }
+
+    /// Mutable view of layer `l`'s windows (for tooling that post-edits
+    /// schedules; the validator catches inconsistent edits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn layer_mut(&mut self, l: usize) -> &mut [SetTime] {
+        let r = self.space.layer_range(l);
+        &mut self.arena[r]
+    }
+
+    /// The window of set `s` of layer `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    #[inline]
+    pub fn time(&self, l: usize, s: usize) -> SetTime {
+        self.arena[self.space.index(l, s)]
+    }
+
+    /// Mutable access to one window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn time_mut(&mut self, l: usize, s: usize) -> &mut SetTime {
+        &mut self.arena[self.space.index(l, s)]
+    }
+
+    /// Iterates the layers as window slices, in layer order.
+    pub fn iter_layers(&self) -> impl ExactSizeIterator<Item = &[SetTime]> + '_ {
+        (0..self.num_layers()).map(|l| self.layer(l))
+    }
+
+    /// The space slicing the arena.
+    pub fn space(&self) -> &SetSpace {
+        &self.space
+    }
+
+    /// The raw flat arena (layers concatenated in order).
+    pub fn arena(&self) -> &[SetTime] {
+        &self.arena
+    }
+
     /// Active cycles of layer `l`'s PE group (the sum of its set durations).
     ///
     /// # Panics
     ///
     /// Panics if `l` is out of range.
     pub fn active_cycles(&self, l: usize) -> u64 {
-        self.times[l].iter().map(|t| t.finish - t.start).sum()
+        self.layer(l).iter().map(|t| t.finish - t.start).sum()
     }
 
     /// Number of layers.
     pub fn num_layers(&self) -> usize {
-        self.times.len()
+        self.space.num_layers()
+    }
+}
+
+// Wire format compatibility: schedules serialize as the nested `times`
+// array plus `makespan`, exactly as the pre-arena `Vec<Vec<SetTime>>`
+// representation did.
+impl Serialize for Schedule {
+    fn to_value(&self) -> Value {
+        let times: Vec<Value> = self
+            .iter_layers()
+            .map(|lt| Value::Seq(lt.iter().map(|t| t.to_value()).collect()))
+            .collect();
+        Value::Map(vec![
+            ("times".to_string(), Value::Seq(times)),
+            ("makespan".to_string(), self.makespan.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Schedule {
+    fn from_value(v: &Value) -> std::result::Result<Self, serde::Error> {
+        let entries = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("Schedule: expected a map"))?;
+        let times = Value::map_get(entries, "times")
+            .ok_or_else(|| serde::Error::custom("Schedule: missing `times`"))?;
+        let makespan = Value::map_get(entries, "makespan")
+            .ok_or_else(|| serde::Error::custom("Schedule: missing `makespan`"))?;
+        let nested: Vec<Vec<SetTime>> = Deserialize::from_value(times)?;
+        Ok(Self::from_nested(nested, Deserialize::from_value(makespan)?))
     }
 }
 
 /// Runs Stage IV: the CLSA-CIM cross-layer schedule.
 ///
 /// `layers` and `deps` are the Stage I/II outputs; `edge_cost` selects the
-/// data-movement model.
+/// data-movement model. The edge costs are precomputed once (see
+/// [`CostedDeps`]); callers scheduling the same `(mapping, EdgeCost)` pair
+/// repeatedly should build the table themselves and call
+/// [`cross_layer_schedule_costed`].
 ///
 /// # Errors
 ///
@@ -157,43 +303,56 @@ pub fn cross_layer_schedule(
     deps: &Dependencies,
     edge_cost: &EdgeCost,
 ) -> Result<Schedule> {
-    if deps.num_layers() != layers.len() {
-        return Err(CoreError::StageMismatch {
-            detail: format!(
-                "dependencies cover {} layers, sets cover {}",
-                deps.num_layers(),
-                layers.len()
-            ),
-        });
-    }
-    let mut times: Vec<Vec<SetTime>> = Vec::with_capacity(layers.len());
+    check_layer_count(layers, deps)?;
+    // Freshly built from `deps` — no need to re-verify the table matches.
+    let costed = CostedDeps::build_consumer_only(layers, deps, edge_cost)?;
+    deps.ensure_backward()?;
+    Ok(sweep_single(layers, &costed))
+}
+
+/// [`cross_layer_schedule`] on a prebuilt [`CostedDeps`] table: the hot
+/// path for repeated scheduling of one `(mapping, EdgeCost)` pair.
+///
+/// # Errors
+///
+/// Returns [`CoreError::StageMismatch`] when the stage outputs disagree
+/// (including dependencies that are not topologically backward).
+pub fn cross_layer_schedule_costed(
+    layers: &[LayerSets],
+    deps: &Dependencies,
+    costed: &CostedDeps,
+) -> Result<Schedule> {
+    check_shapes(layers, deps, costed)?;
+    deps.ensure_backward()?;
+    Ok(sweep_single(layers, costed))
+}
+
+/// The Stage IV longest-path sweep. Precondition (upheld by every public
+/// caller): `costed` covers `layers` and its edges all point backward.
+fn sweep_single(layers: &[LayerSets], costed: &CostedDeps) -> Schedule {
+    let space = costed.space().clone();
+    let total = space.total_sets();
+    let mut arena: Vec<SetTime> = Vec::with_capacity(total);
     let mut makespan = 0u64;
     for (li, layer) in layers.iter().enumerate() {
-        let mut layer_times = Vec::with_capacity(layer.sets.len());
         let mut group_free = 0u64; // Stage III: the group runs its sets serially.
         for (si, set) in layer.sets.iter().enumerate() {
+            let i = space.index(li, si);
             let mut start = group_free;
-            for dep in deps.of(li, si) {
-                if dep.layer >= li {
-                    return Err(CoreError::StageMismatch {
-                        detail: format!(
-                            "dependency {dep} of layer {li} is not topologically earlier"
-                        ),
-                    });
-                }
-                let dep_finish: u64 = times[dep.layer][dep.set].finish;
-                let bytes = set_bytes(&layers[dep.layer], dep.set);
-                let arrive = dep_finish + edge_cost.cycles(dep.layer, li, bytes)?;
+            let (producers, latencies) = costed.incoming(i);
+            for (&pi, &lat) in producers.iter().zip(latencies) {
+                // Backward edges only (see precondition): `pi < i`,
+                // already scheduled.
+                let arrive = arena[pi].finish + lat;
                 start = start.max(arrive);
             }
             let finish = start + set.duration;
             group_free = finish;
             makespan = makespan.max(finish);
-            layer_times.push(SetTime { start, finish });
+            arena.push(SetTime { start, finish });
         }
-        times.push(layer_times);
     }
-    Ok(Schedule { times, makespan })
+    Schedule::from_arena(space, arena, makespan)
 }
 
 /// Bytes of one producer set: one byte per OFM element (8-bit activations).
@@ -205,8 +364,8 @@ pub fn set_bytes(layer: &LayerSets, set: usize) -> u64 {
 /// the same weight-stationary groups.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BatchedSchedule {
-    /// Per inference instance, the full schedule (same shape as
-    /// [`Schedule::times`]).
+    /// Per inference instance, the full schedule (same shape as a
+    /// single-inference [`Schedule`]).
     pub instances: Vec<Schedule>,
     /// Total makespan over all instances.
     pub makespan: u64,
@@ -231,6 +390,10 @@ impl BatchedSchedule {
 /// drives utilization toward the structural limit (the busiest group's
 /// share of the work).
 ///
+/// Edge costs are precomputed **once** for the whole batch (they are
+/// invariant across instances); the former implementation recomputed them
+/// per edge per instance — `O(batch × edges)` cost-model calls.
+///
 /// # Errors
 ///
 /// Same conditions as [`cross_layer_schedule`], plus an error for a zero
@@ -241,59 +404,80 @@ pub fn batched_cross_layer_schedule(
     edge_cost: &EdgeCost,
     batch: usize,
 ) -> Result<BatchedSchedule> {
+    check_batch(batch)?;
+    check_layer_count(layers, deps)?;
+    // Freshly built from `deps` — no need to re-verify the table matches.
+    let costed = CostedDeps::build_consumer_only(layers, deps, edge_cost)?;
+    deps.ensure_backward()?;
+    Ok(sweep_batched(layers, &costed, batch))
+}
+
+/// [`batched_cross_layer_schedule`] on a prebuilt [`CostedDeps`] table.
+///
+/// The topological check runs once per call — not once per batch
+/// instance — and the inner loop consumes only precomputed `u64` weights.
+///
+/// # Errors
+///
+/// Same conditions as [`cross_layer_schedule_costed`], plus an error for a
+/// zero batch size.
+pub fn batched_cross_layer_schedule_costed(
+    layers: &[LayerSets],
+    deps: &Dependencies,
+    costed: &CostedDeps,
+    batch: usize,
+) -> Result<BatchedSchedule> {
+    check_batch(batch)?;
+    check_shapes(layers, deps, costed)?;
+    deps.ensure_backward()?;
+    Ok(sweep_batched(layers, costed, batch))
+}
+
+/// The batched Stage IV sweep. Same precondition as [`sweep_single`].
+fn sweep_batched(layers: &[LayerSets], costed: &CostedDeps, batch: usize) -> BatchedSchedule {
+    let space = costed.space();
+    let total = space.total_sets();
+    let mut group_free = vec![0u64; layers.len()];
+    let mut instances = Vec::with_capacity(batch);
+    let mut makespan = 0u64;
+    for _ in 0..batch {
+        let mut arena: Vec<SetTime> = Vec::with_capacity(total);
+        let mut instance_makespan = 0u64;
+        for (li, layer) in layers.iter().enumerate() {
+            for (si, set) in layer.sets.iter().enumerate() {
+                let i = space.index(li, si);
+                let mut start = group_free[li];
+                let (producers, latencies) = costed.incoming(i);
+                for (&pi, &lat) in producers.iter().zip(latencies) {
+                    start = start.max(arena[pi].finish + lat);
+                }
+                let finish = start + set.duration;
+                group_free[li] = finish;
+                instance_makespan = instance_makespan.max(finish);
+                arena.push(SetTime { start, finish });
+            }
+        }
+        makespan = makespan.max(instance_makespan);
+        instances.push(Schedule::from_arena(
+            space.clone(),
+            arena,
+            instance_makespan,
+        ));
+    }
+    BatchedSchedule {
+        instances,
+        makespan,
+    }
+}
+
+/// Errors on a zero batch size.
+fn check_batch(batch: usize) -> Result<()> {
     if batch == 0 {
         return Err(CoreError::StageMismatch {
             detail: "batch must be at least 1".into(),
         });
     }
-    if deps.num_layers() != layers.len() {
-        return Err(CoreError::StageMismatch {
-            detail: format!(
-                "dependencies cover {} layers, sets cover {}",
-                deps.num_layers(),
-                layers.len()
-            ),
-        });
-    }
-    let mut group_free = vec![0u64; layers.len()];
-    let mut instances = Vec::with_capacity(batch);
-    let mut makespan = 0u64;
-    for _ in 0..batch {
-        let mut times: Vec<Vec<SetTime>> = Vec::with_capacity(layers.len());
-        let mut instance_makespan = 0u64;
-        for (li, layer) in layers.iter().enumerate() {
-            let mut layer_times = Vec::with_capacity(layer.sets.len());
-            for (si, set) in layer.sets.iter().enumerate() {
-                let mut start = group_free[li];
-                for dep in deps.of(li, si) {
-                    if dep.layer >= li {
-                        return Err(CoreError::StageMismatch {
-                            detail: format!(
-                                "dependency {dep} of layer {li} is not topologically earlier"
-                            ),
-                        });
-                    }
-                    let dep_finish = times[dep.layer][dep.set].finish;
-                    let bytes = set_bytes(&layers[dep.layer], dep.set);
-                    start = start.max(dep_finish + edge_cost.cycles(dep.layer, li, bytes)?);
-                }
-                let finish = start + set.duration;
-                group_free[li] = finish;
-                instance_makespan = instance_makespan.max(finish);
-                layer_times.push(SetTime { start, finish });
-            }
-            times.push(layer_times);
-        }
-        makespan = makespan.max(instance_makespan);
-        instances.push(Schedule {
-            times,
-            makespan: instance_makespan,
-        });
-    }
-    Ok(BatchedSchedule {
-        instances,
-        makespan,
-    })
+    Ok(())
 }
 
 /// Runs the layer-by-layer baseline (Sec. II-B): logical layers execute
@@ -322,26 +506,56 @@ pub fn layer_by_layer_schedule(layers: &[LayerSets]) -> Result<Schedule> {
             }
         }
     }
-    let mut times: Vec<Vec<SetTime>> = vec![Vec::new(); layers.len()];
+    let space = SetSpace::of_layers(layers);
+    let mut arena = vec![
+        SetTime {
+            start: 0,
+            finish: 0
+        };
+        space.total_sets()
+    ];
     let mut t = 0u64;
     for slot in slots {
         let mut slot_end = t;
         for li in slot {
             let mut cursor = t;
-            let mut layer_times = Vec::with_capacity(layers[li].sets.len());
-            for set in &layers[li].sets {
-                layer_times.push(SetTime {
+            for (si, set) in layers[li].sets.iter().enumerate() {
+                arena[space.index(li, si)] = SetTime {
                     start: cursor,
                     finish: cursor + set.duration,
-                });
+                };
                 cursor += set.duration;
             }
-            times[li] = layer_times;
             slot_end = slot_end.max(cursor);
         }
         t = slot_end;
     }
-    Ok(Schedule { times, makespan: t })
+    Ok(Schedule::from_arena(space, arena, t))
+}
+
+/// Errors when `deps` covers a different layer count than `layers`.
+fn check_layer_count(layers: &[LayerSets], deps: &Dependencies) -> Result<()> {
+    if deps.num_layers() != layers.len() {
+        return Err(CoreError::StageMismatch {
+            detail: format!(
+                "dependencies cover {} layers, sets cover {}",
+                deps.num_layers(),
+                layers.len()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Errors when the three inputs of a costed scheduling call disagree.
+fn check_shapes(layers: &[LayerSets], deps: &Dependencies, costed: &CostedDeps) -> Result<()> {
+    check_layer_count(layers, deps)?;
+    if !costed.matches(deps) {
+        return Err(CoreError::StageMismatch {
+            detail: "cost table was built from different dependencies".into(),
+        });
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -409,14 +623,14 @@ mod tests {
         // Hand-check the first sets: c1 s0 [0,8), c2 s0 needs c1 s0..s2
         // (finish 24) → [24, 30).
         assert_eq!(
-            xl.times[0][0],
+            xl.time(0, 0),
             SetTime {
                 start: 0,
                 finish: 8
             }
         );
         assert_eq!(
-            xl.times[1][0],
+            xl.time(1, 0),
             SetTime {
                 start: 24,
                 finish: 30
@@ -429,7 +643,7 @@ mod tests {
         let g = two_convs();
         let (layers, deps) = stages(&g, &SetPolicy::finest());
         let s = cross_layer_schedule(&layers, &deps, &EdgeCost::Free).unwrap();
-        for lt in &s.times {
+        for lt in s.iter_layers() {
             for w in lt.windows(2) {
                 assert!(
                     w[0].finish <= w[1].start,
@@ -446,8 +660,8 @@ mod tests {
         let s = cross_layer_schedule(&layers, &deps, &EdgeCost::Free).unwrap();
         for (consumer, producer) in deps.edges() {
             assert!(
-                s.times[producer.layer][producer.set].finish
-                    <= s.times[consumer.layer][consumer.set].start,
+                s.time(producer.layer, producer.set).finish
+                    <= s.time(consumer.layer, consumer.set).start,
                 "{producer} must finish before {consumer} starts"
             );
         }
@@ -500,9 +714,9 @@ mod tests {
         let layers = vec![mk(1, 1, 6), mk(2, 1, 5), mk(3, 3, 2)];
         let s = layer_by_layer_schedule(&layers).unwrap();
         // Slot 0: duplicates run 24 and 20 cycles concurrently → ends at 24.
-        assert_eq!(s.times[0][0].start, 0);
-        assert_eq!(s.times[1][0].start, 0);
-        assert_eq!(s.times[2][0].start, 24);
+        assert_eq!(s.time(0, 0).start, 0);
+        assert_eq!(s.time(1, 0).start, 0);
+        assert_eq!(s.time(2, 0).start, 24);
         assert_eq!(s.makespan, 24 + 8);
     }
 
@@ -571,12 +785,90 @@ mod tests {
     }
 
     #[test]
+    fn costed_entry_points_match_the_wrappers() {
+        let g = two_convs();
+        let (layers, deps) = stages(&g, &SetPolicy::finest());
+        let arch = cim_arch::Architecture::builder()
+            .tile(cim_arch::TileSpec {
+                pes_per_tile: 1,
+                gpeu_ops_per_cycle: 16,
+                ..cim_arch::TileSpec::isaac_like()
+            })
+            .noc_hop_latency(3)
+            .pes(2)
+            .build()
+            .unwrap();
+        let placement =
+            cim_arch::place_groups(&arch, &[1, 1], cim_arch::PlacementStrategy::Contiguous)
+                .unwrap();
+        let cost = EdgeCost::NocAndGpeu { arch, placement };
+        let costed = CostedDeps::build(&layers, &deps, &cost).unwrap();
+        assert_eq!(
+            cross_layer_schedule_costed(&layers, &deps, &costed).unwrap(),
+            cross_layer_schedule(&layers, &deps, &cost).unwrap()
+        );
+        assert_eq!(
+            batched_cross_layer_schedule_costed(&layers, &deps, &costed, 5).unwrap(),
+            batched_cross_layer_schedule(&layers, &deps, &cost, 5).unwrap()
+        );
+    }
+
+    #[test]
+    fn costed_shape_mismatch_rejected() {
+        let g = two_convs();
+        let (layers, deps) = stages(&g, &SetPolicy::finest());
+        let (coarse_layers, coarse_deps) = stages(&g, &SetPolicy::coarse(1));
+        let costed = CostedDeps::free(&coarse_layers, &coarse_deps).unwrap();
+        assert!(matches!(
+            cross_layer_schedule_costed(&layers, &deps, &costed),
+            Err(CoreError::StageMismatch { .. })
+        ));
+    }
+
+    #[test]
     fn schedule_active_cycles_match_work() {
         let g = two_convs();
         let (layers, deps) = stages(&g, &SetPolicy::finest());
         let s = cross_layer_schedule(&layers, &deps, &EdgeCost::Free).unwrap();
         assert_eq!(s.active_cycles(0), 64);
         assert_eq!(s.active_cycles(1), 36);
+    }
+
+    #[test]
+    fn schedule_serde_keeps_the_nested_wire_format() {
+        let g = two_convs();
+        let (layers, deps) = stages(&g, &SetPolicy::finest());
+        let s = cross_layer_schedule(&layers, &deps, &EdgeCost::Free).unwrap();
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.starts_with("{\"times\":[["), "{json}");
+        assert!(json.contains("\"makespan\":70"), "{json}");
+        let back: Schedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn nested_round_trip_preserves_shape() {
+        let nested = vec![
+            vec![
+                SetTime {
+                    start: 0,
+                    finish: 4
+                },
+                SetTime {
+                    start: 4,
+                    finish: 8
+                },
+            ],
+            vec![SetTime {
+                start: 8,
+                finish: 12
+            }],
+        ];
+        let s = Schedule::from_nested(nested.clone(), 12);
+        assert_eq!(s.to_nested(), nested);
+        assert_eq!(s.layer(0).len(), 2);
+        assert_eq!(s.layer(1).len(), 1);
+        assert_eq!(s.time(1, 0).finish, 12);
     }
 
     #[test]
@@ -600,23 +892,23 @@ mod tests {
         assert!(batched.cycles_per_inference() < single.makespan as f64);
         // Per-instance validity: chain and deps hold inside each instance.
         for inst in &batched.instances {
-            for lt in &inst.times {
+            for lt in inst.iter_layers() {
                 for w in lt.windows(2) {
                     assert!(w[0].finish <= w[1].start);
                 }
             }
             for (consumer, producer) in deps.edges() {
                 assert!(
-                    inst.times[producer.layer][producer.set].finish
-                        <= inst.times[consumer.layer][consumer.set].start
+                    inst.time(producer.layer, producer.set).finish
+                        <= inst.time(consumer.layer, consumer.set).start
                 );
             }
         }
         // Groups never overlap across instances either.
         for li in 0..layers.len() {
             for b in 1..batched.instances.len() {
-                let prev_end = batched.instances[b - 1].times[li].last().unwrap().finish;
-                let next_start = batched.instances[b].times[li].first().unwrap().start;
+                let prev_end = batched.instances[b - 1].layer(li).last().unwrap().finish;
+                let next_start = batched.instances[b].layer(li).first().unwrap().start;
                 assert!(
                     prev_end <= next_start,
                     "group {li} overlaps across instances"
@@ -660,5 +952,26 @@ mod tests {
             cross_layer_schedule(&layers[..1], &deps, &EdgeCost::Free),
             Err(CoreError::StageMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn forward_dependency_rejected_once_per_call() {
+        let g = two_convs();
+        let (layers, _) = stages(&g, &SetPolicy::finest());
+        let sets_per: Vec<usize> = layers.iter().map(|l| l.sets.len()).collect();
+        let deps = Dependencies::from_edges(
+            &sets_per,
+            &[(
+                crate::deps::SetRef { layer: 0, set: 0 },
+                crate::deps::SetRef { layer: 1, set: 0 },
+            )],
+        )
+        .unwrap();
+        let err = cross_layer_schedule(&layers, &deps, &EdgeCost::Free).unwrap_err();
+        assert!(
+            err.to_string().contains("not topologically earlier"),
+            "{err}"
+        );
+        assert!(batched_cross_layer_schedule(&layers, &deps, &EdgeCost::Free, 4).is_err());
     }
 }

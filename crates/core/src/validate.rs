@@ -3,6 +3,7 @@
 //! over random graphs) and available to downstream users as a debugging
 //! aid.
 
+use crate::cost::CostedDeps;
 use crate::deps::Dependencies;
 use crate::error::{CoreError, Result};
 use crate::schedule::{EdgeCost, Schedule};
@@ -20,6 +21,10 @@ use crate::sets::LayerSets;
 ///    edge cost) before its consumer starts;
 /// 5. the makespan equals the latest finish.
 ///
+/// Edge costs are precomputed once; callers that already hold the
+/// [`CostedDeps`] of the `(mapping, EdgeCost)` pair (e.g. because the
+/// schedule was built from it) should use [`validate_schedule_costed`].
+///
 /// # Errors
 ///
 /// Returns [`CoreError::InvalidSchedule`] describing the first violation.
@@ -29,28 +34,31 @@ pub fn validate_schedule(
     schedule: &Schedule,
     edge_cost: &EdgeCost,
 ) -> Result<()> {
-    if schedule.num_layers() != layers.len() {
+    check_shape(layers, schedule)?;
+    let costed = CostedDeps::build_consumer_only(layers, deps, edge_cost).map_err(invalidate)?;
+    validate_schedule_costed(layers, deps, schedule, &costed)
+}
+
+/// [`validate_schedule`] on a prebuilt [`CostedDeps`] table.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidSchedule`] describing the first violation.
+pub fn validate_schedule_costed(
+    layers: &[LayerSets],
+    deps: &Dependencies,
+    schedule: &Schedule,
+    costed: &CostedDeps,
+) -> Result<()> {
+    check_shape(layers, schedule)?;
+    if !costed.matches(deps) {
         return Err(CoreError::InvalidSchedule {
-            detail: format!(
-                "schedule has {} layers, expected {}",
-                schedule.num_layers(),
-                layers.len()
-            ),
+            detail: "cost table was built from different dependencies".into(),
         });
     }
     let mut latest = 0u64;
     for (li, layer) in layers.iter().enumerate() {
-        let times = &schedule.times[li];
-        if times.len() != layer.sets.len() {
-            return Err(CoreError::InvalidSchedule {
-                detail: format!(
-                    "layer `{}` has {} windows for {} sets",
-                    layer.name,
-                    times.len(),
-                    layer.sets.len()
-                ),
-            });
-        }
+        let times = schedule.layer(li);
         for (si, (t, set)) in times.iter().zip(&layer.sets).enumerate() {
             if t.finish.saturating_sub(t.start) != set.duration {
                 return Err(CoreError::InvalidSchedule {
@@ -78,19 +86,26 @@ pub fn validate_schedule(
             }
         }
     }
-    for (consumer, producer) in deps.edges() {
-        let p = schedule.times[producer.layer][producer.set];
-        let c = schedule.times[consumer.layer][consumer.set];
-        let bytes = crate::schedule::set_bytes(&layers[producer.layer], producer.set);
-        let arrival = p.finish + edge_cost.cycles(producer.layer, consumer.layer, bytes)?;
-        if c.start < arrival {
-            return Err(CoreError::InvalidSchedule {
-                detail: format!(
-                    "data dependency violated: {producer} arrives at {arrival} but \
-                     {consumer} starts at {}",
-                    c.start
-                ),
-            });
+    // Data edges: the dependency CSR and the latency table are aligned
+    // edge-for-edge, so one zip over each consumer's slices checks every
+    // edge with precomputed weights.
+    for l in 0..deps.num_layers() {
+        for s in 0..deps.space().sets_in(l) {
+            let c = schedule.time(l, s);
+            for (producer, &lat) in deps.of(l, s).iter().zip(costed.latencies_of(l, s)) {
+                let p = schedule.time(producer.layer, producer.set);
+                let arrival = p.finish + lat;
+                if c.start < arrival {
+                    let consumer = crate::deps::SetRef { layer: l, set: s };
+                    return Err(CoreError::InvalidSchedule {
+                        detail: format!(
+                            "data dependency violated: {producer} arrives at {arrival} but \
+                             {consumer} starts at {}",
+                            c.start
+                        ),
+                    });
+                }
+            }
         }
     }
     if schedule.makespan != latest {
@@ -102,6 +117,42 @@ pub fn validate_schedule(
         });
     }
     Ok(())
+}
+
+/// Shape agreement between the schedule and the layer list.
+fn check_shape(layers: &[LayerSets], schedule: &Schedule) -> Result<()> {
+    if schedule.num_layers() != layers.len() {
+        return Err(CoreError::InvalidSchedule {
+            detail: format!(
+                "schedule has {} layers, expected {}",
+                schedule.num_layers(),
+                layers.len()
+            ),
+        });
+    }
+    for (li, layer) in layers.iter().enumerate() {
+        let n = schedule.layer(li).len();
+        if n != layer.sets.len() {
+            return Err(CoreError::InvalidSchedule {
+                detail: format!(
+                    "layer `{}` has {} windows for {} sets",
+                    layer.name,
+                    n,
+                    layer.sets.len()
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Maps a stage mismatch from cost-table construction onto the validator's
+/// error type.
+fn invalidate(e: CoreError) -> CoreError {
+    match e {
+        CoreError::StageMismatch { detail } => CoreError::InvalidSchedule { detail },
+        other => other,
+    }
 }
 
 #[cfg(test)]
@@ -172,9 +223,16 @@ mod tests {
     }
 
     #[test]
+    fn costed_validator_matches_the_wrapper() {
+        let (layers, deps, s) = pipeline();
+        let costed = crate::cost::CostedDeps::free(&layers, &deps).unwrap();
+        validate_schedule_costed(&layers, &deps, &s, &costed).unwrap();
+    }
+
+    #[test]
     fn detects_duration_mismatch() {
         let (layers, deps, mut s) = pipeline();
-        s.times[0][0].finish += 1;
+        s.time_mut(0, 0).finish += 1;
         // Either the duration check or a downstream one fires; it must fail.
         assert!(validate_schedule(&layers, &deps, &s, &EdgeCost::Free).is_err());
     }
@@ -183,9 +241,9 @@ mod tests {
     fn detects_group_overlap() {
         let (layers, deps, mut s) = pipeline();
         // Shift set 1 of layer 0 to overlap set 0.
-        let d = s.times[0][1].finish - s.times[0][1].start;
-        s.times[0][1].start = s.times[0][0].start;
-        s.times[0][1].finish = s.times[0][1].start + d;
+        let d = s.time(0, 1).finish - s.time(0, 1).start;
+        s.time_mut(0, 1).start = s.time(0, 0).start;
+        s.time_mut(0, 1).finish = s.time(0, 1).start + d;
         let err = validate_schedule(&layers, &deps, &s, &EdgeCost::Free).unwrap_err();
         assert!(err.to_string().contains("PE group"), "{err}");
     }
@@ -194,9 +252,9 @@ mod tests {
     fn detects_dependency_violation() {
         let (layers, deps, mut s) = pipeline();
         // Pull the first consumer set before its producers finish.
-        let d = s.times[1][0].finish - s.times[1][0].start;
-        s.times[1][0].start = 0;
-        s.times[1][0].finish = d;
+        let d = s.time(1, 0).finish - s.time(1, 0).start;
+        s.time_mut(1, 0).start = 0;
+        s.time_mut(1, 0).finish = d;
         let err = validate_schedule(&layers, &deps, &s, &EdgeCost::Free).unwrap_err();
         assert!(err.to_string().contains("dependency"), "{err}");
     }
@@ -211,8 +269,10 @@ mod tests {
 
     #[test]
     fn detects_shape_mismatch() {
-        let (layers, deps, mut s) = pipeline();
-        s.times[0].pop();
+        let (layers, deps, s) = pipeline();
+        let mut nested = s.to_nested();
+        nested[0].pop();
+        let s = Schedule::from_nested(nested, s.makespan);
         assert!(validate_schedule(&layers, &deps, &s, &EdgeCost::Free).is_err());
     }
 }

@@ -10,7 +10,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use cim_arch::EnergyLog;
-use clsa_core::{Dependencies, EdgeCost, LayerSets, Schedule, SetTime};
+use clsa_core::{CostedDeps, Dependencies, EdgeCost, LayerSets, Schedule, SetTime};
 use serde::{Deserialize, Serialize};
 
 use crate::error::{Result, SimError};
@@ -49,12 +49,32 @@ impl<'a> Simulator<'a> {
 
     /// Runs the workload to completion under the given edge-cost model.
     ///
+    /// Edge latencies are precomputed once (see [`CostedDeps`]); callers
+    /// that already hold the table of this `(mapping, EdgeCost)` pair
+    /// should use [`run_costed`](Self::run_costed).
+    ///
     /// # Errors
     ///
     /// Returns [`SimError::BadWorkload`] when the inputs disagree and
     /// [`SimError::Deadlock`] when unfinished sets remain after the event
     /// heap drains (cyclic or forward dependencies).
     pub fn run(&self, edge_cost: &EdgeCost) -> Result<SimResult> {
+        let costed = CostedDeps::build(self.layers, self.deps, edge_cost)
+            .map_err(|e| SimError::BadWorkload {
+                detail: e.to_string(),
+            })?;
+        self.run_costed(&costed)
+    }
+
+    /// [`run`](Self::run) on a prebuilt [`CostedDeps`] table: every edge
+    /// delivery reads a precomputed `u64` latency (and hop count, for
+    /// energy accounting) from the fan-out CSR instead of re-deriving the
+    /// cost model per message.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run`](Self::run).
+    pub fn run_costed(&self, costed: &CostedDeps) -> Result<SimResult> {
         let layers = self.layers;
         if self.deps.num_layers() != layers.len() {
             return Err(SimError::BadWorkload {
@@ -65,18 +85,22 @@ impl<'a> Simulator<'a> {
                 ),
             });
         }
-        let offsets: Vec<usize> = layers
-            .iter()
-            .scan(0usize, |acc, l| {
-                let o = *acc;
-                *acc += l.sets.len();
-                Some(o)
-            })
-            .collect();
-        let total: usize = layers.iter().map(|l| l.sets.len()).sum();
-        let idx = |l: usize, s: usize| offsets[l] + s;
+        if !costed.matches(self.deps) {
+            return Err(SimError::BadWorkload {
+                detail: "cost table was built from different dependencies".into(),
+            });
+        }
+        if !costed.has_fanout() {
+            return Err(SimError::BadWorkload {
+                detail: "event engine needs a cost table built with the fan-out CSR \
+                         (use CostedDeps::build, not a consumer-only table)"
+                    .into(),
+            });
+        }
+        let space = costed.space();
+        let total = space.total_sets();
+        let idx = |l: usize, s: usize| space.index(l, s);
 
-        let fanout = self.deps.fan_out();
         let mut indegree = vec![0u32; total];
         for (l, layer) in layers.iter().enumerate() {
             for s in 0..layer.sets.len() {
@@ -88,23 +112,17 @@ impl<'a> Simulator<'a> {
         let mut group_free = vec![0u64; layers.len()];
         let mut first_start = vec![u64::MAX; layers.len()];
         let mut started = vec![false; total];
-        let mut times: Vec<Vec<SetTime>> = layers
-            .iter()
-            .map(|l| {
-                vec![
-                    SetTime {
-                        start: 0,
-                        finish: 0
-                    };
-                    l.sets.len()
-                ]
-            })
-            .collect();
+        let mut times = vec![
+            SetTime {
+                start: 0,
+                finish: 0
+            };
+            total
+        ];
 
         // Buffer-pressure bookkeeping: bytes of a produced set stay live
-        // until all consuming edges have fired (8-bit activations).
-        let set_bytes =
-            |l: usize, s: usize| (layers[l].sets[s].rect.area() * layers[l].ofm.c) as u64;
+        // until all consuming edges have fired (8-bit activations) — byte
+        // counts come precomputed per set.
         let mut pending_consumers: Vec<u32> = vec![0; total];
         let mut live_bytes = 0u64;
         let mut peak_live_bytes = 0u64;
@@ -130,7 +148,7 @@ impl<'a> Simulator<'a> {
                         let start = group_free[l].max(ready_time[i]);
                         let finish = start + layers[l].sets[s].duration;
                         started[i] = true;
-                        times[l][s] = SetTime { start, finish };
+                        times[i] = SetTime { start, finish };
                         group_free[l] = finish;
                         first_start[l] = first_start[l].min(start);
                         heap.push(Reverse((finish, l, s)));
@@ -159,27 +177,24 @@ impl<'a> Simulator<'a> {
             next[l] = s + 1;
             try_start!(l);
 
-            // Data edges: deliver this set to its consumers.
-            let consumers = &fanout[l][s];
+            // Data edges: deliver this set to its consumers — latency,
+            // byte count, and hop count all precomputed.
+            let produced = idx(l, s);
+            let bytes = costed.set_bytes(l, s);
+            let (consumers, latencies, hops) = costed.outgoing(produced);
             if !consumers.is_empty() {
-                pending_consumers[idx(l, s)] = consumers.len() as u32;
-                live_bytes += set_bytes(l, s);
+                pending_consumers[produced] = consumers.len() as u32;
+                live_bytes += bytes;
                 peak_live_bytes = peak_live_bytes.max(live_bytes);
             }
-            for c in consumers {
-                let delay = edge_cost.cycles(l, c.layer, set_bytes(l, s))?;
+            for ((c, &delay), &edge_hops) in consumers.iter().zip(latencies).zip(hops) {
                 let ci = idx(c.layer, c.set);
                 ready_time[ci] = ready_time[ci].max(t + delay);
                 indegree[ci] -= 1;
                 stats.messages += 1;
-                stats.bytes_moved += set_bytes(l, s);
-                if let EdgeCost::NocHops { arch, placement }
-                | EdgeCost::NocAndGpeu { arch, placement } = edge_cost
-                {
-                    let hops = placement
-                        .hops_between(arch, l, c.layer)
-                        .map_err(clsa_core::CoreError::from)?;
-                    energy.record_transfer(set_bytes(l, s), hops as u64);
+                stats.bytes_moved += bytes;
+                if costed.tracks_transfers() {
+                    energy.record_transfer(bytes, edge_hops);
                 }
                 try_start!(c.layer);
             }
@@ -190,7 +205,7 @@ impl<'a> Simulator<'a> {
                 let pi = idx(p.layer, p.set);
                 pending_consumers[pi] -= 1;
                 if pending_consumers[pi] == 0 {
-                    live_bytes -= set_bytes(p.layer, p.set);
+                    live_bytes -= costed.set_bytes(p.layer, p.set);
                 }
             }
         }
@@ -207,7 +222,7 @@ impl<'a> Simulator<'a> {
         stats.peak_live_bytes = peak_live_bytes;
         stats.energy = energy;
         Ok(SimResult {
-            schedule: Schedule { times, makespan },
+            schedule: Schedule::from_arena(space.clone(), times, makespan),
             stats,
         })
     }

@@ -44,6 +44,40 @@ fn run_prepared_shares_the_stage_artifacts() {
 }
 
 #[test]
+fn free_model_runs_share_the_prepared_cost_table() {
+    // The precomputed edge-cost artifact behaves like the other stage
+    // artifacts: peak-model (Free) runs alias the `Prepared`'s cached
+    // zero-cost table, cost-model runs carry their own.
+    let g = cim_models::fig5_example();
+    let prepared = prepare(&g, &cfg(2)).unwrap();
+    assert_eq!(Arc::strong_count(&prepared.costed_free), 1);
+
+    let baseline = run_prepared(&prepared, &cfg(2)).unwrap();
+    let clsa = run_prepared(&prepared, &cfg(2).with_cross_layer()).unwrap();
+    for result in [&baseline, &clsa] {
+        assert!(
+            Arc::ptr_eq(&result.costed, &prepared.costed_free),
+            "free-model runs must alias the cached zero-cost table"
+        );
+    }
+    // Exactly three holders: the Prepared plus the two results.
+    assert_eq!(Arc::strong_count(&prepared.costed_free), 3);
+
+    // A NoC-cost run builds its own table and leaves the cached one alone.
+    let mut noc = cfg(2).with_cross_layer();
+    noc.noc_cost = true;
+    let costly = run_prepared(&prepared, &noc).unwrap();
+    assert!(!Arc::ptr_eq(&costly.costed, &prepared.costed_free));
+    assert_eq!(Arc::strong_count(&prepared.costed_free), 3);
+    assert_eq!(Arc::strong_count(&costly.costed), 1);
+    assert!(costly.costed.tracks_transfers());
+    assert!(!baseline.costed.tracks_transfers());
+
+    drop(clsa);
+    assert_eq!(Arc::strong_count(&prepared.costed_free), 2);
+}
+
+#[test]
 fn cached_runs_of_one_mapping_share_one_prepared() {
     let g = cim_models::fig5_example();
     let fp = fingerprint(&g);

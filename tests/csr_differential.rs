@@ -1,0 +1,173 @@
+//! Differential property suite: the CSR-flattened, cost-precomputed
+//! scheduling core against the retained naive reference implementations
+//! (`clsa_core::reference`) — on random DAG workloads under all three
+//! [`EdgeCost`] variants, and on real models across Stage-I policies.
+//!
+//! The optimized paths (flat `Dependencies`, `CostedDeps` tables, arena
+//! `Schedule`s) must be *output-identical* to the per-edge, nested-`Vec`
+//! reference on every input; this suite is the executable proof, alongside
+//! the byte-exact golden harness.
+
+use clsa_cim::arch::{
+    place_groups, Architecture, CrossbarSpec, PlacementStrategy, TileSpec,
+};
+use clsa_cim::core::{
+    batched_cross_layer_schedule, batched_cross_layer_schedule_costed, cross_layer_schedule,
+    cross_layer_schedule_costed, determine_dependencies, determine_sets, reference,
+    validate_schedule, validate_schedule_costed, CostedDeps, Dependencies, EdgeCost, LayerSets,
+    OfmSet, SetPolicy, SetRef,
+};
+use clsa_cim::mapping::{layer_costs, MappingOptions};
+use clsa_cim::sim::Simulator;
+use cim_ir::{FeatureShape, NodeId, Rect};
+use proptest::prelude::*;
+
+/// Random layered workloads: synthetic sets with random durations, PE
+/// counts, and random backward edges (the same generator family as the
+/// simulator's property tests).
+fn arb_workload() -> impl Strategy<Value = (Vec<LayerSets>, Vec<(SetRef, SetRef)>)> {
+    let layer = (1usize..6, 1u64..20, 1usize..4);
+    proptest::collection::vec(layer, 1..6).prop_flat_map(|spec| {
+        let layers: Vec<LayerSets> = spec
+            .iter()
+            .enumerate()
+            .map(|(i, &(nsets, dur, pes))| LayerSets {
+                node: NodeId(i as u32),
+                name: format!("l{i}"),
+                logical: i as u32,
+                ofm: FeatureShape::new(nsets, dur as usize, 1),
+                pes,
+                quantum: 1,
+                sets: (0..nsets)
+                    .map(|y| OfmSet {
+                        rect: Rect::new(y, 0, y, dur as usize - 1),
+                        duration: dur,
+                    })
+                    .collect(),
+            })
+            .collect();
+        let n_layers = layers.len();
+        let sets_per: Vec<usize> = layers.iter().map(|l| l.sets.len()).collect();
+        if n_layers < 2 {
+            return Just((layers, Vec::new())).boxed();
+        }
+        let edge = (0usize..1024, 0usize..1024, 0usize..1024).prop_map(move |(a, cs, ps)| {
+            let cl = 1 + a % (n_layers - 1); // strictly later layer
+            let pl = ps % cl; // strictly earlier layer
+            let consumer = SetRef {
+                layer: cl,
+                set: cs % sets_per[cl],
+            };
+            let producer = SetRef {
+                layer: pl,
+                set: (cs + ps) % sets_per[pl],
+            };
+            (consumer, producer)
+        });
+        proptest::collection::vec(edge, 0..24)
+            .prop_map(move |edges| (layers.clone(), edges))
+            .boxed()
+    })
+}
+
+/// All three cost models over a random workload's group sizes.
+fn cost_variants(layers: &[LayerSets], hop: u64, gpeu: usize) -> Vec<EdgeCost> {
+    let sizes: Vec<usize> = layers.iter().map(|l| l.pes).collect();
+    let used: usize = sizes.iter().sum();
+    let arch = Architecture::builder()
+        .tile(TileSpec {
+            pes_per_tile: 2,
+            gpeu_ops_per_cycle: gpeu.max(1),
+            ..TileSpec::isaac_like()
+        })
+        .noc_hop_latency(hop)
+        .pes(used.max(1))
+        .build()
+        .expect("workload arch");
+    let placement =
+        place_groups(&arch, &sizes, PlacementStrategy::Contiguous).expect("placement fits");
+    vec![
+        EdgeCost::Free,
+        EdgeCost::NocHops {
+            arch: arch.clone(),
+            placement: placement.clone(),
+        },
+        EdgeCost::NocAndGpeu { arch, placement },
+    ]
+}
+
+proptest! {
+    /// Schedulers: CSR + precomputed costs ≡ naive reference, for every
+    /// random DAG, every cost variant, single and batched.
+    #[test]
+    fn prop_schedulers_match_reference(
+        (layers, edges) in arb_workload(),
+        hop in 0u64..6,
+        gpeu in 1usize..32,
+        batch in 1usize..5,
+    ) {
+        let sets_per: Vec<usize> = layers.iter().map(|l| l.sets.len()).collect();
+        let deps = Dependencies::from_edges(&sets_per, &edges).unwrap();
+        for cost in cost_variants(&layers, hop, gpeu) {
+            let fast = cross_layer_schedule(&layers, &deps, &cost).unwrap();
+            let naive = reference::cross_layer_schedule_naive(&layers, &deps, &cost).unwrap();
+            prop_assert_eq!(&fast, &naive);
+            validate_schedule(&layers, &deps, &fast, &cost).unwrap();
+
+            // The prebuilt-table entry points agree with the wrappers.
+            let costed = CostedDeps::build(&layers, &deps, &cost).unwrap();
+            prop_assert_eq!(
+                &cross_layer_schedule_costed(&layers, &deps, &costed).unwrap(),
+                &fast
+            );
+            validate_schedule_costed(&layers, &deps, &fast, &costed).unwrap();
+
+            let fast_b =
+                batched_cross_layer_schedule(&layers, &deps, &cost, batch).unwrap();
+            let naive_b = reference::batched_cross_layer_schedule_naive(
+                &layers, &deps, &cost, batch,
+            )
+            .unwrap();
+            prop_assert_eq!(&fast_b, &naive_b);
+            prop_assert_eq!(
+                &batched_cross_layer_schedule_costed(&layers, &deps, &costed, batch).unwrap(),
+                &fast_b
+            );
+
+            // The event engine on the same precomputed table agrees too.
+            let sim = Simulator::new(&layers, &deps).run_costed(&costed).unwrap();
+            prop_assert_eq!(&sim.schedule, &fast);
+        }
+    }
+}
+
+/// Stage II on real models, across Stage-I policies: the scratch-buffer CSR
+/// analysis produces exactly the reference (`HashSet`-per-set) relation.
+#[test]
+fn stage2_matches_reference_on_models_and_policies() {
+    let models: Vec<(&str, cim_ir::Graph)> = vec![
+        ("fig5", clsa_cim::models::fig5_example()),
+        ("toy_cnn", clsa_cim::models::toy_cnn(None)),
+    ];
+    for (name, g) in models {
+        let costs = layer_costs(
+            &g,
+            &CrossbarSpec::wan_nature_2022(),
+            &MappingOptions::default(),
+        )
+        .expect("model has base layers");
+        for policy in [SetPolicy::finest(), SetPolicy::coarse(1), SetPolicy::coarse(4)] {
+            let layers = determine_sets(&g, &costs, &policy).expect("stage I");
+            let fast = determine_dependencies(&g, &layers).expect("stage II");
+            let naive =
+                reference::determine_dependencies_naive(&g, &layers).expect("reference stage II");
+            assert_eq!(fast, naive, "{name} under {policy:?}");
+            // And the serde wire format is representation-independent.
+            assert_eq!(
+                serde_json::to_string(&fast).unwrap(),
+                serde_json::to_string(&naive).unwrap(),
+                "{name} wire format under {policy:?}"
+            );
+        }
+    }
+}

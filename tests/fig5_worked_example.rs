@@ -76,21 +76,21 @@ fn stage4_earliest_start_semantics() {
     let s = cross_layer_schedule(&layers, &deps, &EdgeCost::Free).expect("stage IV");
     validate_schedule(&layers, &deps, &s, &EdgeCost::Free).expect("valid");
     // conv1 streams without stalls: sets at 0, 16, 32, 48.
-    for (i, t) in s.times[0].iter().enumerate() {
+    for (i, t) in s.layer(0).iter().enumerate() {
         assert_eq!(t.start, 16 * i as u64);
     }
     // conv2 set 0 starts exactly when conv1 set 1 finishes (its last dep).
-    assert_eq!(s.times[1][0].start, s.times[0][1].finish);
+    assert_eq!(s.time(1, 0).start, s.time(0, 1).finish);
     // Every set starts at the max of its chain and dependency finishes —
     // no idle gap that the paper's "earliest feasible starting point" rule
     // would forbid.
-    for (li, lt) in s.times.iter().enumerate() {
+    for (li, lt) in s.iter_layers().enumerate() {
         for (si, t) in lt.iter().enumerate() {
             let chain = if si == 0 { 0 } else { lt[si - 1].finish };
             let dep_max = deps
                 .of(li, si)
                 .iter()
-                .map(|d| s.times[d.layer][d.set].finish)
+                .map(|d| s.time(d.layer, d.set).finish)
                 .max()
                 .unwrap_or(0);
             assert_eq!(t.start, chain.max(dep_max), "L{li}S{si} must start eagerly");

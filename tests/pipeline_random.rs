@@ -38,19 +38,19 @@ proptest! {
         // The discrete-event simulator agrees with the analytic engine.
         let sim = Simulator::new(&xl.layers, &xl.deps).run(&EdgeCost::Free).expect("sim");
         prop_assert_eq!(sim.schedule.makespan, xl.makespan());
-        prop_assert_eq!(&sim.schedule.times, &xl.schedule.times);
+        prop_assert_eq!(&sim.schedule, &xl.schedule);
 
         // Eagerness (the paper's "earliest feasible starting point"): every
         // set starts exactly at the max of its chain and dependency
         // arrivals — no scheduler-introduced idle time.
-        for (li, lt) in xl.schedule.times.iter().enumerate() {
+        for (li, lt) in xl.schedule.iter_layers().enumerate() {
             for (si, t) in lt.iter().enumerate() {
                 let chain = if si == 0 { 0 } else { lt[si - 1].finish };
                 let dep_max = xl
                     .deps
                     .of(li, si)
                     .iter()
-                    .map(|d| xl.schedule.times[d.layer][d.set].finish)
+                    .map(|d| xl.schedule.time(d.layer, d.set).finish)
                     .max()
                     .unwrap_or(0);
                 prop_assert_eq!(t.start, chain.max(dep_max));
@@ -136,7 +136,7 @@ proptest! {
             let a = run(canon.graph(), &cfg).expect("first");
             let b = run(canon.graph(), &cfg).expect("second");
             prop_assert_eq!(a.makespan(), b.makespan());
-            prop_assert_eq!(&a.schedule.times, &b.schedule.times);
+            prop_assert_eq!(&a.schedule, &b.schedule);
         }
     }
 }

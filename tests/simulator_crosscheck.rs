@@ -25,7 +25,7 @@ fn crosscheck(graph: &cim_ir::Graph, pe_min: usize, x: usize, duplicate: bool) {
         .expect("simulates");
 
     assert_eq!(sim.schedule.makespan, r.makespan(), "makespan agreement");
-    assert_eq!(sim.schedule.times, r.schedule.times, "per-set agreement");
+    assert_eq!(sim.schedule, r.schedule, "per-set agreement");
 
     // Work conservation: the simulator's active cycles equal the total set
     // durations, and per-group activity matches the analytic schedule.

@@ -42,8 +42,8 @@ fn fig5_minimal_pipeline_round_trips() {
 
     // The cross-layer schedule must overlap the two layers: conv2 starts
     // before conv1 finishes (the whole point of the paper).
-    let conv1_finish = schedule.times[0].last().expect("conv1 scheduled").finish;
-    let conv2_start = schedule.times[1].first().expect("conv2 scheduled").start;
+    let conv1_finish = schedule.layer(0).last().expect("conv1 scheduled").finish;
+    let conv2_start = schedule.layer(1).first().expect("conv2 scheduled").start;
     assert!(
         conv2_start < conv1_finish,
         "cross-layer scheduling must overlap layers \

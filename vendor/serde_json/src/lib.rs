@@ -2,10 +2,13 @@
 //!
 //! Renders the vendored `serde` [`Value`] model to JSON text and parses it
 //! back. Supports exactly what the workspace uses: [`to_string`],
-//! [`to_string_pretty`], and [`from_str`]. Numbers round-trip exactly
-//! (integers verbatim; floats via Rust's shortest-representation
-//! formatting, with a `.0` suffix forced on integral floats so they parse
-//! back as floats).
+//! [`to_string_pretty`], [`to_fmt_writer`] (streaming into any
+//! [`std::fmt::Write`] sink — e.g. a rolling hasher — without materializing
+//! the JSON text), and [`from_str`]. Numbers round-trip exactly (integers
+//! verbatim; floats via Rust's shortest-representation formatting, with a
+//! `.0` suffix forced on integral floats so they parse back as floats).
+//! The byte stream produced by `to_fmt_writer` is identical to the
+//! `to_string` output.
 //!
 //! # Examples
 //!
@@ -52,15 +55,35 @@ impl From<serde::Error> for Error {
 /// Serializes `value` to compact JSON.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
-    write_value(&mut out, &value.to_value(), None, 0);
+    write_value(&mut out, &value.to_value(), None, 0).expect("String sink is infallible");
     Ok(out)
 }
 
 /// Serializes `value` to 2-space-indented JSON.
 pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
-    write_value(&mut out, &value.to_value(), Some(2), 0);
+    write_value(&mut out, &value.to_value(), Some(2), 0).expect("String sink is infallible");
     Ok(out)
+}
+
+/// Streams `value`'s compact JSON into `writer`, chunk by chunk, without
+/// building an intermediate `String`. The emitted bytes are exactly the
+/// [`to_string`] output, so sinks that hash or count the stream observe
+/// the same canonical serialization.
+///
+/// # Examples
+///
+/// ```
+/// let mut out = String::new();
+/// serde_json::to_fmt_writer(&mut out, &vec![1u32, 2, 3]).unwrap();
+/// assert_eq!(out, serde_json::to_string(&vec![1u32, 2, 3]).unwrap());
+/// ```
+pub fn to_fmt_writer<W: fmt::Write, T: Serialize + ?Sized>(
+    writer: &mut W,
+    value: &T,
+) -> Result<(), Error> {
+    write_value(writer, &value.to_value(), None, 0)
+        .map_err(|e| Error::new(format!("writer error: {e}")))
 }
 
 /// Parses JSON text into a `T`.
@@ -83,89 +106,95 @@ pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
 
 // ---- writer ----------------------------------------------------------------
 
-fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+fn write_value<W: fmt::Write>(
+    out: &mut W,
+    v: &Value,
+    indent: Option<usize>,
+    depth: usize,
+) -> fmt::Result {
     match v {
-        Value::Null => out.push_str("null"),
-        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-        Value::U64(n) => out.push_str(&n.to_string()),
-        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::Null => out.write_str("null"),
+        Value::Bool(b) => out.write_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => write!(out, "{n}"),
+        Value::I64(n) => write!(out, "{n}"),
         Value::F64(f) => write_f64(out, *f),
         Value::Str(s) => write_string(out, s),
         Value::Seq(items) => {
-            out.push('[');
+            out.write_char('[')?;
             for (i, item) in items.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.write_char(',')?;
                 }
-                newline_indent(out, indent, depth + 1);
-                write_value(out, item, indent, depth + 1);
+                newline_indent(out, indent, depth + 1)?;
+                write_value(out, item, indent, depth + 1)?;
             }
             if !items.is_empty() {
-                newline_indent(out, indent, depth);
+                newline_indent(out, indent, depth)?;
             }
-            out.push(']');
+            out.write_char(']')
         }
         Value::Map(entries) => {
-            out.push('{');
+            out.write_char('{')?;
             for (i, (k, item)) in entries.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.write_char(',')?;
                 }
-                newline_indent(out, indent, depth + 1);
-                write_string(out, k);
-                out.push(':');
+                newline_indent(out, indent, depth + 1)?;
+                write_string(out, k)?;
+                out.write_char(':')?;
                 if indent.is_some() {
-                    out.push(' ');
+                    out.write_char(' ')?;
                 }
-                write_value(out, item, indent, depth + 1);
+                write_value(out, item, indent, depth + 1)?;
             }
             if !entries.is_empty() {
-                newline_indent(out, indent, depth);
+                newline_indent(out, indent, depth)?;
             }
-            out.push('}');
+            out.write_char('}')
         }
     }
 }
 
-fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+fn newline_indent<W: fmt::Write>(out: &mut W, indent: Option<usize>, depth: usize) -> fmt::Result {
     if let Some(width) = indent {
-        out.push('\n');
+        out.write_char('\n')?;
         for _ in 0..width * depth {
-            out.push(' ');
+            out.write_char(' ')?;
         }
     }
+    Ok(())
 }
 
-fn write_f64(out: &mut String, f: f64) {
+fn write_f64<W: fmt::Write>(out: &mut W, f: f64) -> fmt::Result {
     if !f.is_finite() {
         // JSON has no NaN/Infinity; mirror serde_json's `null`.
-        out.push_str("null");
-        return;
+        return out.write_str("null");
     }
     let s = f.to_string();
-    out.push_str(&s);
+    out.write_str(&s)?;
     // Force a float marker so the value parses back as F64, not an integer.
     if !s.contains(['.', 'e', 'E']) {
-        out.push_str(".0");
+        out.write_str(".0")?;
     }
+    Ok(())
 }
 
-fn write_string(out: &mut String, s: &str) {
-    out.push('"');
+fn write_string<W: fmt::Write>(out: &mut W, s: &str) -> fmt::Result {
+    out.write_char('"')?;
     for c in s.chars() {
         match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
             c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+                write!(out, "\\u{:04x}", c as u32)?;
             }
-            c => out.push(c),
+            c => out.write_char(c)?,
         }
     }
-    out.push('"');
+    out.write_char('"')
 }
 
 // ---- parser ----------------------------------------------------------------
