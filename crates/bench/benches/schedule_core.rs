@@ -21,7 +21,11 @@
 //!   edge per instance) — the pair whose ratio is the PR-gating ≥ 2×
 //!   speedup;
 //! * `warm_sweep` — the fig6c sweep replayed from a warm persistent
-//!   store (the cross-run caching hot path).
+//!   store (the cross-run caching hot path);
+//! * `tuner_throughput` — design-space-exploration speed: a 32-candidate
+//!   grid prefix of the `case-study` tuning space on the lane-pool
+//!   evaluator, reported as configs evaluated/sec (the number the
+//!   autotuner's budget is spent against).
 
 use cim_arch::{place_groups, Architecture, PlacementStrategy, TileSpec};
 use cim_bench::artifacts::{case_study_graph, fig6c_results_for};
@@ -145,11 +149,46 @@ fn bench_warm_sweep(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+fn bench_tuner_throughput(c: &mut Criterion) {
+    use cim_bench::tune::autotune;
+    use cim_tune::{Budget, DesignSpace, GridSearch, TuneOptions};
+
+    const CANDIDATES: usize = 32;
+    let g = case_study_graph();
+    let space = DesignSpace::case_study();
+    let mut group = c.benchmark_group("schedule_core");
+    group.throughput(Throughput::Elements(CANDIDATES as u64));
+    group.bench_with_input(
+        BenchmarkId::new("tuner_throughput", "grid32_case_study"),
+        &g,
+        |b, g| {
+            b.iter(|| {
+                // A fresh strategy and evaluator per iteration: the
+                // measured path is one cold 32-candidate exploration
+                // (in-memory stage sharing included, no persistent store).
+                let mut grid = GridSearch::new();
+                autotune(
+                    g,
+                    &space,
+                    &mut grid,
+                    &Budget::candidates(CANDIDATES),
+                    &TuneOptions::default(),
+                    &RunnerOptions::sequential(),
+                    None,
+                )
+                .expect("tuning runs")
+            })
+        },
+    );
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_cold_pipeline,
     bench_stage2,
     bench_batched,
-    bench_warm_sweep
+    bench_warm_sweep,
+    bench_tuner_throughput
 );
 criterion_main!(benches);

@@ -28,6 +28,8 @@ struct Record {
 
 fn main() {
     let args = parse_common_args();
+    // Nothing below consumes randomness; surface a stray --seed.
+    args.note_seed_unused();
     args.note_cache_dir_unused();
     let (runner, json) = (args.runner, args.json);
 

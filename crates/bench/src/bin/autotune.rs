@@ -1,0 +1,164 @@
+//! Design-space exploration over the scheduling pipeline — searches the
+//! joint space of Stage-I tiling policy × weight duplication ×
+//! architecture parameters × edge-cost model and reports the Pareto
+//! front over (latency, utilization, NoC bytes, crossbar count).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p cim-bench --bin autotune -- \
+//!     [--model TinyYOLOv4] [--space tiny|case-study|wide] \
+//!     [--strategy grid|random|anneal] [--budget N] [--wall-secs S] \
+//!     [--batch N] [--seed S] [--jobs N] [--cache-dir <path>] [--json <path>]
+//! ```
+//!
+//! The run is deterministic for a fixed `(seed, jobs)` pair — in fact the
+//! exported front is byte-identical for *every* `--jobs` value, and for
+//! cold vs. warm `--cache-dir` runs (the persistent store then makes
+//! re-runs nearly free: candidates evaluated by any earlier run replay
+//! from disk). The binary echoes the seed it ran with.
+
+use std::time::Duration;
+
+use cim_bench::tune::{autotune, AutotuneReport, ParetoRow};
+use cim_bench::{parse_common_args, render_table, CommonArgs};
+use cim_frontend::{canonicalize, CanonOptions};
+use cim_ir::Graph;
+use cim_tune::{strategy_by_name, Budget, DesignSpace, TuneOptions};
+
+/// Resolves `--model`: any zoo registry entry (Table II + the case
+/// study) or the paper's Fig. 5 worked example. The graph comes back
+/// canonicalized, ready for the evaluator.
+fn model_graph(name: &str) -> Option<Graph> {
+    let raw = if name == "fig5" {
+        cim_models::fig5_example()
+    } else {
+        cim_models::all_models()
+            .into_iter()
+            .find(|info| info.name == name)?
+            .build()
+    };
+    Some(
+        canonicalize(&raw, &CanonOptions::default())
+            .expect("registry models canonicalize")
+            .into_graph(),
+    )
+}
+
+/// Binary-specific flag: `--flag <value>` out of the leftover args.
+fn flag_value<'a>(rest: &'a [String], flag: &str) -> Option<&'a str> {
+    rest.iter()
+        .position(|a| a == flag)
+        .and_then(|i| rest.get(i + 1))
+        .map(String::as_str)
+}
+
+fn print_front(rows: &[ParetoRow]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.candidate.to_string(),
+                r.label.clone(),
+                r.latency_cycles.to_string(),
+                format!("{:.2}%", r.utilization * 100.0),
+                r.noc_bytes.to_string(),
+                r.crossbars.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "candidate",
+                "configuration",
+                "latency (cycles)",
+                "utilization",
+                "NoC bytes",
+                "crossbars"
+            ],
+            &table
+        )
+    );
+}
+
+fn main() {
+    let args: CommonArgs = parse_common_args();
+    let model = flag_value(&args.rest, "--model").unwrap_or("TinyYOLOv4");
+    let space_name = flag_value(&args.rest, "--space").unwrap_or("case-study");
+    let strategy_name = flag_value(&args.rest, "--strategy").unwrap_or("anneal");
+    let budget_candidates: Option<usize> = flag_value(&args.rest, "--budget")
+        .map(|v| v.parse().expect("--budget takes a positive integer"));
+    let wall_secs: Option<u64> = flag_value(&args.rest, "--wall-secs")
+        .map(|v| v.parse().expect("--wall-secs takes a positive integer"));
+    let batch: usize = flag_value(&args.rest, "--batch")
+        .map_or_else(|| TuneOptions::default().batch, |v| {
+            v.parse().expect("--batch takes a positive integer")
+        });
+    let seed = args.seed_or_default();
+
+    let graph = model_graph(model)
+        .unwrap_or_else(|| panic!("unknown --model {model}; zoo entries or `fig5`"));
+    let space = DesignSpace::preset(space_name)
+        .unwrap_or_else(|| panic!("unknown --space {space_name}; tiny|case-study|wide"));
+    let mut strategy = strategy_by_name(strategy_name, seed)
+        .unwrap_or_else(|| panic!("unknown --strategy {strategy_name}; grid|random|anneal"));
+    let mut budget = Budget {
+        max_candidates: budget_candidates,
+        max_wall: wall_secs.map(Duration::from_secs),
+    };
+    // Grid and random exhaust the space on their own; an unbounded anneal
+    // never stops, so give it a default budget — and say so, since a
+    // capped run is not an exhaustive one.
+    if budget.max_candidates.is_none() && budget.max_wall.is_none() && strategy.name() == "anneal"
+    {
+        let cap = space.len().min(256);
+        eprintln!("note: no --budget/--wall-secs; capping the anneal at {cap} candidates");
+        budget = Budget::candidates(cap);
+    }
+
+    println!(
+        "autotune: {model} over `{space_name}` ({} candidates), strategy {}, seed: {seed}",
+        space.len(),
+        strategy.name(),
+    );
+    let store = args.open_store();
+    let runner = args.runner;
+    let (result, rows) = autotune(
+        &graph,
+        &space,
+        strategy.as_mut(),
+        &budget,
+        &TuneOptions { batch },
+        &runner,
+        store.as_ref(),
+    )
+    .expect("tuning runs");
+
+    println!(
+        "\nPareto front — {} of {} evaluated candidates survive dominance pruning\n",
+        rows.len(),
+        result.stats.evaluated
+    );
+    print_front(&rows);
+    println!("tuner: {} (jobs {})", result.stats, runner.jobs);
+    if let Some(store) = &store {
+        println!("persistent store: {}", store.stats());
+    }
+
+    if let Some(path) = &args.json {
+        let report = AutotuneReport {
+            model: model.to_string(),
+            space: space_name.to_string(),
+            strategy: strategy.name().to_string(),
+            seed,
+            budget: budget.max_candidates,
+            evaluated: result.stats.evaluated,
+            infeasible: result.stats.infeasible,
+            front: rows,
+        };
+        cim_bench::write_json(path, &report).expect("write json");
+        println!("wrote {path}");
+    }
+}

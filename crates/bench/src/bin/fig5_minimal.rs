@@ -16,6 +16,8 @@ use clsa_core::{
 
 fn main() {
     let args = parse_common_args();
+    // Nothing below consumes randomness; surface a stray --seed.
+    args.note_seed_unused();
     args.note_cache_dir_unused();
     let runner = args.runner;
     let g = cim_models::fig5_example();

@@ -96,7 +96,8 @@ fn part_c(g: &Graph, runner: &RunnerOptions, store: Option<&ResultStore>, json: 
                 r.total_pes.to_string(),
                 format!("{:.2}x", r.speedup),
                 format!("{:.1}%", r.utilization * 100.0),
-                format!("{:.2}x", r.eq3_predicted),
+                r.eq3_predicted
+                    .map_or_else(|| "-".to_string(), |p| format!("{p:.2}x")),
             ]
         })
         .collect();
@@ -125,6 +126,8 @@ fn part_c(g: &Graph, runner: &RunnerOptions, store: Option<&ResultStore>, json: 
 
 fn main() {
     let args = parse_common_args();
+    // Nothing below consumes randomness; surface a stray --seed.
+    args.note_seed_unused();
     let part = args
         .rest
         .iter()

@@ -18,6 +18,8 @@ use cim_bench::{parse_common_args, render_table, ConfigResult, SweepOptions};
 
 fn main() {
     let args = parse_common_args();
+    // Nothing below consumes randomness; surface a stray --seed.
+    args.note_seed_unused();
     let (runner, json) = (args.runner, args.json.clone());
     let store = args.open_store();
     let opts = SweepOptions::default();
@@ -96,7 +98,10 @@ fn main() {
     let worst_eq3 = all
         .iter()
         .filter(|r| r.label != "layer-by-layer")
-        .map(|r| (r.eq3_predicted - r.speedup).abs() / r.speedup)
+        .filter_map(|r| {
+            r.eq3_predicted
+                .map(|p| (p - r.speedup).abs() / r.speedup)
+        })
         .fold(0.0f64, f64::max);
     println!(
         "\nbest speedup:     {:.1}x ({} {})   [paper: 29.2x, TinyYOLOv3]",

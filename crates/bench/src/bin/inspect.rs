@@ -36,6 +36,8 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
 
 fn main() {
     let common = parse_common_args();
+    // Nothing below consumes randomness; surface a stray --seed.
+    common.note_seed_unused();
     common.note_cache_dir_unused();
     let (args, json) = (common.rest, common.json);
     let model_name = args.first().cloned().unwrap_or_else(|| {

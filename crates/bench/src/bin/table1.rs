@@ -10,6 +10,8 @@ use cim_mapping::min_pes;
 
 fn main() {
     let args = parse_common_args();
+    // Nothing below consumes randomness; surface a stray --seed.
+    args.note_seed_unused();
     args.note_cache_dir_unused();
     // One closed-form artifact (shared with the golden-file regression
     // suite); `--jobs` is accepted for CLI uniformity but has no work to

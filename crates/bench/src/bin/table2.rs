@@ -8,6 +8,8 @@ use cim_bench::{parse_common_args, render_table};
 
 fn main() {
     let args = parse_common_args();
+    // Nothing below consumes randomness; surface a stray --seed.
+    args.note_seed_unused();
     args.note_cache_dir_unused();
     // Row computation is shared with the golden-file regression suite.
     let rows = table2_rows(args.runner.jobs);

@@ -43,7 +43,13 @@ pub struct CommonArgs {
     pub json: Option<String>,
     /// `--cache-dir <path>` → persistent result store directory.
     pub cache_dir: Option<String>,
+    /// `--seed <u64>` → seed for stochastic binaries (`None` = the flag
+    /// was not given; stochastic binaries fall back to [`DEFAULT_SEED`]).
+    pub seed: Option<u64>,
 }
+
+/// The seed stochastic binaries run with when `--seed` is not given.
+pub const DEFAULT_SEED: u64 = 0;
 
 impl CommonArgs {
     /// Opens the persistent [`ResultStore`](crate::runner::ResultStore)
@@ -71,26 +77,44 @@ impl CommonArgs {
             );
         }
     }
+
+    /// The seed a stochastic binary should run with: the `--seed` value,
+    /// or [`DEFAULT_SEED`]. Stochastic binaries must echo this value
+    /// (`seed: <n>`) so every printed/exported result names the seed that
+    /// produced it.
+    pub fn seed_or_default(&self) -> u64 {
+        self.seed.unwrap_or(DEFAULT_SEED)
+    }
+
+    /// Prints a note when `--seed` was passed to a fully deterministic
+    /// binary (nothing here consumes randomness).
+    pub fn note_seed_unused(&self) {
+        if let Some(seed) = self.seed {
+            eprintln!("note: --seed {seed} ignored — this binary is deterministic");
+        }
+    }
 }
 
-/// Parses the three flags every experiment binary supports — `--jobs <N>`,
-/// `--json <path>`, and `--cache-dir <path>` — from the process
-/// arguments.
+/// Parses the four flags every experiment binary supports — `--jobs <N>`,
+/// `--json <path>`, `--cache-dir <path>`, and `--seed <u64>` — from the
+/// process arguments.
 ///
 /// # Panics
 ///
-/// Panics with a usage message on a malformed `--jobs` value (see
-/// [`parse_jobs_arg`]).
+/// Panics with a usage message on a malformed `--jobs` or `--seed` value
+/// (see [`parse_jobs_arg`] / [`parse_seed_arg`]).
 pub fn parse_common_args() -> CommonArgs {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let (rest, runner) = parse_jobs_arg(&raw);
     let (rest, json) = parse_json_arg(&rest);
     let (rest, cache_dir) = parse_cache_dir_arg(&rest);
+    let (rest, seed) = parse_seed_arg(&rest);
     CommonArgs {
         rest,
         runner,
         json,
         cache_dir,
+        seed,
     }
 }
 
@@ -137,6 +161,31 @@ pub fn parse_cache_dir_arg(args: &[String]) -> (Vec<String>, Option<String>) {
         }
     }
     (rest, dir)
+}
+
+/// Parses an optional `--seed <u64>` argument pair from a raw argument
+/// list, returning the remaining arguments and the seed if present.
+///
+/// # Panics
+///
+/// Panics with a usage message when the flag value is missing or not a
+/// u64 (the experiment binaries treat bad flags as fatal).
+pub fn parse_seed_arg(args: &[String]) -> (Vec<String>, Option<u64>) {
+    let mut rest = Vec::new();
+    let mut seed = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--seed" {
+            seed = Some(
+                it.next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed takes an unsigned 64-bit integer"),
+            );
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    (rest, seed)
 }
 
 /// Parses an optional `--json <path>` argument pair from a raw argument
@@ -194,6 +243,21 @@ mod tests {
         assert_eq!(dir.as_deref(), Some("/tmp/store"));
         let (_, none) = parse_cache_dir_arg(&rest);
         assert!(none.is_none());
+    }
+
+    #[test]
+    fn parses_seed_flag() {
+        let args: Vec<String> = ["--seed", "12345", "--part", "c"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (rest, seed) = parse_seed_arg(&args);
+        assert_eq!(rest, vec!["--part".to_string(), "c".to_string()]);
+        assert_eq!(seed, Some(12345));
+        let (_, none) = parse_seed_arg(&rest);
+        assert!(none.is_none());
+        let defaulted = CommonArgs::default();
+        assert_eq!(defaulted.seed_or_default(), DEFAULT_SEED);
     }
 
     #[test]

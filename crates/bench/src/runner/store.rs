@@ -56,10 +56,14 @@ use super::fingerprint::CacheKey;
 /// algorithm's rows forever. The golden-file suite drifting (a
 /// `CIM_BLESS=1` re-bless) is the tell-tale that this constant must move
 /// with it. Rows with any other version are evicted and recomputed.
-pub const STORE_FORMAT_VERSION: u32 = 1;
+///
+/// History: 2 — [`RunSummary`] gained `noc_bytes` (the autotuner's
+/// traffic objective); version-1 rows lack the field and are evicted.
+pub const STORE_FORMAT_VERSION: u32 = 2;
 
-/// The serializable reduction of a [`RunResult`] the batch aggregator
-/// consumes — everything `run_batch` reads from a run, and nothing else.
+/// The serializable reduction of a [`RunResult`] the store's consumers
+/// need — the fields `run_batch` aggregates into sweep rows plus the
+/// autotuner's traffic objective, and nothing else.
 ///
 /// Floats round-trip exactly through serde_json (shortest-representation
 /// formatting), so a summary replayed from disk reproduces byte-identical
@@ -74,6 +78,9 @@ pub struct RunSummary {
     pub total_pes: usize,
     /// Layers duplicated by the mapping (0 without duplication).
     pub duplicated_layers: usize,
+    /// Bytes forwarded over cross-layer dependency edges per inference
+    /// (`CostedDeps::total_dep_bytes` — the tuner's NoC-traffic axis).
+    pub noc_bytes: u64,
 }
 
 impl RunSummary {
@@ -84,6 +91,7 @@ impl RunSummary {
             utilization: result.report.utilization,
             total_pes: result.report.total_pes,
             duplicated_layers: result.plan.as_ref().map_or(0, |p| p.duplicated_layers()),
+            noc_bytes: result.costed.total_dep_bytes(),
         }
     }
 }
@@ -373,6 +381,7 @@ mod tests {
             utilization: 1.0 / (n as f64 + 1.5),
             total_pes: n as usize + 3,
             duplicated_layers: n as usize % 4,
+            noc_bytes: n * 7,
         }
     }
 
@@ -467,6 +476,7 @@ mod tests {
                 utilization: f,
                 total_pes: 1,
                 duplicated_layers: 0,
+                noc_bytes: 0,
             };
             let back: RunSummary =
                 serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();

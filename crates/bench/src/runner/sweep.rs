@@ -15,7 +15,7 @@ use cim_arch::Architecture;
 use cim_frontend::{canonicalize, CanonOptions};
 use cim_ir::Graph;
 use cim_mapping::{layer_costs, min_pes, MappingOptions};
-use clsa_core::{eq3_predicted_speedup, CoreError, RunConfig};
+use clsa_core::{eq3_predicted_from_utilization, CoreError, RunConfig};
 
 use super::cache::{CacheStats, ScheduleCache};
 use super::fingerprint::{fingerprint, CacheKey};
@@ -199,12 +199,13 @@ pub fn run_batch_with_store(
         Ok::<RunSummary, CoreError>(summary)
     });
 
-    // Baselines first: every other row of a model references its makespan.
-    let mut baselines: HashMap<&str, (u64, f64)> = HashMap::new();
+    // Baselines first: every other row of a model references its makespan,
+    // utilization, and actual PE total (the Eq. 3 denominator).
+    let mut baselines: HashMap<&str, (u64, f64, usize)> = HashMap::new();
     for (job, outcome) in jobs.iter().zip(&outcomes) {
         if job.label == BASELINE_LABEL {
             if let Ok(s) = outcome {
-                baselines.insert(&job.model, (s.makespan_cycles, s.utilization));
+                baselines.insert(&job.model, (s.makespan_cycles, s.utilization, s.total_pes));
             }
         }
     }
@@ -212,7 +213,7 @@ pub fn run_batch_with_store(
     let mut results = Vec::with_capacity(jobs.len());
     for (job, outcome) in jobs.iter().zip(outcomes) {
         let s = outcome?;
-        let &(base_makespan, ut_lbl) =
+        let &(base_makespan, ut_lbl, base_pes) =
             baselines
                 .get(job.model.as_str())
                 .ok_or_else(|| CoreError::StageMismatch {
@@ -229,7 +230,16 @@ pub fn run_batch_with_store(
             makespan_ns: s.makespan_cycles * t_mvm,
             speedup: base_makespan as f64 / s.makespan_cycles as f64,
             utilization: s.utilization,
-            eq3_predicted: eq3_predicted_speedup(s.utilization, ut_lbl, job.pe_min, job.x),
+            // Eq. 3 from the architectures' *actual* PE totals — on the
+            // paper family (total = pe_min + x, baseline = pe_min) this
+            // is bit-identical to the historical closed form; on other
+            // architecture families it is the correct generalization.
+            eq3_predicted: eq3_predicted_from_utilization(
+                s.utilization,
+                ut_lbl,
+                s.total_pes,
+                base_pes,
+            ),
             duplicated_layers: s.duplicated_layers,
         });
     }

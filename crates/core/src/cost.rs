@@ -316,6 +316,16 @@ impl CostedDeps {
     pub fn num_edges(&self) -> usize {
         self.dep_latency.len()
     }
+
+    /// Total bytes forwarded over all cross-layer dependency edges per
+    /// inference — each edge charges its producer set's byte count, so a
+    /// set feeding `k` consumers contributes `k × bytes`. This is the
+    /// mapping's NoC traffic volume, one of the tuner's Pareto axes; it
+    /// is independent of the edge-cost *model* (the byte table is the
+    /// same for [`EdgeCost::Free`] and the NoC models over one mapping).
+    pub fn total_dep_bytes(&self) -> u64 {
+        self.dep_producer.iter().map(|&pi| self.bytes[pi]).sum()
+    }
 }
 
 #[cfg(test)]
@@ -371,6 +381,8 @@ mod tests {
         // Byte table: one byte per OFM element.
         assert_eq!(c.set_bytes(0, 0), 4);
         assert_eq!(c.set_bytes(1, 1), 8);
+        // Edge traffic: (0,0) feeds two consumers, (0,1) one → 2·4 + 4.
+        assert_eq!(c.total_dep_bytes(), 12);
     }
 
     #[test]

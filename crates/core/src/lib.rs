@@ -79,7 +79,9 @@ pub use cost::CostedDeps;
 pub use deps::{determine_dependencies, Dependencies, SetRef};
 pub use error::{CoreError, Result};
 pub use gantt::{gantt_csv, gantt_rows, gantt_text, GanttRow};
-pub use metrics::{eq3_predicted_speedup, speedup, utilization, UtilizationReport};
+pub use metrics::{
+    eq3_predicted_from_utilization, eq3_predicted_speedup, speedup, utilization, UtilizationReport,
+};
 pub use pipeline::{
     prepare, run, run_prepared, Costs, Deps, Layers, MappedGraph, MappingChoice, Prepared,
     RunConfig, RunResult, SchedulingChoice,

@@ -102,9 +102,36 @@ pub fn speedup(baseline_makespan: u64, makespan: u64) -> Result<f64> {
 /// Eq. 3: predicted speedup from utilizations.
 ///
 /// `ut` is the configuration's utilization on `pe_min + x` PEs, `ut_lbl` the
-/// layer-by-layer baseline utilization on `pe_min` PEs.
+/// layer-by-layer baseline utilization on `pe_min` PEs. This form bakes in
+/// the paper-case-study convention that the configuration's architecture
+/// holds exactly `pe_min + x` PEs and the baseline exactly `pe_min`; for
+/// arbitrary architectures use [`eq3_predicted_from_utilization`], which
+/// reads the actual PE totals.
 pub fn eq3_predicted_speedup(ut: f64, ut_lbl: f64, pe_min: usize, x: usize) -> f64 {
     ut * (pe_min + x) as f64 / (ut_lbl * pe_min as f64)
+}
+
+/// Eq. 3 from the *actual* architecture totals: predicted speedup of a
+/// configuration with utilization `ut` on `total_pes` PEs over a baseline
+/// with utilization `ut_lbl` on `baseline_total_pes` PEs.
+///
+/// Eq. 3 rests on the invariant `S ≈ (Ut · #PE) / (Ut_lbl · #PE_lbl)` —
+/// active work is conserved, so speedup is the ratio of active-PE-cycle
+/// *rates*. Unlike [`eq3_predicted_speedup`] this reads the architectures'
+/// real PE counts instead of assuming the paper's `pe_min + x` sizing, so
+/// it stays correct for autotuned/retargeted architectures; it returns
+/// `None` when the prediction is undefined (an idle or degenerate
+/// baseline), instead of a division-by-zero artefact.
+pub fn eq3_predicted_from_utilization(
+    ut: f64,
+    ut_lbl: f64,
+    total_pes: usize,
+    baseline_total_pes: usize,
+) -> Option<f64> {
+    if !ut_lbl.is_finite() || ut_lbl <= 0.0 || baseline_total_pes == 0 || total_pes == 0 {
+        return None;
+    }
+    Some(ut * total_pes as f64 / (ut_lbl * baseline_total_pes as f64))
 }
 
 #[cfg(test)]
@@ -228,6 +255,21 @@ mod tests {
             (s_measured - s_predicted).abs() < 1e-9,
             "measured {s_measured} vs Eq.3 {s_predicted}"
         );
+    }
+
+    #[test]
+    fn eq3_from_totals_matches_paper_form_and_guards_degenerates() {
+        // On the paper family (config on pe_min + x PEs, baseline on
+        // pe_min) the two forms are bit-identical.
+        let (ut, ut_lbl, pe_min, x) = (0.23, 0.041, 117usize, 32usize);
+        let legacy = eq3_predicted_speedup(ut, ut_lbl, pe_min, x);
+        let general = eq3_predicted_from_utilization(ut, ut_lbl, pe_min + x, pe_min).unwrap();
+        assert_eq!(legacy.to_bits(), general.to_bits());
+        // Degenerate baselines yield no prediction instead of inf/NaN.
+        assert_eq!(eq3_predicted_from_utilization(0.5, 0.0, 10, 10), None);
+        assert_eq!(eq3_predicted_from_utilization(0.5, f64::NAN, 10, 10), None);
+        assert_eq!(eq3_predicted_from_utilization(0.5, 0.1, 0, 10), None);
+        assert_eq!(eq3_predicted_from_utilization(0.5, 0.1, 10, 0), None);
     }
 
     #[test]

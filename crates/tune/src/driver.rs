@@ -1,0 +1,208 @@
+//! The tuning loop: strategy → evaluator → archive under a budget.
+
+use std::time::Instant;
+
+use crate::archive::ParetoArchive;
+use crate::budget::{Budget, TuneStats};
+use crate::eval::Evaluator;
+use crate::space::{Candidate, DesignSpace};
+use crate::strategy::SearchStrategy;
+
+/// Loop options independent of the strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TuneOptions {
+    /// Candidates proposed (and evaluated) per round. A **fixed** batch
+    /// size — deliberately *not* derived from the worker count — is what
+    /// makes the search trajectory identical for every `--jobs` value:
+    /// the strategy sees the same proposal/observation sequence whether
+    /// the batch was evaluated on one thread or sixteen.
+    pub batch: usize,
+}
+
+impl Default for TuneOptions {
+    /// Sixteen proposals per round.
+    fn default() -> Self {
+        Self { batch: 16 }
+    }
+}
+
+/// Outcome of one tuning run.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    /// The non-dominated candidates found.
+    pub archive: ParetoArchive,
+    /// Loop counters.
+    pub stats: TuneStats,
+}
+
+/// Runs `strategy` over `space` against `evaluator` until `budget` is
+/// exhausted or the strategy stops proposing.
+///
+/// Each round proposes up to [`TuneOptions::batch`] candidates (bounded
+/// by the remaining candidate budget), evaluates them as one batch,
+/// folds every feasible measurement into the archive, and reports the
+/// batch back to the strategy in proposal order. With a deterministic
+/// evaluator and a count-bounded budget the entire run — archive
+/// contents, canonical order, and serialization — is a pure function of
+/// `(space, strategy, seed)`.
+///
+/// # Errors
+///
+/// Returns the design-space validation error, if any. Per-candidate
+/// pipeline failures are *not* errors: they count as infeasible and the
+/// search continues.
+pub fn tune(
+    space: &DesignSpace,
+    strategy: &mut dyn SearchStrategy,
+    evaluator: &dyn Evaluator,
+    budget: &Budget,
+    options: &TuneOptions,
+) -> Result<TuneResult, clsa_core::CoreError> {
+    space.validate()?;
+    let start = Instant::now();
+    let mut archive = ParetoArchive::new();
+    let mut stats = TuneStats::default();
+
+    loop {
+        let room = budget.remaining(stats.evaluated).min(options.batch.max(1));
+        if room == 0 {
+            break;
+        }
+        if let Some(wall) = budget.max_wall {
+            if start.elapsed() >= wall {
+                break;
+            }
+        }
+        let indices = strategy.propose(space, room);
+        if indices.is_empty() {
+            break;
+        }
+        let batch: Vec<Candidate> = indices.iter().map(|&i| space.candidate(i)).collect();
+        let results = evaluator.evaluate(&batch);
+        debug_assert_eq!(results.len(), batch.len(), "evaluator must map 1:1");
+
+        let mut observed = Vec::with_capacity(batch.len());
+        for (candidate, result) in batch.iter().zip(results) {
+            match result {
+                Ok(m) => {
+                    archive.insert(candidate.index, m);
+                    observed.push((candidate.index, Some(m)));
+                }
+                Err(_) => {
+                    stats.infeasible += 1;
+                    observed.push((candidate.index, None));
+                }
+            }
+        }
+        strategy.observe(space, &observed);
+        stats.evaluated += batch.len();
+        stats.rounds += 1;
+    }
+
+    stats.elapsed = start.elapsed();
+    Ok(TuneResult { archive, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archive::Measurement;
+    use crate::strategy::{GridSearch, RandomSearch};
+    use clsa_core::CoreError;
+
+    /// A closed-form evaluator: latency falls with the index, bytes rise,
+    /// odd indices are infeasible when `fail_odd`.
+    struct Synthetic {
+        fail_odd: bool,
+    }
+
+    impl Evaluator for Synthetic {
+        fn evaluate(&self, batch: &[Candidate]) -> Vec<Result<Measurement, CoreError>> {
+            batch
+                .iter()
+                .map(|c| {
+                    if self.fail_odd && c.index % 2 == 1 {
+                        return Err(CoreError::BadPolicy {
+                            detail: "odd".into(),
+                        });
+                    }
+                    Ok(Measurement {
+                        latency_cycles: 100 - c.index as u64,
+                        utilization: 0.5,
+                        noc_bytes: 10 + c.index as u64,
+                        crossbars: 4,
+                    })
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn budget_caps_evaluations_exactly() {
+        let s = DesignSpace::tiny();
+        let mut grid = GridSearch::new();
+        let r = tune(
+            &s,
+            &mut grid,
+            &Synthetic { fail_odd: false },
+            &Budget::candidates(5),
+            &TuneOptions { batch: 2 },
+        )
+        .unwrap();
+        assert_eq!(r.stats.evaluated, 5, "2+2+1 under a budget of 5");
+        assert_eq!(r.stats.rounds, 3);
+        assert_eq!(r.stats.infeasible, 0);
+    }
+
+    #[test]
+    fn grid_exhausts_the_space_without_a_budget() {
+        let s = DesignSpace::tiny();
+        let mut grid = GridSearch::new();
+        let r = tune(
+            &s,
+            &mut grid,
+            &Synthetic { fail_odd: true },
+            &Budget::default(),
+            &TuneOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(r.stats.evaluated, s.len());
+        assert_eq!(r.stats.infeasible, s.len() / 2);
+        // Latency falls and bytes rise with the index: every feasible
+        // (even) candidate is a trade-off point, so all survive.
+        assert_eq!(r.archive.len(), s.len() / 2);
+    }
+
+    #[test]
+    fn random_trajectory_is_seed_deterministic() {
+        let s = DesignSpace::tiny();
+        let run = |seed| {
+            let mut strat = RandomSearch::new(seed);
+            tune(
+                &s,
+                &mut strat,
+                &Synthetic { fail_odd: false },
+                &Budget::candidates(6),
+                &TuneOptions { batch: 3 },
+            )
+            .unwrap()
+        };
+        assert_eq!(run(3).archive.sorted(), run(3).archive.sorted());
+        assert_eq!(run(3).stats.evaluated, 6);
+    }
+
+    #[test]
+    fn invalid_space_is_rejected() {
+        let mut s = DesignSpace::tiny();
+        s.mappings.clear();
+        let err = tune(
+            &s,
+            &mut GridSearch::new(),
+            &Synthetic { fail_odd: false },
+            &Budget::default(),
+            &TuneOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::BadPolicy { .. }));
+    }
+}

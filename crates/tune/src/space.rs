@@ -1,0 +1,515 @@
+//! The enumerable joint design space the tuner searches.
+//!
+//! CLSA-CIM's reported speedups are produced *after* several upstream
+//! choices are fixed: the Stage-I tiling granularity, the weight
+//! duplication budget and solver, the architecture parameters (crossbar
+//! geometry, tile shape, NoC hop latency, spare-PE budget), and the edge
+//! cost model the scheduler is charged with. [`DesignSpace`] makes that
+//! joint space a first-class, *enumerable* object: each axis is an
+//! explicit list of options and a candidate is one pick per axis,
+//! addressed by a single flat index in mixed-radix order. Index-based
+//! addressing is what keeps every strategy deterministic — a grid walk, a
+//! seeded random draw, and an annealing move all manipulate plain
+//! `usize`s that decode to the same [`Candidate`] on every run.
+//!
+//! The axis order (policy, mapping, extra PEs, crossbar, tile, hop, cost
+//! model) is part of the contract: flat indices, and with them every
+//! exported Pareto front and persisted row, are stable only while the
+//! order and the option lists are.
+
+use cim_arch::{Architecture, CrossbarSpec, PlacementStrategy, TileSpec};
+use cim_mapping::{MappingOptions, Solver};
+use clsa_core::{CoreError, RunConfig, SetPolicy};
+use serde::{Deserialize, Serialize};
+
+/// Weight-mapping axis: store once, or duplicate with a solver.
+///
+/// Duplication always targets the architecture's *full* PE budget
+/// (`PE_min +` the candidate's extra-PE pick); once-each mapping leaves
+/// the extra PEs idle — a deliberately wasteful corner the utilization
+/// objective is meant to punish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MappingAxis {
+    /// Store every weight exactly once (spare PEs idle).
+    OnceEach,
+    /// Weight duplication over the full budget with the given solver.
+    Duplicate(Solver),
+}
+
+/// Edge-cost-model axis: what the scheduler is charged for cross-layer
+/// data movement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CostModelAxis {
+    /// The paper's peak model — data movement is free.
+    Free,
+    /// NoC hop latency on every cross-layer edge (Sec. V-C).
+    NocHops,
+    /// NoC hops plus GPEU processing of the forwarded bytes.
+    NocAndGpeu,
+}
+
+/// Per-axis option index of one candidate (the mixed-radix digits of its
+/// flat index, in axis order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Coords {
+    /// Index into [`DesignSpace::set_policies`].
+    pub policy: usize,
+    /// Index into [`DesignSpace::mappings`].
+    pub mapping: usize,
+    /// Index into [`DesignSpace::extra_pes`].
+    pub extra: usize,
+    /// Index into [`DesignSpace::crossbars`].
+    pub crossbar: usize,
+    /// Index into [`DesignSpace::tiles`].
+    pub tile: usize,
+    /// Index into [`DesignSpace::noc_hop_latencies`].
+    pub hop: usize,
+    /// Index into [`DesignSpace::cost_models`].
+    pub cost: usize,
+}
+
+impl Coords {
+    /// The coordinates as a mutable array in axis order — the form the
+    /// annealing neighborhood moves manipulate.
+    pub fn as_array(&self) -> [usize; 7] {
+        [
+            self.policy,
+            self.mapping,
+            self.extra,
+            self.crossbar,
+            self.tile,
+            self.hop,
+            self.cost,
+        ]
+    }
+
+    /// Rebuilds coordinates from the axis-order array.
+    pub fn from_array(a: [usize; 7]) -> Self {
+        Coords {
+            policy: a[0],
+            mapping: a[1],
+            extra: a[2],
+            crossbar: a[3],
+            tile: a[4],
+            hop: a[5],
+            cost: a[6],
+        }
+    }
+}
+
+/// The joint design space: one explicit option list per axis.
+///
+/// A candidate picks one option per axis; the flat candidate index runs
+/// over the Cartesian product in mixed-radix order with the **last axis
+/// fastest** (`cost` is the least-significant digit).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignSpace {
+    /// Stage-I tiling granularities to consider.
+    pub set_policies: Vec<SetPolicy>,
+    /// Weight-mapping choices to consider.
+    pub mappings: Vec<MappingAxis>,
+    /// Spare-PE budgets over `PE_min` (the paper's `x`).
+    pub extra_pes: Vec<usize>,
+    /// Crossbar geometries to consider. `PE_min` is recomputed per
+    /// geometry — a 128×128 crossbar needs ~4× the PEs of a 256×256.
+    pub crossbars: Vec<CrossbarSpec>,
+    /// Tile shapes to consider (PEs per tile, GPEU width).
+    pub tiles: Vec<TileSpec>,
+    /// NoC hop latencies to consider, in cycles.
+    pub noc_hop_latencies: Vec<u64>,
+    /// Edge-cost models to schedule under.
+    pub cost_models: Vec<CostModelAxis>,
+    /// Bit-slicing options, fixed across the space (not an axis).
+    pub mapping_options: MappingOptions,
+}
+
+/// One fully decoded point of a [`DesignSpace`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Flat index within the originating space.
+    pub index: usize,
+    /// Per-axis option indices (the mixed-radix digits of `index`).
+    pub coords: Coords,
+    /// Stage-I tiling granularity.
+    pub set_policy: SetPolicy,
+    /// Weight-mapping choice.
+    pub mapping: MappingAxis,
+    /// Spare PEs over `PE_min`.
+    pub extra_pes: usize,
+    /// Crossbar geometry.
+    pub crossbar: CrossbarSpec,
+    /// Tile shape.
+    pub tile: TileSpec,
+    /// NoC hop latency in cycles.
+    pub noc_hop_latency: u64,
+    /// Edge-cost model.
+    pub cost_model: CostModelAxis,
+    /// Bit-slicing options (space-wide).
+    pub mapping_options: MappingOptions,
+}
+
+impl DesignSpace {
+    /// Validates the space: every axis must offer at least one option and
+    /// the flat index must fit a `usize` without overflow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadPolicy`] for an empty axis or an
+    /// overflowing product.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let bad = |detail: String| CoreError::BadPolicy { detail };
+        for (name, len) in self.axis_lens_named() {
+            if len == 0 {
+                return Err(bad(format!("design-space axis `{name}` is empty")));
+            }
+        }
+        let mut total = 1usize;
+        for (name, len) in self.axis_lens_named() {
+            total = total
+                .checked_mul(len)
+                .ok_or_else(|| bad(format!("design-space size overflows at axis `{name}`")))?;
+        }
+        for p in &self.set_policies {
+            p.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Option count per axis, in mixed-radix order.
+    pub fn axis_lens(&self) -> [usize; 7] {
+        [
+            self.set_policies.len(),
+            self.mappings.len(),
+            self.extra_pes.len(),
+            self.crossbars.len(),
+            self.tiles.len(),
+            self.noc_hop_latencies.len(),
+            self.cost_models.len(),
+        ]
+    }
+
+    fn axis_lens_named(&self) -> [(&'static str, usize); 7] {
+        let l = self.axis_lens();
+        [
+            ("set_policies", l[0]),
+            ("mappings", l[1]),
+            ("extra_pes", l[2]),
+            ("crossbars", l[3]),
+            ("tiles", l[4]),
+            ("noc_hop_latencies", l[5]),
+            ("cost_models", l[6]),
+        ]
+    }
+
+    /// Number of candidates in the space (the product of the axis sizes).
+    pub fn len(&self) -> usize {
+        self.axis_lens().iter().product()
+    }
+
+    /// Whether the space has no candidates (some axis is empty).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Decodes a flat index into per-axis coordinates (last axis fastest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn coords(&self, index: usize) -> Coords {
+        assert!(
+            index < self.len(),
+            "candidate index {index} out of range for a space of {}",
+            self.len()
+        );
+        let lens = self.axis_lens();
+        let mut digits = [0usize; 7];
+        let mut rest = index;
+        for axis in (0..7).rev() {
+            digits[axis] = rest % lens[axis];
+            rest /= lens[axis];
+        }
+        Coords::from_array(digits)
+    }
+
+    /// Encodes per-axis coordinates back into the flat index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range for its axis.
+    pub fn index_of(&self, coords: &Coords) -> usize {
+        let lens = self.axis_lens();
+        let digits = coords.as_array();
+        let mut index = 0usize;
+        for axis in 0..7 {
+            assert!(
+                digits[axis] < lens[axis],
+                "axis {axis} coordinate {} out of range ({} options)",
+                digits[axis],
+                lens[axis]
+            );
+            index = index * lens[axis] + digits[axis];
+        }
+        index
+    }
+
+    /// Decodes the candidate at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn candidate(&self, index: usize) -> Candidate {
+        let coords = self.coords(index);
+        Candidate {
+            index,
+            coords,
+            set_policy: self.set_policies[coords.policy],
+            mapping: self.mappings[coords.mapping],
+            extra_pes: self.extra_pes[coords.extra],
+            crossbar: self.crossbars[coords.crossbar],
+            tile: self.tiles[coords.tile],
+            noc_hop_latency: self.noc_hop_latencies[coords.hop],
+            cost_model: self.cost_models[coords.cost],
+            mapping_options: self.mapping_options,
+        }
+    }
+
+    /// A deliberately tiny smoke space (8 candidates, peak cost model
+    /// only) — the CI and test preset: two tiling policies × two mappings
+    /// × two spare-PE budgets on the paper's crossbar and tile.
+    pub fn tiny() -> Self {
+        DesignSpace {
+            set_policies: vec![SetPolicy::finest(), SetPolicy::coarse(4)],
+            mappings: vec![MappingAxis::OnceEach, MappingAxis::Duplicate(Solver::Greedy)],
+            extra_pes: vec![0, 4],
+            crossbars: vec![CrossbarSpec::wan_nature_2022()],
+            tiles: vec![TileSpec::isaac_like()],
+            noc_hop_latencies: vec![0],
+            cost_models: vec![CostModelAxis::Free],
+            mapping_options: MappingOptions::default(),
+        }
+        .seal()
+    }
+
+    /// The case-study exploration space around the paper's setup
+    /// (720 candidates): three tiling policies, three mappings, five
+    /// spare-PE budgets, the paper's 256×256 crossbar plus a 512×512
+    /// variant, two tile shapes, two hop latencies, and the peak vs.
+    /// NoC+GPEU cost models.
+    pub fn case_study() -> Self {
+        let wan = CrossbarSpec::wan_nature_2022();
+        let big = CrossbarSpec {
+            rows: 512,
+            cols: 512,
+            ..wan
+        };
+        DesignSpace {
+            set_policies: vec![SetPolicy::finest(), SetPolicy::coarse(8), SetPolicy::coarse(2)],
+            mappings: vec![
+                MappingAxis::OnceEach,
+                MappingAxis::Duplicate(Solver::Greedy),
+                MappingAxis::Duplicate(Solver::ExactDp),
+            ],
+            extra_pes: vec![0, 8, 16, 32, 48],
+            crossbars: vec![wan, big],
+            tiles: vec![
+                TileSpec::isaac_like(),
+                TileSpec {
+                    pes_per_tile: 16,
+                    ..TileSpec::isaac_like()
+                },
+            ],
+            noc_hop_latencies: vec![0, 2],
+            cost_models: vec![CostModelAxis::Free, CostModelAxis::NocAndGpeu],
+            mapping_options: MappingOptions::default(),
+        }
+        .seal()
+    }
+
+    /// A wide retargeting space (2430 candidates):
+    /// [`case_study`](Self::case_study) plus a 128×128 crossbar, the
+    /// NoC-hops-only cost model, and an 8-cycle hop latency.
+    pub fn wide() -> Self {
+        let mut s = Self::case_study();
+        s.crossbars.push(CrossbarSpec {
+            rows: 128,
+            cols: 128,
+            ..CrossbarSpec::wan_nature_2022()
+        });
+        s.noc_hop_latencies.push(8);
+        s.cost_models.insert(1, CostModelAxis::NocHops);
+        s.seal()
+    }
+
+    /// Looks up a named preset (`tiny`, `case-study`, `wide`).
+    pub fn preset(name: &str) -> Option<Self> {
+        match name {
+            "tiny" => Some(Self::tiny()),
+            "case-study" | "case_study" | "paper" => Some(Self::case_study()),
+            "wide" => Some(Self::wide()),
+            _ => None,
+        }
+    }
+
+    /// Debug-asserts validity on the preset constructors.
+    fn seal(self) -> Self {
+        debug_assert!(self.validate().is_ok(), "preset space must validate");
+        self
+    }
+}
+
+impl Candidate {
+    /// Builds the architecture this candidate describes for a model whose
+    /// minimum PE count on the candidate's crossbar is `pe_min`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates architecture validation errors.
+    pub fn architecture(&self, pe_min: usize) -> Result<Architecture, CoreError> {
+        Ok(Architecture::builder()
+            .crossbar(self.crossbar)
+            .tile(self.tile)
+            .noc_hop_latency(self.noc_hop_latency)
+            .pes(pe_min + self.extra_pes)
+            .build()?)
+    }
+
+    /// Builds the full pipeline configuration: the candidate architecture
+    /// plus cross-layer scheduling under the candidate's mapping, tiling
+    /// policy, and cost model.
+    ///
+    /// The tuner always schedules cross-layer — the layer-by-layer
+    /// baseline is a *reference point*, not a design choice worth
+    /// searching.
+    ///
+    /// # Errors
+    ///
+    /// Propagates architecture validation errors.
+    pub fn run_config(&self, pe_min: usize) -> Result<RunConfig, CoreError> {
+        let mut cfg = RunConfig::baseline(self.architecture(pe_min)?).with_cross_layer();
+        cfg.set_policy = self.set_policy;
+        cfg.mapping_options = self.mapping_options;
+        cfg.placement = PlacementStrategy::Contiguous;
+        match self.mapping {
+            MappingAxis::OnceEach => {}
+            MappingAxis::Duplicate(solver) => cfg = cfg.with_duplication(solver),
+        }
+        match self.cost_model {
+            CostModelAxis::Free => {}
+            CostModelAxis::NocHops => cfg.noc_cost = true,
+            CostModelAxis::NocAndGpeu => {
+                cfg.noc_cost = true;
+                cfg.gpeu_cost = true;
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Short human-readable label (`mapping+x` style, extended with the
+    /// non-default architecture facets).
+    pub fn label(&self) -> String {
+        let mapping = match self.mapping {
+            MappingAxis::OnceEach => "once".to_string(),
+            MappingAxis::Duplicate(Solver::Greedy) => "wdup".to_string(),
+            MappingAxis::Duplicate(Solver::ExactDp) => "wdup-dp".to_string(),
+        };
+        let policy = match self.set_policy.max_sets_per_layer {
+            None => "fine".to_string(),
+            Some(n) => format!("sets{n}"),
+        };
+        let cost = match self.cost_model {
+            CostModelAxis::Free => "free",
+            CostModelAxis::NocHops => "noc",
+            CostModelAxis::NocAndGpeu => "noc+gpeu",
+        };
+        format!(
+            "{mapping}+{x} {policy} {r}x{c}/{t}pe h{h} {cost}",
+            x = self.extra_pes,
+            r = self.crossbar.rows,
+            c = self.crossbar.cols,
+            t = self.tile.pes_per_tile,
+            h = self.noc_hop_latency,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_index_round_trips_through_coords() {
+        let s = DesignSpace::case_study();
+        assert_eq!(s.len(), 720);
+        for index in [0, 1, 7, 359, 719] {
+            let c = s.coords(index);
+            assert_eq!(s.index_of(&c), index);
+        }
+        // Exhaustively on the tiny space.
+        let t = DesignSpace::tiny();
+        assert_eq!(t.len(), 8);
+        for index in 0..t.len() {
+            assert_eq!(t.index_of(&t.coords(index)), index);
+            assert_eq!(t.candidate(index).index, index);
+        }
+    }
+
+    #[test]
+    fn last_axis_is_fastest() {
+        let s = DesignSpace::wide();
+        let a = s.coords(0);
+        let b = s.coords(1);
+        assert_eq!(a.policy, b.policy);
+        assert_eq!(a.cost + 1, b.cost);
+    }
+
+    #[test]
+    fn presets_validate_and_wide_exceeds_case_study() {
+        for name in ["tiny", "case-study", "wide"] {
+            let s = DesignSpace::preset(name).unwrap();
+            s.validate().unwrap();
+            assert!(!s.is_empty());
+        }
+        assert!(DesignSpace::preset("nope").is_none());
+        // Preset sizes are documented (README, ARCHITECTURE) — pin them.
+        assert_eq!(DesignSpace::tiny().len(), 8);
+        assert_eq!(DesignSpace::case_study().len(), 720);
+        assert_eq!(DesignSpace::wide().len(), 2430);
+        assert!(DesignSpace::case_study().len() >= 200);
+    }
+
+    #[test]
+    fn empty_axis_rejected() {
+        let mut s = DesignSpace::tiny();
+        s.cost_models.clear();
+        assert!(matches!(s.validate(), Err(CoreError::BadPolicy { .. })));
+    }
+
+    #[test]
+    fn candidate_builds_a_runnable_config() {
+        let s = DesignSpace::tiny();
+        for index in 0..s.len() {
+            let c = s.candidate(index);
+            let cfg = c.run_config(3).unwrap();
+            assert_eq!(cfg.arch.total_pes(), 3 + c.extra_pes);
+            assert_eq!(cfg.set_policy, c.set_policy);
+            assert!(!c.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn cost_model_sets_the_pipeline_flags() {
+        let mut s = DesignSpace::tiny();
+        s.cost_models = vec![
+            CostModelAxis::Free,
+            CostModelAxis::NocHops,
+            CostModelAxis::NocAndGpeu,
+        ];
+        let free = s.candidate(0).run_config(2).unwrap();
+        let noc = s.candidate(1).run_config(2).unwrap();
+        let gpeu = s.candidate(2).run_config(2).unwrap();
+        assert!(!free.noc_cost && !free.gpeu_cost);
+        assert!(noc.noc_cost && !noc.gpeu_cost);
+        assert!(gpeu.noc_cost && gpeu.gpeu_cost);
+    }
+}

@@ -9,7 +9,9 @@
 //! * [`mapping`] — Eq. 1 PE costs, im2col, weight duplication;
 //! * [`core`] — the CLSA-CIM scheduler (Stages I–IV), baseline, metrics;
 //! * [`sim`] — discrete-event system-level simulator;
-//! * [`models`] — the benchmark zoo (TinyYOLO, VGG, ResNet).
+//! * [`models`] — the benchmark zoo (TinyYOLO, VGG, ResNet);
+//! * [`tune`] — design-space exploration: search strategies, Pareto
+//!   archive, budgeted evaluation (the `autotune` binary's engine).
 //!
 //! # Quickstart
 //!
@@ -66,9 +68,10 @@
 //!        clsa-core ──────────┴────────┤
 //!            ▲                        │
 //!            ├── cim-sim ─────────────┘
-//!            └── cim-models (also ► frontend)
+//!            ├── cim-models (also ► frontend)
+//!            └── cim-tune (also ► mapping, arch)
 //! cim-bench depends on all of the above;
-//! clsa-cim (this facade) re-exports all eight crates.
+//! clsa-cim (this facade) re-exports all nine crates.
 //! ```
 //!
 //! # Reproducing the paper
@@ -87,4 +90,5 @@ pub use cim_ir as ir;
 pub use cim_mapping as mapping;
 pub use cim_models as models;
 pub use cim_sim as sim;
+pub use cim_tune as tune;
 pub use clsa_core as core;

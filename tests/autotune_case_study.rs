@@ -1,0 +1,92 @@
+//! The autotuner's acceptance bar on the paper's case study: simulated
+//! annealing on TinyYOLOv4 over the ≥200-candidate `case-study` space
+//! must produce a Pareto front that strictly beats the single
+//! paper-default configuration (`wdup+32` + cross-layer on the 256×256
+//! case-study architecture) on at least one objective axis — and the
+//! whole run must be byte-for-byte reproducible for a fixed
+//! `(seed, jobs)` pair.
+
+use clsa_cim::bench::artifacts::case_study_graph;
+use clsa_cim::bench::runner::{RunSummary, RunnerOptions};
+use clsa_cim::bench::tune::{autotune, measurement_of, ParetoRow};
+use clsa_cim::tune::{
+    strategy_by_name, Budget, Coords, DesignSpace, Measurement, TuneOptions,
+};
+
+/// TinyYOLOv4's `PE_min` on the paper's 256×256 crossbars (Table II).
+const PE_MIN: usize = 117;
+const SEED: u64 = 2024;
+const BUDGET: usize = 48;
+
+/// The paper-default configuration, measured directly: finest sets,
+/// greedy `wdup+32`, case-study crossbar/tile, free data movement.
+fn paper_default(space: &DesignSpace) -> Measurement {
+    let coords = Coords {
+        policy: 0,
+        mapping: 1,
+        extra: 3,
+        crossbar: 0,
+        tile: 0,
+        hop: 0,
+        cost: 0,
+    };
+    let candidate = space.candidate(space.index_of(&coords));
+    assert_eq!(candidate.extra_pes, 32, "coords name the paper's x = 32");
+    assert_eq!(candidate.crossbar.rows, 256);
+    let cfg = candidate.run_config(PE_MIN).expect("paper config builds");
+    let result = clsa_cim::core::run(&case_study_graph(), &cfg).expect("paper config runs");
+    measurement_of(&RunSummary::of(&result))
+}
+
+fn anneal_front(jobs: usize) -> (String, Vec<ParetoRow>) {
+    let graph = case_study_graph();
+    let space = DesignSpace::case_study();
+    assert!(
+        space.len() >= 200,
+        "acceptance demands a ≥200-candidate space, got {}",
+        space.len()
+    );
+    let mut strategy = strategy_by_name("anneal", SEED).expect("anneal exists");
+    let (_, rows) = autotune(
+        &graph,
+        &space,
+        strategy.as_mut(),
+        &Budget::candidates(BUDGET),
+        &TuneOptions::default(),
+        &RunnerOptions::with_jobs(jobs),
+        None,
+    )
+    .expect("tuning runs");
+    (serde_json::to_string(&rows).expect("rows serialize"), rows)
+}
+
+#[test]
+fn anneal_dominates_the_paper_default_reproducibly() {
+    let space = DesignSpace::case_study();
+    let reference = paper_default(&space);
+    // Sanity: the reference is the known fig6c `wdup+32+xinf` point.
+    assert_eq!(reference.crossbars, PE_MIN + 32);
+    assert!(reference.latency_cycles > 0 && reference.utilization > 0.0);
+
+    let (bytes_j2, rows) = anneal_front(2);
+    assert!(!rows.is_empty(), "the front is never empty");
+
+    // Strict domination on at least one axis — and report which.
+    let beats = |r: &ParetoRow| {
+        r.latency_cycles < reference.latency_cycles
+            || r.utilization > reference.utilization
+            || r.noc_bytes < reference.noc_bytes
+            || r.crossbars < reference.crossbars
+    };
+    assert!(
+        rows.iter().any(beats),
+        "no front point beats the paper default on any axis: {rows:?}"
+    );
+
+    // Byte-for-byte reproducible for the fixed (seed, jobs) pair — and
+    // independent of the worker count altogether.
+    let (bytes_again, _) = anneal_front(2);
+    assert_eq!(bytes_j2, bytes_again, "same (seed, jobs) → same bytes");
+    let (bytes_j1, _) = anneal_front(1);
+    assert_eq!(bytes_j2, bytes_j1, "jobs never changes the front");
+}

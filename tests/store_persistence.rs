@@ -141,6 +141,7 @@ fn hammer_summary(n: u64) -> RunSummary {
         utilization: (n as f64 + 1.0) / 64.0,
         total_pes: 10 + n as usize,
         duplicated_layers: n as usize % 3,
+        noc_bytes: n * 13,
     }
 }
 
