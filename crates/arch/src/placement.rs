@@ -174,7 +174,7 @@ pub fn place_groups(
         debug_assert_eq!(pes.len(), size, "capacity checked above");
         let mut tiles: Vec<TileId> = pes
             .iter()
-            .map(|p| arch.tile_of(p.index()).expect("pe in range"))
+            .map(|p| arch.tile_of(p.index()).expect("pe in range")) // cim-lint: allow(panic-unwrap) pe indices come from the arch itself
             .collect();
         tiles.sort_unstable();
         tiles.dedup();

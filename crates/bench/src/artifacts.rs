@@ -26,7 +26,7 @@ use crate::runner::{parallel_map, ResultStore, RunnerOptions};
 pub fn case_study_graph() -> Graph {
     let model = cim_models::tiny_yolo_v4();
     canonicalize(&model, &CanonOptions::default())
-        .expect("model canonicalizes")
+        .expect("model canonicalizes") // cim-lint: allow(panic-unwrap) the golden zoo model is known-good
         .into_graph()
 }
 
@@ -76,7 +76,7 @@ pub fn table1_costs() -> Vec<LayerCost> {
         &CrossbarSpec::wan_nature_2022(),
         &MappingOptions::default(),
     )
-    .expect("model has base layers")
+    .expect("model has base layers") // cim-lint: allow(panic-unwrap) the golden zoo model is known-good
 }
 
 /// One row of **Table II**: a benchmark model, its input shape, and its
@@ -106,7 +106,7 @@ pub fn table2_rows(jobs: usize) -> Vec<Table2Row> {
             &CrossbarSpec::wan_nature_2022(),
             &MappingOptions::default(),
         )
-        .expect("model has base layers");
+        .expect("model has base layers"); // cim-lint: allow(panic-unwrap) the golden zoo model is known-good
         Table2Row {
             benchmark: info.name,
             input: info.input,

@@ -1,0 +1,112 @@
+//! `lint-schedule` — the schedule-IR diagnostics CLI: runs any zoo model
+//! under any configuration and prints *every* finding of
+//! `clsa_core::diagnose` (the validator stops at the first error; this
+//! tool reports the lot, plus the advisory analysis findings and the
+//! architecture-aware capacity checks the validator never sees).
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p cim-bench --bin lint-schedule -- <model> [options]
+//!   <model>            TinyYOLOv3|TinyYOLOv4|VGG16|VGG19|ResNet50|ResNet101|ResNet152
+//!   --x <n>            extra PEs over PE_min (default 0)
+//!   --wdup             enable weight duplication (greedy)
+//!   --lbl              layer-by-layer scheduling (default: cross-layer)
+//!   --sets <n>         cap sets per OFM (default: finest)
+//!   --json <path>      export the findings as JSON
+//! ```
+//!
+//! Exit status: 0 when no `error`-severity finding exists, 1 otherwise,
+//! 2 on usage errors.
+
+use cim_arch::Architecture;
+use cim_bench::parse_common_args;
+use cim_frontend::{canonicalize, CanonOptions};
+use cim_mapping::Solver;
+use clsa_core::{
+    analyze_costed, capacity_diagnostics, run, RunConfig, ScheduleDiagnostic, SetPolicy, Severity,
+};
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let common = parse_common_args();
+    common.note_seed_unused();
+    common.note_cache_dir_unused();
+    let (args, json) = (common.rest, common.json);
+    let model_name = args.first().cloned().unwrap_or_else(|| {
+        eprintln!("usage: lint-schedule <model> [--x n] [--wdup] [--lbl] [--sets n] [--json path]");
+        std::process::exit(2);
+    });
+    let info = cim_models::all_models()
+        .into_iter()
+        .find(|m| m.name.eq_ignore_ascii_case(&model_name))
+        .unwrap_or_else(|| {
+            eprintln!("unknown model `{model_name}`; known:");
+            for m in cim_models::all_models() {
+                eprintln!("  {}", m.name);
+            }
+            std::process::exit(2);
+        });
+
+    let x: usize = flag_value(&args, "--x")
+        .map(|v| v.parse().expect("--x takes a number"))
+        .unwrap_or(0);
+    let wdup = args.iter().any(|a| a == "--wdup");
+    let lbl = args.iter().any(|a| a == "--lbl");
+    let sets: Option<usize> =
+        flag_value(&args, "--sets").map(|v| v.parse().expect("--sets takes a number"));
+
+    let g = canonicalize(&info.build(), &CanonOptions::default())
+        .expect("model canonicalizes")
+        .into_graph();
+    let arch = Architecture::paper_case_study(info.pe_min_256 + x).expect("arch");
+    let mut cfg = RunConfig::baseline(arch.clone());
+    if !lbl {
+        cfg = cfg.with_cross_layer();
+    }
+    if wdup {
+        cfg = cfg.with_duplication(Solver::Greedy);
+    }
+    if let Some(n) = sets {
+        cfg.set_policy = SetPolicy::coarse(n);
+    }
+    let r = run(&g, &cfg).expect("pipeline runs");
+
+    let mut diags: Vec<ScheduleDiagnostic> =
+        analyze_costed(&r.layers, &r.deps, &r.schedule, &r.costed);
+    diags.extend(capacity_diagnostics(&r.layers, &arch));
+
+    println!(
+        "{} — {} base-layer groups, {} sets, makespan {} cycles",
+        info.name,
+        r.layers.len(),
+        r.layers.iter().map(|l| l.sets.len()).sum::<usize>(),
+        r.makespan()
+    );
+    for d in &diags {
+        println!("{d}");
+    }
+    let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+    let warnings = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Warning)
+        .count();
+    println!(
+        "lint-schedule: {} finding(s) — {errors} error(s), {warnings} warning(s)",
+        diags.len()
+    );
+
+    if let Some(path) = json {
+        let out = serde_json::to_string_pretty(&diags).expect("diagnostics serialize");
+        std::fs::write(&path, out).expect("JSON export path is writable");
+    }
+
+    if errors > 0 {
+        std::process::exit(1);
+    }
+}

@@ -20,7 +20,7 @@ pub fn write_json<T: Serialize>(path: impl AsRef<Path>, records: &T) -> io::Resu
             fs::create_dir_all(parent)?;
         }
     }
-    let json = serde_json::to_string_pretty(records).expect("experiment records serialize");
+    let json = serde_json::to_string_pretty(records).expect("experiment records serialize"); // cim-lint: allow(panic-unwrap) CLI parse/serialize; abort with message is the contract
     fs::write(path, json)
 }
 
@@ -137,7 +137,7 @@ pub fn parse_jobs_arg(args: &[String]) -> (Vec<String>, crate::runner::RunnerOpt
                 .next()
                 .and_then(|v| v.parse().ok())
                 .filter(|&n| n > 0)
-                .expect("--jobs takes a positive integer");
+                .expect("--jobs takes a positive integer"); // cim-lint: allow(panic-unwrap) CLI parse/serialize; abort with message is the contract
             options = crate::runner::RunnerOptions::with_jobs(n);
         } else {
             rest.push(a.clone());
@@ -179,7 +179,7 @@ pub fn parse_seed_arg(args: &[String]) -> (Vec<String>, Option<u64>) {
             seed = Some(
                 it.next()
                     .and_then(|v| v.parse().ok())
-                    .expect("--seed takes an unsigned 64-bit integer"),
+                    .expect("--seed takes an unsigned 64-bit integer"), // cim-lint: allow(panic-unwrap) CLI parse/serialize; abort with message is the contract
             );
         } else {
             rest.push(a.clone());

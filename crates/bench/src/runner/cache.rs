@@ -18,7 +18,7 @@
 //! workers racing on the same key block on one computation instead of
 //! duplicating it — the property checked by this module's tests.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -76,8 +76,8 @@ impl std::fmt::Display for CacheStats {
 /// Concurrent two-level memo for pipeline runs. See the module docs.
 #[derive(Debug, Default)]
 pub struct ScheduleCache {
-    stages: Mutex<HashMap<CacheKey, Slot<Prepared>>>,
-    schedules: Mutex<HashMap<CacheKey, Slot<RunResult>>>,
+    stages: Mutex<BTreeMap<CacheKey, Slot<Prepared>>>,
+    schedules: Mutex<BTreeMap<CacheKey, Slot<RunResult>>>,
     stage_lookups: AtomicU64,
     stage_computes: AtomicU64,
     schedule_lookups: AtomicU64,
@@ -87,7 +87,7 @@ pub struct ScheduleCache {
 /// Fetches (or inserts) the key's slot, then resolves it at most once
 /// across all racing threads.
 fn get_or_compute<T>(
-    map: &Mutex<HashMap<CacheKey, Slot<T>>>,
+    map: &Mutex<BTreeMap<CacheKey, Slot<T>>>,
     key: CacheKey,
     computes: &AtomicU64,
     compute: impl FnOnce() -> Result<T, CoreError>,

@@ -94,7 +94,7 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// ```
 pub fn fingerprint<T: Serialize>(value: &T) -> u64 {
     let mut sink = FnvWriter::new();
-    serde_json::to_fmt_writer(&mut sink, value).expect("fingerprinted types serialize infallibly");
+    serde_json::to_fmt_writer(&mut sink, value).expect("fingerprinted types serialize infallibly"); // cim-lint: allow(panic-unwrap) serialization to a fmt sink is infallible
     sink.finish()
 }
 
@@ -104,7 +104,7 @@ pub fn fingerprint<T: Serialize>(value: &T) -> u64 {
 /// schedule-level cache uses all three fields while the stage-level cache
 /// replaces `strategy` with the mapping-side prefix (see
 /// [`mapping_fingerprint`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CacheKey {
     /// Fingerprint of the (canonicalized) model graph.
     pub model: u64,

@@ -78,7 +78,7 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        handles.into_iter().map(|h| h.join().unwrap()).collect() // cim-lint: allow(panic-unwrap) worker panics must propagate, slots are claimed exactly once
     });
 
     // Reassemble in item order regardless of which worker ran what.
@@ -91,7 +91,7 @@ where
     }
     slots
         .into_iter()
-        .map(|s| s.expect("every job claimed exactly once"))
+        .map(|s| s.expect("every job claimed exactly once")) // cim-lint: allow(panic-unwrap) worker panics must propagate, slots are claimed exactly once
         .collect()
 }
 

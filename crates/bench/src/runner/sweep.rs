@@ -8,7 +8,7 @@
 //! layer-by-layer baseline row), so jobs stay embarrassingly parallel and
 //! the batch output is bit-for-bit identical for every `--jobs` value.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use cim_arch::Architecture;
@@ -201,7 +201,7 @@ pub fn run_batch_with_store(
 
     // Baselines first: every other row of a model references its makespan,
     // utilization, and actual PE total (the Eq. 3 denominator).
-    let mut baselines: HashMap<&str, (u64, f64, usize)> = HashMap::new();
+    let mut baselines: BTreeMap<&str, (u64, f64, usize)> = BTreeMap::new();
     for (job, outcome) in jobs.iter().zip(&outcomes) {
         if job.label == BASELINE_LABEL {
             if let Ok(s) = outcome {

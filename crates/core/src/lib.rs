@@ -59,11 +59,13 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;
 pub mod cost;
 pub mod deps;
+pub mod diagnose;
 pub mod error;
 pub mod gantt;
 pub mod metrics;
@@ -77,6 +79,9 @@ pub mod validate;
 pub use analysis::{critical_cycles_per_layer, critical_path, CriticalStep};
 pub use cost::CostedDeps;
 pub use deps::{determine_dependencies, Dependencies, SetRef};
+pub use diagnose::{
+    analyze_costed, capacity_diagnostics, is_validation_code, ScheduleDiagnostic, Severity,
+};
 pub use error::{CoreError, Result};
 pub use gantt::{gantt_csv, gantt_rows, gantt_text, GanttRow};
 pub use metrics::{

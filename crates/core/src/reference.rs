@@ -9,6 +9,8 @@
 //! `schedule_core` benchmarks can compare the flat/precomputed hot paths
 //! against them on random DAGs, real models, and every cost model.
 
+
+// cim-lint: allow-file(hash-collection) the pre-CSR reference implementation is kept verbatim as the differential-testing oracle
 use std::collections::HashSet;
 
 use cim_ir::{input_region, Graph, NodeId, Op, Rect};

@@ -495,7 +495,7 @@ pub fn layer_by_layer_schedule(layers: &[LayerSets]) -> Result<Schedule> {
     }
     // Group consecutive-in-topo-order layers by logical id, preserving the
     // order of first appearance.
-    let mut slot_of_logical: std::collections::HashMap<u32, usize> = Default::default();
+    let mut slot_of_logical: std::collections::BTreeMap<u32, usize> = Default::default();
     let mut slots: Vec<Vec<usize>> = Vec::new();
     for (li, layer) in layers.iter().enumerate() {
         match slot_of_logical.get(&layer.logical) {

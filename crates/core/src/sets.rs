@@ -203,7 +203,7 @@ fn row_quantum(graph: &Graph, consumers: &[Vec<NodeId>], node: NodeId) -> usize 
     fn walk(graph: &Graph, consumers: &[Vec<NodeId>], node: NodeId) -> usize {
         let mut q = 1usize;
         for &c in &consumers[node.index()] {
-            let cn = graph.node(c).expect("validated graph");
+            let cn = graph.node(c).expect("validated graph"); // cim-lint: allow(panic-unwrap) graph validated upstream
             let here = match &cn.op {
                 // Base layers end the non-base path.
                 Op::Conv2d(_) | Op::Dense(_) => 1,

@@ -57,7 +57,7 @@ impl SetSpace {
 
     /// Total number of sets across all layers.
     pub fn total_sets(&self) -> usize {
-        *self.starts.last().expect("starts is never empty")
+        *self.starts.last().expect("starts is never empty") // cim-lint: allow(panic-unwrap) starts always holds the terminal offset
     }
 
     /// Number of sets of layer `l`.

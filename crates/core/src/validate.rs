@@ -5,6 +5,7 @@
 
 use crate::cost::CostedDeps;
 use crate::deps::Dependencies;
+use crate::diagnose::{analyze_costed, is_validation_code, Severity};
 use crate::error::{CoreError, Result};
 use crate::schedule::{EdgeCost, Schedule};
 use crate::sets::LayerSets;
@@ -41,6 +42,13 @@ pub fn validate_schedule(
 
 /// [`validate_schedule`] on a prebuilt [`CostedDeps`] table.
 ///
+/// Implemented as a filter over the structured diagnostics pass
+/// ([`crate::diagnose::analyze_costed`]): the first validation finding of
+/// [`Severity::Error`] becomes the returned error, with a message
+/// byte-identical to the historical single-shot validator's. Analysis
+/// findings (backward edges, fan-in anomalies, …) never affect the
+/// verdict — see the `diagnose` module docs for the split.
+///
 /// # Errors
 ///
 /// Returns [`CoreError::InvalidSchedule`] describing the first violation.
@@ -50,73 +58,13 @@ pub fn validate_schedule_costed(
     schedule: &Schedule,
     costed: &CostedDeps,
 ) -> Result<()> {
-    check_shape(layers, schedule)?;
-    if !costed.matches(deps) {
-        return Err(CoreError::InvalidSchedule {
-            detail: "cost table was built from different dependencies".into(),
-        });
+    let first = analyze_costed(layers, deps, schedule, costed)
+        .into_iter()
+        .find(|d| d.severity == Severity::Error && is_validation_code(d.code));
+    match first {
+        Some(d) => Err(CoreError::InvalidSchedule { detail: d.detail }),
+        None => Ok(()),
     }
-    let mut latest = 0u64;
-    for (li, layer) in layers.iter().enumerate() {
-        let times = schedule.layer(li);
-        for (si, (t, set)) in times.iter().zip(&layer.sets).enumerate() {
-            if t.finish.saturating_sub(t.start) != set.duration {
-                return Err(CoreError::InvalidSchedule {
-                    detail: format!(
-                        "layer `{}` set {si}: window [{}, {}) does not match duration {}",
-                        layer.name, t.start, t.finish, set.duration
-                    ),
-                });
-            }
-            latest = latest.max(t.finish);
-        }
-        for (si, w) in times.windows(2).enumerate() {
-            if w[1].start < w[0].finish {
-                return Err(CoreError::InvalidSchedule {
-                    detail: format!(
-                        "layer `{}`: set {} starts at {} before set {} finishes at {} \
-                         (one PE group cannot overlap)",
-                        layer.name,
-                        si + 1,
-                        w[1].start,
-                        si,
-                        w[0].finish
-                    ),
-                });
-            }
-        }
-    }
-    // Data edges: the dependency CSR and the latency table are aligned
-    // edge-for-edge, so one zip over each consumer's slices checks every
-    // edge with precomputed weights.
-    for l in 0..deps.num_layers() {
-        for s in 0..deps.space().sets_in(l) {
-            let c = schedule.time(l, s);
-            for (producer, &lat) in deps.of(l, s).iter().zip(costed.latencies_of(l, s)) {
-                let p = schedule.time(producer.layer, producer.set);
-                let arrival = p.finish + lat;
-                if c.start < arrival {
-                    let consumer = crate::deps::SetRef { layer: l, set: s };
-                    return Err(CoreError::InvalidSchedule {
-                        detail: format!(
-                            "data dependency violated: {producer} arrives at {arrival} but \
-                             {consumer} starts at {}",
-                            c.start
-                        ),
-                    });
-                }
-            }
-        }
-    }
-    if schedule.makespan != latest {
-        return Err(CoreError::InvalidSchedule {
-            detail: format!(
-                "makespan {} does not match latest finish {latest}",
-                schedule.makespan
-            ),
-        });
-    }
-    Ok(())
 }
 
 /// Shape agreement between the schedule and the layer list.

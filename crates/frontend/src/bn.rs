@@ -96,7 +96,7 @@ pub fn fold_batch_norm(g: &cim_ir::Graph) -> Result<cim_ir::Graph> {
                 let params = prod_node
                     .params
                     .as_mut()
-                    .expect("has_kernel implies params");
+                    .expect("has_kernel implies params"); // cim-lint: allow(panic-unwrap) guarded by the preceding has_kernel/validate checks
                 fold_into(params, &bn, attrs.eps, &prod_node.op, &node.name)?;
                 match &mut prod_node.op {
                     Op::Conv2d(a) => a.use_bias = true,
@@ -132,7 +132,7 @@ fn fold_into(
     prod_op: &Op,
     bn_name: &str,
 ) -> Result<()> {
-    let kernel = params.kernel.as_mut().expect("caller checked");
+    let kernel = params.kernel.as_mut().expect("caller checked"); // cim-lint: allow(panic-unwrap) guarded by the preceding has_kernel/validate checks
     let co = match prod_op {
         Op::Conv2d(a) => a.out_channels,
         Op::Dense(a) => a.units,
@@ -158,7 +158,7 @@ fn fold_into(
     // Scale the kernel per output channel. The output channel is the last
     // dimension for both conv ([kh, kw, ci, co]) and dense ([ci, co]).
     let dims = kernel.dims().to_vec();
-    let last = *dims.last().expect("kernel has dims");
+    let last = *dims.last().expect("kernel has dims"); // cim-lint: allow(panic-unwrap) guarded by the preceding has_kernel/validate checks
     if last != co {
         return Err(FrontendError::FoldParams {
             node: bn_name.to_string(),
@@ -191,7 +191,7 @@ pub fn unfoldable_batch_norms(g: &cim_ir::Graph) -> Vec<NodeId> {
     g.iter()
         .filter(|n| matches!(n.op, Op::BatchNorm(_)))
         .filter(|n| {
-            let prod = g.node(n.inputs[0]).expect("validated graph");
+            let prod = g.node(n.inputs[0]).expect("validated graph"); // cim-lint: allow(panic-unwrap) guarded by the preceding has_kernel/validate checks
             !(prod.op.is_base() && consumers[prod.id.index()].len() == 1)
         })
         .map(|n| n.id)

@@ -51,6 +51,7 @@
 //! [`Padding::Valid`]: cim_ir::Padding::Valid
 //! [`Op::Quantize`]: cim_ir::Op::Quantize
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bn;

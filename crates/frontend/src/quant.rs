@@ -121,7 +121,7 @@ pub fn quantize_tensor(t: &Tensor, bits: u8) -> (Tensor, QuantAttrs) {
 /// the negative clamp boundary.
 pub fn max_quant_error(t: &Tensor, bits: u8) -> f32 {
     let (q, _) = quantize_tensor(t, bits);
-    t.max_abs_diff(&q).expect("same dims")
+    t.max_abs_diff(&q).expect("same dims") // cim-lint: allow(panic-unwrap) quantized tensor shares the input dims
 }
 
 /// Quantizes all base-layer weights and inserts fake-quantization markers.

@@ -31,7 +31,7 @@ impl Rewriter {
     /// Panics if the old node has not been emitted or aliased yet — passes
     /// process nodes in topological order, so inputs are always mapped first.
     pub fn mapped(&self, old: NodeId) -> NodeId {
-        self.map[old.index()].expect("node mapped before use (topological order)")
+        self.map[old.index()].expect("node mapped before use (topological order)") // cim-lint: allow(panic-unwrap) topological order maps inputs first
     }
 
     /// New ids of all inputs of an old node.

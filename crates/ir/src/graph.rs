@@ -6,7 +6,7 @@
 //! build new graphs rather than mutating edges, which keeps this invariant
 //! trivially true.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -294,7 +294,7 @@ impl Graph {
         if self.nodes.is_empty() {
             return Err(IrError::EmptyGraph);
         }
-        let mut names: HashMap<&str, NodeId> = HashMap::new();
+        let mut names: BTreeMap<&str, NodeId> = BTreeMap::new();
         for (idx, n) in self.nodes.iter().enumerate() {
             if n.id.index() != idx {
                 return Err(IrError::Invalid {

@@ -198,7 +198,7 @@ pub fn input_region(
             let pad = a
                 .padding
                 .resolve((ishape.h, ishape.w), a.kernel, a.stride)
-                .expect("validated conv attrs");
+                .expect("validated conv attrs"); // cim-lint: allow(panic-unwrap) attrs validated at graph construction
             let (y0, y1) = window_back(out.y0, out.y1, a.kernel.0, a.stride.0, pad.top, ishape.h)?;
             let (x0, x1) = window_back(out.x0, out.x1, a.kernel.1, a.stride.1, pad.left, ishape.w)?;
             Some(Rect::new(y0, x0, y1, x1))
@@ -207,7 +207,7 @@ pub fn input_region(
             let pad = a
                 .padding
                 .resolve((ishape.h, ishape.w), a.window, a.stride)
-                .expect("validated pool attrs");
+                .expect("validated pool attrs"); // cim-lint: allow(panic-unwrap) attrs validated at graph construction
             let (y0, y1) = window_back(out.y0, out.y1, a.window.0, a.stride.0, pad.top, ishape.h)?;
             let (x0, x1) = window_back(out.x0, out.x1, a.window.1, a.stride.1, pad.left, ishape.w)?;
             Some(Rect::new(y0, x0, y1, x1))
@@ -288,7 +288,7 @@ pub fn output_region(
             let pad = a
                 .padding
                 .resolve((ishape.h, ishape.w), a.kernel, a.stride)
-                .expect("validated conv attrs");
+                .expect("validated conv attrs"); // cim-lint: allow(panic-unwrap) attrs validated at graph construction
             let (y0, y1) =
                 window_fwd(inp.y0, inp.y1, a.kernel.0, a.stride.0, pad.top, out_shape.h)?;
             let (x0, x1) = window_fwd(
@@ -305,7 +305,7 @@ pub fn output_region(
             let pad = a
                 .padding
                 .resolve((ishape.h, ishape.w), a.window, a.stride)
-                .expect("validated pool attrs");
+                .expect("validated pool attrs"); // cim-lint: allow(panic-unwrap) attrs validated at graph construction
             let (y0, y1) =
                 window_fwd(inp.y0, inp.y1, a.window.0, a.stride.0, pad.top, out_shape.h)?;
             let (x0, x1) = window_fwd(

@@ -111,7 +111,7 @@ pub fn apply_duplication(
     let mut out = Graph::new(graph.name());
     let mut map: Vec<Option<NodeId>> = vec![None; graph.len()];
     let mapped = |map: &[Option<NodeId>], id: NodeId| -> NodeId {
-        map[id.index()].expect("topological order")
+        map[id.index()].expect("topological order") // cim-lint: allow(panic-unwrap) duplication plan indices come from the same graph
     };
 
     for node in graph.iter() {
@@ -156,7 +156,7 @@ pub fn apply_duplication(
                 // partition_ofm computed the cut in (w, h) space; swap back.
                 let rect = &Rect::new(transposed.x0, transposed.y0, transposed.x1, transposed.y1);
                 let in_rect = input_region(&node.op, *rect, &[in_shape], 0, ofm)
-                    .expect("conv output rect always needs input");
+                    .expect("conv output rect always needs input"); // cim-lint: allow(panic-unwrap) duplication plan indices come from the same graph
                 let slice = out.add_node(
                     format!("{}_slice{}", node.name, j),
                     Op::Slice(SliceAttrs {

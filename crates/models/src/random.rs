@@ -6,6 +6,8 @@
 //! combinations. Used by workspace property tests to assert that every
 //! generated graph schedules validly.
 
+
+// cim-lint: allow-file(panic-unwrap) model constructors assert statically-valid shapes; a panic here is a bug in the zoo itself
 use cim_ir::{
     ActFn, Axis, BatchNormAttrs, Conv2dAttrs, FeatureShape, Graph, Op, Padding, PoolAttrs,
 };

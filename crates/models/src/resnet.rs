@@ -8,6 +8,8 @@
 //! matching Table II's base-layer counts (53 / 104 / 155 — convolutions
 //! only).
 
+
+// cim-lint: allow-file(panic-unwrap) model constructors assert statically-valid shapes; a panic here is a bug in the zoo itself
 use cim_ir::{
     ActFn, BatchNormAttrs, Conv2dAttrs, FeatureShape, Graph, NodeId, Op, Padding, PoolAttrs,
 };

@@ -2,6 +2,8 @@
 //! have fixed sizes; these builders scale depth and width freely so the
 //! scheduler's asymptotics can be measured.
 
+
+// cim-lint: allow-file(panic-unwrap) model constructors assert statically-valid shapes; a panic here is a bug in the zoo itself
 use cim_ir::{ActFn, Conv2dAttrs, FeatureShape, Graph, Op, Padding, PoolAttrs};
 
 /// Builds a plain chain of `depth` same-padding 3×3 convolutions with

@@ -1,5 +1,7 @@
 //! Small models for examples, quick tests, and numeric verification.
 
+
+// cim-lint: allow-file(panic-unwrap) model constructors assert statically-valid shapes; a panic here is a bug in the zoo itself
 use cim_ir::{
     ActFn, Conv2dAttrs, DenseAttrs, FeatureShape, Graph, NodeId, Op, PadSpec, Padding, Params,
     PoolAttrs, Tensor,

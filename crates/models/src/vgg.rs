@@ -4,6 +4,8 @@
 //! are omitted, matching Table II which counts 13 (VGG16) / 16 (VGG19) base
 //! layers — the convolution counts of the respective bodies.
 
+
+// cim-lint: allow-file(panic-unwrap) model constructors assert statically-valid shapes; a panic here is a bug in the zoo itself
 use cim_ir::{ActFn, Conv2dAttrs, FeatureShape, Graph, NodeId, Op, Padding, PoolAttrs};
 
 fn conv(g: &mut Graph, from: NodeId, idx: &mut usize, oc: usize) -> NodeId {

@@ -12,6 +12,8 @@
 //! `PE_min = 117` is only consistent with the full 21-conv
 //! CSPDarknet53-tiny — see EXPERIMENTS.md.
 
+
+// cim-lint: allow-file(panic-unwrap) model constructors assert statically-valid shapes; a panic here is a bug in the zoo itself
 use cim_ir::{
     ActFn, Axis, Conv2dAttrs, FeatureShape, Graph, NodeId, Op, Padding, PoolAttrs, SliceAttrs,
 };

@@ -1,0 +1,101 @@
+//! Time sources for the tuning loop.
+//!
+//! The wall-clock budget ([`Budget::max_wall`](crate::Budget)) is the one
+//! place the tuner touches real time — and the one place its behaviour
+//! can depend on machine load. Routing that read through a [`Clock`]
+//! keeps the production path unchanged (monotonic [`Instant`] underneath)
+//! while letting tests drive the deadline deterministically with a
+//! [`ManualClock`]: no sleeps, no flaky time-dependent assertions, and
+//! the `cim-lint` `wall-clock` rule can confine raw `Instant::now` calls
+//! to this module alone.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use std::time::Instant;
+
+/// A monotonic time source: elapsed time since an arbitrary origin.
+pub trait Clock {
+    /// Time elapsed since this clock's origin. Must be monotonic.
+    fn now(&self) -> Duration;
+}
+
+/// The production clock: monotonic wall time from [`Instant`].
+#[derive(Debug, Clone)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose origin is the moment of construction.
+    #[must_use]
+    pub fn new() -> Self {
+        SystemClock {
+            // The only sanctioned wall-clock read in the tuner; everything
+            // else measures against this origin.
+            origin: Instant::now(), // cim-lint: allow(wall-clock) the Clock trait's one real time source
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Duration {
+        self.origin.elapsed()
+    }
+}
+
+/// A hand-driven clock for deterministic tests: time advances only when
+/// [`advance`](ManualClock::advance) is called. Shared-state ([`AtomicU64`]
+/// nanoseconds) so an evaluator can move time forward while the driver
+/// polls the same clock.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    nanos: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock frozen at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Moves time forward by `d`.
+    pub fn advance(&self, d: Duration) {
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.nanos.fetch_add(ns, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::SeqCst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_only_moves_when_advanced() {
+        let c = ManualClock::new();
+        assert_eq!(c.now(), Duration::ZERO);
+        c.advance(Duration::from_millis(5));
+        c.advance(Duration::from_millis(5));
+        assert_eq!(c.now(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let c = SystemClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+}

@@ -1,9 +1,8 @@
 //! The tuning loop: strategy → evaluator → archive under a budget.
 
-use std::time::Instant;
-
 use crate::archive::ParetoArchive;
 use crate::budget::{Budget, TuneStats};
+use crate::clock::{Clock, SystemClock};
 use crate::eval::Evaluator;
 use crate::space::{Candidate, DesignSpace};
 use crate::strategy::SearchStrategy;
@@ -58,8 +57,31 @@ pub fn tune(
     budget: &Budget,
     options: &TuneOptions,
 ) -> Result<TuneResult, clsa_core::CoreError> {
+    tune_with_clock(space, strategy, evaluator, budget, options, &SystemClock::new())
+}
+
+/// [`tune`] with an explicit time source for the wall-time budget.
+///
+/// The deadline check and [`TuneStats::elapsed`] read `clock` instead of
+/// the machine's wall clock, so a [`ManualClock`](crate::ManualClock)
+/// makes budget-expiry behaviour exactly reproducible in tests (advance
+/// time from the evaluator, observe the loop stop on the next round).
+///
+/// # Errors
+///
+/// Returns the design-space validation error, if any. Per-candidate
+/// pipeline failures are *not* errors: they count as infeasible and the
+/// search continues.
+pub fn tune_with_clock(
+    space: &DesignSpace,
+    strategy: &mut dyn SearchStrategy,
+    evaluator: &dyn Evaluator,
+    budget: &Budget,
+    options: &TuneOptions,
+    clock: &dyn Clock,
+) -> Result<TuneResult, clsa_core::CoreError> {
     space.validate()?;
-    let start = Instant::now();
+    let start = clock.now();
     let mut archive = ParetoArchive::new();
     let mut stats = TuneStats::default();
 
@@ -69,7 +91,7 @@ pub fn tune(
             break;
         }
         if let Some(wall) = budget.max_wall {
-            if start.elapsed() >= wall {
+            if clock.now().saturating_sub(start) >= wall {
                 break;
             }
         }
@@ -99,7 +121,7 @@ pub fn tune(
         stats.rounds += 1;
     }
 
-    stats.elapsed = start.elapsed();
+    stats.elapsed = clock.now().saturating_sub(start);
     Ok(TuneResult { archive, stats })
 }
 
@@ -189,6 +211,56 @@ mod tests {
         };
         assert_eq!(run(3).archive.sorted(), run(3).archive.sorted());
         assert_eq!(run(3).stats.evaluated, 6);
+    }
+
+    #[test]
+    fn wall_budget_expiry_is_deterministic_under_a_manual_clock() {
+        use crate::clock::{Clock, ManualClock};
+        use std::time::Duration;
+
+        /// Each evaluation "takes" 10ms of manual time.
+        struct TickingEval<'c> {
+            clock: &'c ManualClock,
+        }
+        impl Evaluator for TickingEval<'_> {
+            fn evaluate(&self, batch: &[Candidate]) -> Vec<Result<Measurement, CoreError>> {
+                batch
+                    .iter()
+                    .map(|c| {
+                        self.clock.advance(Duration::from_millis(10));
+                        Ok(Measurement {
+                            latency_cycles: 100 - c.index as u64,
+                            utilization: 0.5,
+                            noc_bytes: 10 + c.index as u64,
+                            crossbars: 4,
+                        })
+                    })
+                    .collect()
+            }
+        }
+
+        let s = DesignSpace::tiny();
+        let clock = ManualClock::new();
+        let budget = Budget {
+            max_candidates: None,
+            max_wall: Some(Duration::from_millis(25)),
+        };
+        let r = tune_with_clock(
+            &s,
+            &mut GridSearch::new(),
+            &TickingEval { clock: &clock },
+            &budget,
+            &TuneOptions { batch: 1 },
+            &clock,
+        )
+        .unwrap();
+        // Deadline checks happen before each round: rounds start at
+        // t=0/10/20ms (all < 25ms); the check at t=30ms stops the loop.
+        // Exactly reproducible — no sleeps, no load dependence.
+        assert_eq!(r.stats.evaluated, 3);
+        assert_eq!(r.stats.rounds, 3);
+        assert_eq!(r.stats.elapsed, Duration::from_millis(30));
+        assert_eq!(clock.now(), Duration::from_millis(30));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! dependency-light sequential reference the parallel implementations
 //! must agree with bit-for-bit.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 use cim_ir::Graph;
@@ -51,7 +51,7 @@ impl Measurement {
 /// [`DesignSpace`](crate::DesignSpace) on one graph.
 #[derive(Debug, Default)]
 pub struct PeMinMemo {
-    memo: Mutex<HashMap<usize, usize>>,
+    memo: Mutex<BTreeMap<usize, usize>>,
 }
 
 impl PeMinMemo {
@@ -67,7 +67,9 @@ impl PeMinMemo {
     ///
     /// Propagates cost-model errors (e.g. a graph without base layers).
     pub fn pe_min(&self, graph: &Graph, candidate: &Candidate) -> Result<usize, CoreError> {
-        let mut memo = self.memo.lock().expect("pe_min memo poisoned");
+        // A poisoned lock only means another worker panicked mid-insert of
+        // an independent entry; the map itself is always consistent.
+        let mut memo = self.memo.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(&v) = memo.get(&candidate.coords.crossbar) {
             return Ok(v);
         }
@@ -79,7 +81,10 @@ impl PeMinMemo {
 
     /// Number of crossbar geometries resolved so far.
     pub fn len(&self) -> usize {
-        self.memo.lock().expect("pe_min memo poisoned").len()
+        self.memo
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 
     /// Whether no geometry has been resolved yet.

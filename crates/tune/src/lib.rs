@@ -53,10 +53,12 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod archive;
 mod budget;
+mod clock;
 mod driver;
 mod eval;
 mod space;
@@ -64,7 +66,8 @@ mod strategy;
 
 pub use archive::{Measurement, ParetoArchive, ParetoEntry};
 pub use budget::{Budget, TuneStats};
-pub use driver::{tune, TuneOptions, TuneResult};
+pub use clock::{Clock, ManualClock, SystemClock};
+pub use driver::{tune, tune_with_clock, TuneOptions, TuneResult};
 pub use eval::{Evaluator, PeMinMemo, PipelineEvaluator};
 pub use space::{Candidate, Coords, CostModelAxis, DesignSpace, MappingAxis};
 pub use strategy::{

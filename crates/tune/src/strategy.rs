@@ -21,7 +21,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use crate::archive::Measurement;
 use crate::space::DesignSpace;
@@ -83,7 +83,7 @@ impl SearchStrategy for GridSearch {
 #[derive(Debug)]
 pub struct RandomSearch {
     rng: StdRng,
-    seen: HashSet<usize>,
+    seen: BTreeSet<usize>,
 }
 
 impl RandomSearch {
@@ -91,7 +91,7 @@ impl RandomSearch {
     pub fn new(seed: u64) -> Self {
         Self {
             rng: StdRng::seed_from_u64(seed),
-            seen: HashSet::new(),
+            seen: BTreeSet::new(),
         }
     }
 }

@@ -1,0 +1,62 @@
+//! # cim-verify — static correctness tooling for the CLSA-CIM workspace
+//!
+//! The repo's headline contract is *bit-for-bit reproducibility under
+//! parallelism*: sweeps, Pareto fronts, and cached replays must be
+//! byte-identical for every `--jobs N`, cold or warm. The golden /
+//! differential / determinism harnesses check that contract dynamically —
+//! this crate enforces the *invariants behind it* statically:
+//!
+//! * [`rules`] + [`workspace`] — a determinism **lint engine** over every
+//!   workspace `.rs` file, built on a hand-rolled [`lexer`] (the container
+//!   has no `syn`). Deny-by-default rules catch wall-clock reads, ordered
+//!   output fed from hash collections, unseeded RNGs, undocumented library
+//!   panics, missing `#![forbid(unsafe_code)]`, and stale suppressions.
+//!   Run it with `cargo run -p cim-verify --bin cim-lint`.
+//! * [`interleave`] + [`models`] — a loom-style **exhaustive interleaving
+//!   checker**: bounded models of the `ScheduleCache` slot protocol and
+//!   the lane-pool work-stealing handoff are explored over every possible
+//!   schedule, proving no lost updates, no double-computes, and no
+//!   deadlocks for the modeled scopes (`cim-lint --interleave`).
+//!
+//! The schedule-IR diagnostics pass lives in `clsa_core::diagnose` (next
+//! to the data it audits); its CLI is `cim-bench`'s `lint-schedule`.
+//!
+//! # Examples
+//!
+//! Lint a snippet the way the binary lints a workspace file:
+//!
+//! ```
+//! use cim_verify::rules::{lint_source, FileKind};
+//!
+//! let bad = "fn f() { let t = std::time::Instant::now(); }";
+//! let diags = lint_source("demo.rs", FileKind::Lib, bad);
+//! assert_eq!(diags.len(), 1);
+//! assert_eq!(diags[0].rule, "wall-clock");
+//!
+//! let good = "fn f() -> u32 { 42 }";
+//! assert!(lint_source("demo.rs", FileKind::Lib, good).is_empty());
+//! ```
+//!
+//! Exhaustively verify the cache slot protocol:
+//!
+//! ```
+//! use cim_verify::interleave::explore;
+//! use cim_verify::models::CacheSlotProtocol;
+//!
+//! let stats = explore(&CacheSlotProtocol::same_key(2)).expect("no violations");
+//! assert!(stats.schedules > 1); // every interleaving, not a sample
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod interleave;
+pub mod lexer;
+pub mod models;
+pub mod rules;
+pub mod workspace;
+
+pub use interleave::{explore, Exploration, Protocol, Step, Violation};
+pub use lexer::{lex, Lexed, Pragma, PragmaScope, Token, TokenKind};
+pub use rules::{is_known_rule, lint_source, Diagnostic, FileKind, RuleInfo, RULES};
+pub use workspace::{classify, find_workspace_root, lint_workspace, workspace_rs_files};

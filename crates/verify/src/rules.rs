@@ -1,0 +1,488 @@
+//! The determinism lint rules and the per-file engine.
+//!
+//! Every rule is **deny by default**: the workspace self-lint
+//! (`tests/self_lint.rs`, plus the CI `verify` job) requires `cim-lint`
+//! to exit 0, so each violation must either be fixed or carry an explicit
+//! `// cim-lint: allow(<rule>)` pragma at the site — and the
+//! [`unused-pragma`](RULES) rule guarantees stale allows are themselves
+//! errors, so suppressions cannot rot.
+//!
+//! | Rule | Fires on | Why |
+//! |------|----------|-----|
+//! | `wall-clock` | `Instant::now` / `SystemTime::now` | wall-clock reads make runs time-dependent; route through `cim_tune::Clock` |
+//! | `hash-collection` | `HashMap` / `HashSet` in non-test code | iteration order is randomized-in-spirit; use `BTreeMap`/`BTreeSet` or justify |
+//! | `unseeded-rng` | `thread_rng`, `from_entropy`, `from_os_rng`, `OsRng`, `ThreadRng` | RNGs must take an explicit u64 seed |
+//! | `panic-unwrap` | `.unwrap()` / `.expect(` in library non-test code | library panics need a pragma-documented invariant |
+//! | `debug-macro` | `dbg!` / `todo!` / `unimplemented!` in non-test code | scaffolding must not ship |
+//! | `forbid-unsafe` | crate root missing `#![forbid(unsafe_code)]` | the workspace is 100% safe Rust, machine-enforced |
+//! | `unused-pragma` | an `allow` that suppressed nothing | keeps the pragma inventory honest |
+//!
+//! The engine is purely lexical (see [`crate::lexer`]): rules match token
+//! patterns, so occurrences inside comments, doc comments, and string
+//! literals never fire. Test code is recognized two ways: whole files under
+//! `tests/` / `benches/` / `examples/`, and `#[cfg(test)]` / `#[test]`
+//! items inside library files (tracked by brace matching).
+
+use serde::Serialize;
+
+use crate::lexer::{lex, Pragma, PragmaScope, Token, TokenKind};
+
+/// How a file participates in the lint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FileKind {
+    /// A crate root (`lib.rs` directly under `src/`): all library rules
+    /// plus `forbid-unsafe`.
+    LibRoot,
+    /// Library source (under `src/`, not a binary target).
+    Lib,
+    /// A binary target (`src/bin/*`) — CLI panics on bad flags are fine,
+    /// so `panic-unwrap` does not apply.
+    Bin,
+    /// Integration tests and benches — determinism rules still apply
+    /// (`wall-clock`, `unseeded-rng`), panic/hash rules do not.
+    TestOrBench,
+    /// Examples — treated like binaries.
+    Example,
+}
+
+impl FileKind {
+    fn panics_allowed(self) -> bool {
+        !matches!(self, FileKind::Lib | FileKind::LibRoot)
+    }
+
+    fn is_testish(self) -> bool {
+        matches!(self, FileKind::TestOrBench)
+    }
+}
+
+/// Static description of one rule (drives `--list-rules` and the docs).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct RuleInfo {
+    /// The rule's pragma name.
+    pub name: &'static str,
+    /// One-line description of what it enforces.
+    pub summary: &'static str,
+}
+
+/// Every rule the engine knows, in reporting order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: "wall-clock",
+        summary: "no Instant::now / SystemTime::now outside pragma-approved clock impls",
+    },
+    RuleInfo {
+        name: "hash-collection",
+        summary: "no HashMap/HashSet in non-test code (iteration order); use BTreeMap/BTreeSet",
+    },
+    RuleInfo {
+        name: "unseeded-rng",
+        summary: "no entropy-seeded RNG construction; every RNG takes an explicit u64 seed",
+    },
+    RuleInfo {
+        name: "panic-unwrap",
+        summary: "no .unwrap()/.expect() in library non-test code without a pragma",
+    },
+    RuleInfo {
+        name: "debug-macro",
+        summary: "no dbg!/todo!/unimplemented! in non-test code",
+    },
+    RuleInfo {
+        name: "forbid-unsafe",
+        summary: "every crate root carries #![forbid(unsafe_code)]",
+    },
+    RuleInfo {
+        name: "unused-pragma",
+        summary: "every cim-lint allow must suppress at least one diagnostic",
+    },
+];
+
+/// Whether `name` is a known rule.
+pub fn is_known_rule(name: &str) -> bool {
+    RULES.iter().any(|r| r.name == name)
+}
+
+/// One lint finding, rustc-style addressable.
+#[derive(Debug, Clone, Serialize)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (characters).
+    pub col: u32,
+    /// The rule that fired.
+    pub rule: &'static str,
+    /// Human-readable explanation with the offending construct.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: error[{}]: {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Token-index ranges covered by `#[cfg(test)]` / `#[test]` items.
+fn test_ranges(toks: &[Token<'_>]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            // Scan the attribute's bracketed tokens.
+            let attr_start = i + 2;
+            let mut depth = 1i32;
+            let mut j = attr_start;
+            while j < toks.len() && depth > 0 {
+                if toks[j].is_punct('[') {
+                    depth += 1;
+                } else if toks[j].is_punct(']') {
+                    depth -= 1;
+                }
+                j += 1;
+            }
+            let attr = &toks[attr_start..j.saturating_sub(1).max(attr_start)];
+            if is_test_attr(attr) {
+                // Skip any further attributes, then find the item body.
+                let mut k = j;
+                while k < toks.len() {
+                    if toks[k].is_punct('#') && toks.get(k + 1).is_some_and(|t| t.is_punct('[')) {
+                        let mut d = 1i32;
+                        k += 2;
+                        while k < toks.len() && d > 0 {
+                            if toks[k].is_punct('[') {
+                                d += 1;
+                            } else if toks[k].is_punct(']') {
+                                d -= 1;
+                            }
+                            k += 1;
+                        }
+                        continue;
+                    }
+                    if toks[k].is_punct(';') {
+                        // `mod foo;` — no inline body to exempt.
+                        k = toks.len();
+                        break;
+                    }
+                    if toks[k].is_punct('{') {
+                        break;
+                    }
+                    k += 1;
+                }
+                if k < toks.len() {
+                    // Brace-match the body.
+                    let body_start = k;
+                    let mut d = 1i32;
+                    k += 1;
+                    while k < toks.len() && d > 0 {
+                        if toks[k].is_punct('{') {
+                            d += 1;
+                        } else if toks[k].is_punct('}') {
+                            d -= 1;
+                        }
+                        k += 1;
+                    }
+                    ranges.push((body_start, k.saturating_sub(1)));
+                    i = k;
+                    continue;
+                }
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// Recognizes `test` and `cfg(test)` attribute bodies (exact forms only —
+/// `cfg(not(test))` and friends are deliberately *not* test markers).
+fn is_test_attr(attr: &[Token<'_>]) -> bool {
+    match attr.len() {
+        1 => attr[0].is_ident("test"),
+        4 => {
+            attr[0].is_ident("cfg")
+                && attr[1].is_punct('(')
+                && attr[2].is_ident("test")
+                && attr[3].is_punct(')')
+        }
+        _ => false,
+    }
+}
+
+fn in_ranges(ranges: &[(usize, usize)], i: usize) -> bool {
+    ranges.iter().any(|&(a, b)| a <= i && i <= b)
+}
+
+/// Lints one source file. `file` is the workspace-relative path used in
+/// diagnostics; `kind` selects which rules apply.
+pub fn lint_source(file: &str, kind: FileKind, src: &str) -> Vec<Diagnostic> {
+    let lexed = lex(src);
+    let toks = &lexed.tokens;
+    let tests = test_ranges(toks);
+    let mut raw: Vec<Diagnostic> = Vec::new();
+
+    let diag = |t: &Token<'_>, rule: &'static str, message: String| Diagnostic {
+        file: file.to_string(),
+        line: t.line,
+        col: t.col,
+        rule,
+        message,
+    };
+
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let in_test = kind.is_testish() || in_ranges(&tests, i);
+        let path_call = |name: &str| {
+            (t.text == "Instant" || t.text == "SystemTime")
+                && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 3).is_some_and(|t| t.is_ident(name))
+        };
+
+        // wall-clock: applies everywhere, tests included — a test that
+        // reads the clock is a flake waiting to happen.
+        if path_call("now") {
+            raw.push(diag(
+                t,
+                "wall-clock",
+                format!(
+                    "wall-clock read `{}::now` is nondeterministic; route it through \
+                     `cim_tune::Clock` (or justify with `// cim-lint: allow(wall-clock)`)",
+                    t.text
+                ),
+            ));
+        }
+
+        // unseeded-rng: applies everywhere, tests included — unseeded test
+        // RNGs make failures unreproducible.
+        if matches!(
+            t.text,
+            "thread_rng" | "from_entropy" | "from_os_rng" | "ThreadRng" | "OsRng"
+        ) {
+            raw.push(diag(
+                t,
+                "unseeded-rng",
+                format!(
+                    "`{}` draws entropy from the environment; construct RNGs with an \
+                     explicit u64 seed (`SeedableRng::seed_from_u64`)",
+                    t.text
+                ),
+            ));
+        }
+
+        if in_test {
+            continue;
+        }
+
+        // hash-collection: non-test code only.
+        if t.text == "HashMap" || t.text == "HashSet" {
+            raw.push(diag(
+                t,
+                "hash-collection",
+                format!(
+                    "`{}` has unspecified iteration order; use `BTreeMap`/`BTreeSet` or \
+                     sort before anything observable (or justify with \
+                     `// cim-lint: allow(hash-collection)`)",
+                    t.text
+                ),
+            ));
+        }
+
+        // panic-unwrap: library non-test code only, method-call position.
+        if !kind.panics_allowed()
+            && (t.text == "unwrap" || t.text == "expect")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            raw.push(diag(
+                t,
+                "panic-unwrap",
+                format!(
+                    "`.{}()` in library non-test code; return an error or document the \
+                     invariant with `// cim-lint: allow(panic-unwrap)`",
+                    t.text
+                ),
+            ));
+        }
+
+        // debug-macro: non-test code only.
+        if matches!(t.text, "dbg" | "todo" | "unimplemented")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+        {
+            raw.push(diag(
+                t,
+                "debug-macro",
+                format!("`{}!` must not ship in non-test code", t.text),
+            ));
+        }
+    }
+
+    // forbid-unsafe: crate roots must carry the attribute.
+    if kind == FileKind::LibRoot && !has_forbid_unsafe(toks) {
+        raw.push(Diagnostic {
+            file: file.to_string(),
+            line: 1,
+            col: 1,
+            rule: "forbid-unsafe",
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+
+    apply_pragmas(file, raw, &lexed.pragmas)
+}
+
+/// Looks for the token sequence `# ! [ forbid ( unsafe_code ) ]`.
+fn has_forbid_unsafe(toks: &[Token<'_>]) -> bool {
+    toks.windows(8).any(|w| {
+        w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].is_ident("forbid")
+            && w[4].is_punct('(')
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(')')
+            && w[7].is_punct(']')
+    })
+}
+
+/// Applies allow pragmas to `raw`, appending `unused-pragma` diagnostics
+/// for allows that suppressed nothing (or name an unknown rule).
+fn apply_pragmas(file: &str, raw: Vec<Diagnostic>, pragmas: &[Pragma]) -> Vec<Diagnostic> {
+    // (pragma index, rule index) -> suppressed anything?
+    let mut used: Vec<Vec<bool>> = pragmas.iter().map(|p| vec![false; p.rules.len()]).collect();
+    let mut out: Vec<Diagnostic> = Vec::new();
+
+    'diags: for d in raw {
+        for (pi, p) in pragmas.iter().enumerate() {
+            let covers = match p.scope {
+                PragmaScope::File => true,
+                PragmaScope::Line => d.line == p.line || d.line == p.line + 1,
+            };
+            if !covers {
+                continue;
+            }
+            for (ri, rule) in p.rules.iter().enumerate() {
+                if rule == d.rule {
+                    used[pi][ri] = true;
+                    continue 'diags;
+                }
+            }
+        }
+        out.push(d);
+    }
+
+    for (pi, p) in pragmas.iter().enumerate() {
+        for (ri, rule) in p.rules.iter().enumerate() {
+            if !is_known_rule(rule) {
+                out.push(Diagnostic {
+                    file: file.to_string(),
+                    line: p.line,
+                    col: 1,
+                    rule: "unused-pragma",
+                    message: format!("pragma names unknown rule `{rule}`"),
+                });
+            } else if !used[pi][ri] {
+                out.push(Diagnostic {
+                    file: file.to_string(),
+                    line: p.line,
+                    col: 1,
+                    rule: "unused-pragma",
+                    message: format!(
+                        "`allow({rule})` suppresses nothing here; remove the stale pragma"
+                    ),
+                });
+            }
+        }
+    }
+
+    out.sort_by(|a, b| {
+        (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_lib(src: &str) -> Vec<Diagnostic> {
+        lint_source("x.rs", FileKind::Lib, src)
+    }
+
+    #[test]
+    fn clean_source_is_clean() {
+        let d = lint_lib("fn add(a: u32, b: u32) -> u32 { a + b }\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn test_modules_are_exempt_from_panic_and_hash_rules() {
+        let src = r#"
+            pub fn ok() {}
+            #[cfg(test)]
+            mod tests {
+                use std::collections::HashMap;
+                #[test]
+                fn t() {
+                    let m: HashMap<u32, u32> = HashMap::new();
+                    assert_eq!(m.get(&1).copied().unwrap_or(0), 0);
+                    Some(3).unwrap();
+                }
+            }
+        "#;
+        let d = lint_lib(src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_marker() {
+        let src = "#[cfg(not(test))]\nmod m { pub fn f(x: Option<u8>) -> u8 { x.unwrap() } }\n";
+        let d = lint_lib(src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "panic-unwrap");
+    }
+
+    #[test]
+    fn line_pragma_suppresses_and_registers_usage() {
+        let src = "use std::collections::HashMap; // cim-lint: allow(hash-collection)\n";
+        assert!(lint_lib(src).is_empty());
+        let above = "// cim-lint: allow(hash-collection) keyed lookups only\n\
+                     use std::collections::HashMap;\n";
+        assert!(lint_lib(above).is_empty());
+    }
+
+    #[test]
+    fn pragma_does_not_leak_past_the_next_line() {
+        let src = "// cim-lint: allow(hash-collection)\n\n\
+                   use std::collections::HashMap;\n";
+        let d = lint_lib(src);
+        // The HashMap on line 3 fires, and the pragma on line 1 is unused.
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().any(|d| d.rule == "hash-collection"));
+        assert!(d.iter().any(|d| d.rule == "unused-pragma"));
+    }
+
+    #[test]
+    fn bins_may_unwrap_but_not_hash() {
+        let src = "fn main() { let m = std::collections::HashMap::<u8, u8>::new(); \
+                   m.get(&0).unwrap(); }\n";
+        let d = lint_source("src/bin/x.rs", FileKind::Bin, src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "hash-collection");
+    }
+
+    #[test]
+    fn diagnostics_carry_positions() {
+        let d = lint_lib("fn f() {\n    let t = Instant::now();\n}\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!((d[0].line, d[0].col), (2, 13));
+        assert!(d[0].to_string().starts_with("x.rs:2:13: error[wall-clock]"));
+    }
+}

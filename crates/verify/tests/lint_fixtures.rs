@@ -1,0 +1,171 @@
+//! One known-bad fixture per lint rule: every rule must *fire* on its
+//! fixture (proving the rule is live, not vacuously green on the clean
+//! workspace) and stay quiet once the canonical fix or pragma is applied.
+
+use cim_verify::rules::{lint_source, Diagnostic, FileKind};
+use cim_verify::RULES;
+
+fn codes(diags: &[Diagnostic]) -> Vec<&str> {
+    diags.iter().map(|d| d.rule).collect()
+}
+
+#[test]
+fn wall_clock_fires_on_instant_and_system_time() {
+    let bad = r#"
+        fn f() -> std::time::Instant { std::time::Instant::now() }
+        fn g() -> std::time::SystemTime { std::time::SystemTime::now() }
+    "#;
+    let diags = lint_source("fixture.rs", FileKind::Lib, bad);
+    assert_eq!(codes(&diags), ["wall-clock", "wall-clock"], "{diags:?}");
+    // Positions point at the offending call, 1-based.
+    assert_eq!(diags[0].line, 2);
+}
+
+#[test]
+fn wall_clock_applies_even_in_test_code() {
+    // Timing reads in tests are how flaky assertions are born.
+    let bad = "#[test]\nfn t() { let _ = std::time::Instant::now(); }";
+    let diags = lint_source("fixture.rs", FileKind::TestOrBench, bad);
+    assert_eq!(codes(&diags), ["wall-clock"]);
+}
+
+#[test]
+fn hash_collection_fires_on_map_and_set() {
+    let bad = r#"
+        use std::collections::{HashMap, HashSet};
+        struct S { m: HashMap<u32, u32>, s: HashSet<u32> }
+    "#;
+    let diags = lint_source("fixture.rs", FileKind::Lib, bad);
+    assert!(
+        codes(&diags).iter().all(|c| *c == "hash-collection") && diags.len() == 4,
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn hash_collection_is_exempt_in_tests() {
+    let ok = "use std::collections::HashMap;\nfn t() { let _: HashMap<u8, u8> = HashMap::new(); }";
+    assert!(lint_source("fixture.rs", FileKind::TestOrBench, ok).is_empty());
+}
+
+#[test]
+fn unseeded_rng_fires_on_entropy_sources() {
+    let bad = r#"
+        fn f() { let _ = rand::thread_rng(); }
+        fn g() { let _ = StdRng::from_entropy(); }
+    "#;
+    let diags = lint_source("fixture.rs", FileKind::Lib, bad);
+    assert_eq!(codes(&diags), ["unseeded-rng", "unseeded-rng"], "{diags:?}");
+}
+
+#[test]
+fn seeded_rng_is_clean() {
+    let ok = "fn f() { let _ = StdRng::seed_from_u64(42); }";
+    assert!(lint_source("fixture.rs", FileKind::Lib, ok).is_empty());
+}
+
+#[test]
+fn panic_unwrap_fires_in_library_code_only() {
+    let bad = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\nfn g(x: Option<u32>) -> u32 { x.expect(\"present\") }";
+    let diags = lint_source("fixture.rs", FileKind::Lib, bad);
+    assert_eq!(codes(&diags), ["panic-unwrap", "panic-unwrap"], "{diags:?}");
+    // Binaries may abort; the rule is for library surfaces.
+    assert!(lint_source("fixture.rs", FileKind::Bin, bad).is_empty());
+    assert!(lint_source("fixture.rs", FileKind::TestOrBench, bad).is_empty());
+}
+
+#[test]
+fn tuple_field_access_does_not_hide_unwrap() {
+    // `x.0.unwrap()` once lexed `0.unwrap` as a single float-ish literal;
+    // the lexer must keep the method call visible.
+    let bad = "fn f(x: (Option<u32>,)) -> u32 { x.0.unwrap() }";
+    let diags = lint_source("fixture.rs", FileKind::Lib, bad);
+    assert_eq!(codes(&diags), ["panic-unwrap"], "{diags:?}");
+}
+
+#[test]
+fn debug_macro_fires_on_dbg_todo_unimplemented() {
+    let bad = "fn f() { dbg!(1); }\nfn g() { todo!() }\nfn h() { unimplemented!() }";
+    let diags = lint_source("fixture.rs", FileKind::Lib, bad);
+    assert_eq!(
+        codes(&diags),
+        ["debug-macro", "debug-macro", "debug-macro"],
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn forbid_unsafe_fires_on_library_roots_only() {
+    let bare = "//! A crate.\npub fn f() {}";
+    let diags = lint_source("src/lib.rs", FileKind::LibRoot, bare);
+    assert_eq!(codes(&diags), ["forbid-unsafe"], "{diags:?}");
+    assert_eq!((diags[0].line, diags[0].col), (1, 1));
+    // Non-root files don't need the attribute.
+    assert!(lint_source("src/other.rs", FileKind::Lib, bare).is_empty());
+
+    let good = "//! A crate.\n#![forbid(unsafe_code)]\npub fn f() {}";
+    assert!(lint_source("src/lib.rs", FileKind::LibRoot, good).is_empty());
+}
+
+#[test]
+fn line_pragma_suppresses_its_own_and_next_line() {
+    let src = "#![forbid(unsafe_code)]\n\
+               // cim-lint: allow(wall-clock) startup stamp\n\
+               fn f() -> std::time::Instant { std::time::Instant::now() }";
+    assert!(lint_source("src/lib.rs", FileKind::LibRoot, src).is_empty());
+}
+
+#[test]
+fn file_pragma_suppresses_everywhere() {
+    let src = "// cim-lint: allow-file(hash-collection) lookup-only maps\n\
+               use std::collections::HashMap;\n\
+               fn f() -> HashMap<u8, u8> { HashMap::new() }";
+    assert!(lint_source("fixture.rs", FileKind::Lib, src).is_empty());
+}
+
+#[test]
+fn unused_pragma_fires_on_stale_suppressions() {
+    let src = "// cim-lint: allow(wall-clock) nothing here reads a clock\nfn f() {}";
+    let diags = lint_source("fixture.rs", FileKind::Lib, src);
+    assert_eq!(codes(&diags), ["unused-pragma"], "{diags:?}");
+}
+
+#[test]
+fn unused_pragma_fires_on_unknown_rules() {
+    let src = "// cim-lint: allow(no-such-rule)\nfn f() {}";
+    let diags = lint_source("fixture.rs", FileKind::Lib, src);
+    assert_eq!(codes(&diags), ["unused-pragma"], "{diags:?}");
+    assert!(diags[0].message.contains("unknown rule"), "{diags:?}");
+}
+
+#[test]
+fn every_advertised_rule_has_a_firing_fixture() {
+    // The rule table and this fixture file must not drift apart: each of
+    // the seven advertised rules appears in at least one assertion above.
+    // (Names checked here so adding a rule without a fixture fails.)
+    let covered = [
+        "wall-clock",
+        "hash-collection",
+        "unseeded-rng",
+        "panic-unwrap",
+        "debug-macro",
+        "forbid-unsafe",
+        "unused-pragma",
+    ];
+    assert_eq!(RULES.len(), covered.len());
+    for r in RULES {
+        assert!(covered.contains(&r.name), "rule {} has no fixture", r.name);
+    }
+}
+
+#[test]
+fn diagnostics_render_rustc_style() {
+    let bad = "fn f() { let _ = std::time::Instant::now(); }";
+    let diags = lint_source("crates/x/src/lib.rs", FileKind::Lib, bad);
+    let line = diags[0].to_string();
+    assert!(
+        line.starts_with("crates/x/src/lib.rs:1:"),
+        "rustc-style file:line:col prefix, got {line}"
+    );
+    assert!(line.contains("error[wall-clock]"), "{line}");
+}

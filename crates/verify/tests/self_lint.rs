@@ -1,0 +1,62 @@
+//! The workspace must lint clean under its own rules — the CI `verify`
+//! job runs the binary; this test keeps `cargo test` sufficient locally.
+
+use std::path::Path;
+
+use cim_verify::workspace::{lint_workspace, workspace_rs_files};
+
+fn repo_root() -> &'static Path {
+    // crates/verify → crates → repo root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crate lives two levels under the repo root")
+}
+
+#[test]
+fn the_workspace_lints_clean() {
+    let diags = lint_workspace(repo_root()).expect("workspace walk succeeds");
+    assert!(
+        diags.is_empty(),
+        "cim-lint found {} diagnostic(s) in the workspace:\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn the_walk_actually_covers_the_workspace() {
+    // A clean result must not be an empty walk: all ten workspace crates
+    // (and the root facade) contribute files.
+    let files = workspace_rs_files(repo_root()).expect("workspace walk succeeds");
+    assert!(
+        files.len() > 50,
+        "expected a full workspace walk, saw {} files",
+        files.len()
+    );
+    let rels: Vec<String> = files
+        .iter()
+        .map(|(p, _)| p.to_string_lossy().replace('\\', "/"))
+        .collect();
+    for needle in [
+        "src/lib.rs",
+        "crates/core/src/schedule.rs",
+        "crates/bench/src/runner/cache.rs",
+        "crates/verify/src/rules.rs",
+    ] {
+        assert!(
+            rels.iter().any(|r| r == needle),
+            "walk missed {needle}; saw {} files",
+            rels.len()
+        );
+    }
+    // Vendored stand-ins mirror external crates and are out of scope.
+    assert!(
+        !rels.iter().any(|r| r.starts_with("vendor/")),
+        "vendor/ must be excluded from the lint walk"
+    );
+}

@@ -11,7 +11,10 @@
 //! * [`sim`] — discrete-event system-level simulator;
 //! * [`models`] — the benchmark zoo (TinyYOLO, VGG, ResNet);
 //! * [`tune`] — design-space exploration: search strategies, Pareto
-//!   archive, budgeted evaluation (the `autotune` binary's engine).
+//!   archive, budgeted evaluation (the `autotune` binary's engine);
+//! * [`verify`] — static verification: the `cim-lint` determinism lint
+//!   engine, the exhaustive concurrency interleaving checker, and (in
+//!   [`core`]) the schedule-IR diagnostics pass.
 //!
 //! # Quickstart
 //!
@@ -45,7 +48,7 @@
 //! The workspace builds fully offline:
 //!
 //! ```text
-//! cargo build --release   # workspace: facade + 8 crates + vendored deps
+//! cargo build --release   # workspace: facade + 10 crates + vendored deps
 //! cargo test -q           # unit, integration, and doc tests
 //! cargo clippy --workspace --all-targets -- -D warnings
 //! ```
@@ -71,7 +74,8 @@
 //!            ├── cim-models (also ► frontend)
 //!            └── cim-tune (also ► mapping, arch)
 //! cim-bench depends on all of the above;
-//! clsa-cim (this facade) re-exports all nine crates.
+//! cim-verify stands alone (it reads source text, not schedules);
+//! clsa-cim (this facade) re-exports all ten crates.
 //! ```
 //!
 //! # Reproducing the paper
@@ -81,6 +85,7 @@
 //! `fig6|fig7|...`), each accepting `--json <path>` for record export; the
 //! criterion-style micro-benchmarks live in `crates/bench/benches/`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use cim_arch as arch;
@@ -91,4 +96,5 @@ pub use cim_mapping as mapping;
 pub use cim_models as models;
 pub use cim_sim as sim;
 pub use cim_tune as tune;
+pub use cim_verify as verify;
 pub use clsa_core as core;
