@@ -155,6 +155,18 @@ impl ScheduleCache {
         )
     }
 
+    /// Non-blocking probe of the schedule level: returns the memoized
+    /// result for `key` if — and only if — a computation for it already
+    /// completed successfully. Never computes, never waits on an
+    /// in-flight computation, and is counter-neutral (a probe is not a
+    /// lookup the hit-rate accounting should see — callers like the
+    /// serve daemon's warm path keep their own counters).
+    pub fn peek(&self, key: &CacheKey) -> Option<Arc<RunResult>> {
+        let slot = Arc::clone(self.schedules.lock().get(key)?);
+        let resolved = slot.get()?;
+        resolved.as_ref().ok().cloned()
+    }
+
     /// Snapshot of the lookup/compute counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -209,6 +221,29 @@ mod tests {
         assert_eq!(stats.schedule_hits(), 1);
         // The stage cache is only consulted on the schedule-level miss.
         assert_eq!(stats.stage_lookups, 1);
+    }
+
+    #[test]
+    fn peek_observes_completed_runs_without_computing() {
+        let g = cim_models::fig5_example();
+        let fp = fingerprint(&g);
+        let cache = ScheduleCache::new();
+        let key = CacheKey::schedule(fp, &cfg(2));
+
+        assert!(cache.peek(&key).is_none(), "cold cache has nothing to peek");
+        let computed = cache.run(fp, &g, &cfg(2)).unwrap();
+        let peeked = cache.peek(&key).expect("warm cache serves the result");
+        assert!(Arc::ptr_eq(&computed, &peeked));
+
+        // peek is counter-neutral and never computes.
+        let stats = cache.stats();
+        assert_eq!(stats.schedule_lookups, 1);
+        assert_eq!(stats.schedule_computes, 1);
+
+        // A cached *error* is not served as a warm result.
+        let bad = CacheKey::schedule(fp, &cfg(1));
+        assert!(cache.run(fp, &g, &cfg(1)).is_err());
+        assert!(cache.peek(&bad).is_none(), "failed runs are not peekable");
     }
 
     #[test]

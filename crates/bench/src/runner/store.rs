@@ -165,6 +165,37 @@ pub struct ResultStore {
     write_errors: AtomicU64,
 }
 
+/// Whether a `.tmp-<pid>-<nonce>-<file>` temp file belongs to no living
+/// writer and can be swept on open.
+///
+/// Decision table, conservative toward *keeping* (a kept orphan costs a
+/// few stale bytes; a swept live temp costs a concurrent writer its
+/// rename):
+///
+/// * unparseable name → orphan (not written by this code; sweep);
+/// * our own pid → orphan (a previous process with the recycled pid —
+///   *this* process has written nothing yet at open time);
+/// * on Linux, `/proc/<pid>` absent → orphan (the writer is gone);
+/// * otherwise → live (keep).
+fn temp_is_orphaned(name: &str) -> bool {
+    let Some(pid) = name
+        .strip_prefix(".tmp-")
+        .and_then(|rest| rest.split('-').next())
+        .and_then(|pid| pid.parse::<u32>().ok())
+    else {
+        return true;
+    };
+    if pid == std::process::id() {
+        return true;
+    }
+    let proc_root = Path::new("/proc");
+    if proc_root.is_dir() {
+        return !proc_root.join(pid.to_string()).exists();
+    }
+    // No /proc (non-Linux): liveness is unknowable; keep the temp.
+    false
+}
+
 /// File stem of a key's row: three fixed-width hex fingerprints.
 fn key_stem(key: &CacheKey) -> String {
     format!(
@@ -193,13 +224,18 @@ impl ResultStore {
 
         // Scan: every non-index .json file is a candidate row (validated
         // on first contact). Temp files orphaned by a killed writer are
-        // swept here so a long-lived cache dir cannot accumulate them.
+        // swept here so a long-lived cache dir cannot accumulate them —
+        // but only *orphaned* ones: a daemon and a straggler batch binary
+        // legitimately share one cache dir, and sweeping a live writer's
+        // in-flight temp would fail its rename and drop the row.
         let mut entries = BTreeSet::new();
         for dirent in fs::read_dir(&dir)? {
             let path = dirent?.path();
             let name = path.file_name().unwrap_or_default().to_string_lossy();
             if name.starts_with(".tmp-") {
-                let _ = fs::remove_file(&path);
+                if temp_is_orphaned(&name) {
+                    let _ = fs::remove_file(&path);
+                }
             } else if let Some(stem) = name.strip_suffix(".json") {
                 if stem != "index" && !name.starts_with('.') {
                     entries.insert(stem.to_string());
@@ -464,6 +500,34 @@ mod tests {
         assert_eq!(store.get(&key(4)), None);
         assert_eq!(store.stats().evictions, 1);
         assert_eq!(store.get(&key(3)), Some(summary(3)), "original intact");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_sweeps_only_orphaned_temp_files() {
+        let dir = tmp_dir("orphans");
+        fs::create_dir_all(&dir).unwrap();
+        // pid 1 is init — always alive on Linux, so this temp belongs to
+        // a (conceptually) live concurrent writer and must survive.
+        let live = dir.join(".tmp-1-0-live.json");
+        // A pid far beyond any real pid space: its writer is dead.
+        let dead = dir.join(".tmp-4000000001-0-dead.json");
+        // Not our naming scheme at all.
+        let garbage = dir.join(".tmp-garbage");
+        // Our own pid at open time means a *previous* incarnation.
+        let own = dir.join(format!(".tmp-{}-7-own.json", std::process::id()));
+        for p in [&live, &dead, &garbage, &own] {
+            fs::write(p, "{}").unwrap();
+        }
+
+        let store = ResultStore::open(&dir).unwrap();
+        assert!(live.exists(), "live writer's temp must be kept");
+        assert!(!dead.exists(), "dead writer's temp must be swept");
+        assert!(!garbage.exists(), "unparseable temp must be swept");
+        assert!(!own.exists(), "own-pid temp predates this open");
+        // Temps are never mistaken for rows.
+        assert!(store.is_empty());
+        drop(store);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,91 @@
+//! `cim-serve` — the scheduling daemon.
+//!
+//! ```text
+//! cim-serve [--socket <path>] [--tcp <addr>] [--max-queue <n>]
+//!           [--jobs <n>] [--cache-dir <dir>]
+//! ```
+//!
+//! Listens on a Unix socket (default `/tmp/cim-serve.sock`) for
+//! newline-delimited JSON requests and serves until a
+//! `{"op":"shutdown"}` request arrives; then prints the final service
+//! statistics. `--cache-dir` makes results durable across daemon
+//! generations (warm restarts answer from disk).
+//!
+//! ```text
+//! $ cim-serve --socket /tmp/cim.sock --cache-dir /tmp/cim-store &
+//! $ printf '%s\n' '{"id":"r1","model":"fig5","strategy":"xinf"}' | nc -U /tmp/cim.sock
+//! ```
+
+use cim_bench::parse_common_args;
+use cim_serve::{Daemon, DaemonOptions, EngineOptions};
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let common = parse_common_args();
+    common.note_seed_unused();
+    let rest = &common.rest;
+    if common.json.is_some() {
+        eprintln!("note: --json ignored — stats are served via the `stats` request");
+    }
+
+    let socket = flag_value(rest, "--socket").unwrap_or_else(|| "/tmp/cim-serve.sock".into());
+    let tcp = flag_value(rest, "--tcp");
+    let max_queue = flag_value(rest, "--max-queue")
+        .map(|v| {
+            v.parse::<usize>().unwrap_or_else(|_| {
+                eprintln!("--max-queue expects an unsigned integer, got `{v}`");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(256);
+
+    let options = DaemonOptions {
+        socket: socket.clone().into(),
+        tcp: tcp.clone(),
+        engine: EngineOptions {
+            jobs: common.runner.jobs,
+            max_queue,
+        },
+        cache_dir: common.cache_dir.clone().map(Into::into),
+    };
+
+    let daemon = Daemon::bind(options).unwrap_or_else(|e| {
+        eprintln!("cim-serve: bind failed: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "cim-serve: listening on {socket}{} (jobs {}, max-queue {max_queue}{})",
+        match daemon.tcp_addr() {
+            Some(addr) => format!(" + tcp {addr}"),
+            None => String::new(),
+        },
+        common.runner.jobs,
+        match &common.cache_dir {
+            Some(dir) => format!(", cache-dir {dir}"),
+            None => String::new(),
+        },
+    );
+
+    match daemon.run() {
+        Ok(stats) => {
+            println!(
+                "cim-serve: shut down after {} requests ({} ok, {} errors, {} shed)",
+                stats.submitted, stats.ok, stats.errors, stats.shed
+            );
+            println!(
+                "cim-serve: warm {} store + {} cache, coalesced {}, p50 {} ns, p99 {} ns",
+                stats.warm_store, stats.warm_cache, stats.coalesced, stats.p50_ns, stats.p99_ns
+            );
+        }
+        Err(e) => {
+            eprintln!("cim-serve: serve loop failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

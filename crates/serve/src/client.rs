@@ -1,0 +1,94 @@
+//! A minimal blocking client for the daemon's line protocol.
+//!
+//! One request line in, one response line out. The raw-line API exists
+//! for the byte-identity tests and the bench driver: callers that need
+//! to compare *wire bytes* across daemon generations must see the exact
+//! line, not a re-serialization.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use crate::protocol::{Request, Response};
+
+/// A blocking connection to a running daemon.
+pub struct Client {
+    reader: BufReader<Box<dyn Read + Send>>,
+    writer: Box<dyn Write + Send>,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client").finish_non_exhaustive()
+    }
+}
+
+impl Client {
+    /// Connects over the daemon's Unix socket.
+    ///
+    /// # Errors
+    ///
+    /// Connection and stream-duplication I/O errors.
+    pub fn connect_unix(socket: impl AsRef<Path>) -> io::Result<Self> {
+        let stream = UnixStream::connect(socket)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(Box::new(stream)),
+            writer: Box::new(writer),
+        })
+    }
+
+    /// Connects over TCP.
+    ///
+    /// # Errors
+    ///
+    /// Connection and stream-duplication I/O errors.
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(Box::new(stream)),
+            writer: Box::new(writer),
+        })
+    }
+
+    /// Sends one raw request line and returns the raw response line
+    /// (trailing newline stripped) — the wire bytes the byte-identity
+    /// tests compare.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors; an EOF before a response line is
+    /// [`io::ErrorKind::UnexpectedEof`].
+    pub fn request_line(&mut self, line: &str) -> io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        if self.reader.read_line(&mut response)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection before responding",
+            ));
+        }
+        while response.ends_with('\n') || response.ends_with('\r') {
+            response.pop();
+        }
+        Ok(response)
+    }
+
+    /// Sends a typed request and parses the typed response.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, plus [`io::ErrorKind::InvalidData`] if either side of
+    /// the exchange fails to (de)serialize.
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        let line = serde_json::to_string(request)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let reply = self.request_line(&line)?;
+        serde_json::from_str(&reply)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}

@@ -1,0 +1,364 @@
+//! The socket daemon: newline-delimited JSON over Unix (and optional
+//! TCP) sockets, wrapped around a [`ServeEngine`].
+//!
+//! Thread structure:
+//!
+//! - **Acceptors** — the calling thread accepts on the Unix socket; an
+//!   optional second thread accepts on TCP. Each connection gets a
+//!   handler thread.
+//! - **Handlers** — read one request line, submit it to the engine,
+//!   write one response line; strictly request–response per connection
+//!   (concurrency comes from multiple connections). Enqueued
+//!   submissions block on a per-ticket channel until dispatched.
+//! - **Dispatcher** — one thread draining [`ServeEngine::dispatch`]
+//!   whenever nudged (a submission or shutdown), delivering each
+//!   `(ticket, response)` through the ticket board.
+//!
+//! Shutdown (`{"op":"shutdown"}`) immediately stops admitting schedule
+//! requests; once the acknowledgement is flushed to the requesting
+//! client, the daemon lets the dispatcher drain in-flight work and
+//! unblocks its own acceptors by dummy-connecting to them. [`Daemon::run`] returns the final stats snapshot. Handler
+//! threads are detached — they die with the process (or linger idle on
+//! open connections after an in-process `run` returns), never blocking
+//! shutdown on a slow client.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::Arc;
+
+use cim_bench::runner::ResultStore;
+use cim_tune::{Clock, SystemClock};
+use parking_lot::Mutex;
+
+use crate::engine::{EngineOptions, ServeEngine, Submission, Ticket};
+use crate::protocol::{ErrorCode, Op, Request, Response, ResponseBody, ServeError};
+use crate::stats::StatsSnapshot;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct DaemonOptions {
+    /// Path of the Unix socket to listen on (stale files are replaced).
+    pub socket: PathBuf,
+    /// Optional TCP listen address (e.g. `127.0.0.1:0`).
+    pub tcp: Option<String>,
+    /// Engine knobs (lane-pool width, admission depth).
+    pub engine: EngineOptions,
+    /// Optional persistent store directory (`--cache-dir`).
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl DaemonOptions {
+    /// Options for a Unix-only daemon at `socket` with engine defaults.
+    pub fn at(socket: impl Into<PathBuf>) -> Self {
+        DaemonOptions {
+            socket: socket.into(),
+            tcp: None,
+            engine: EngineOptions::default(),
+            cache_dir: None,
+        }
+    }
+}
+
+/// Routes dispatched responses to the handler threads waiting on them.
+///
+/// Two-state by design: the dispatcher may finish a ticket *before* its
+/// handler starts waiting (the submission raced the drain), so completed
+/// responses without a waiter are stashed and claimed at wait time.
+#[derive(Default)]
+struct Board {
+    waiting: BTreeMap<Ticket, SyncSender<Response>>,
+    done: BTreeMap<Ticket, Response>,
+}
+
+#[derive(Default)]
+struct TicketBoard(Mutex<Board>);
+
+impl TicketBoard {
+    /// Dispatcher side: hand `response` to the ticket's waiter, or stash
+    /// it if no one is waiting yet.
+    fn deliver(&self, ticket: Ticket, response: Response) {
+        let waiter = {
+            let mut board = self.0.lock();
+            match board.waiting.remove(&ticket) {
+                Some(tx) => Some(tx),
+                None => {
+                    board.done.insert(ticket, response.clone());
+                    None
+                }
+            }
+        };
+        if let Some(tx) = waiter {
+            // A vanished handler (dropped connection) is not an error.
+            let _ = tx.send(response);
+        }
+    }
+
+    /// Handler side: block until the ticket's response arrives. `None`
+    /// only if the dispatcher exited without answering (shutdown race).
+    fn wait(&self, ticket: Ticket) -> Option<Response> {
+        let rx = {
+            let mut board = self.0.lock();
+            if let Some(done) = board.done.remove(&ticket) {
+                return Some(done);
+            }
+            let (tx, rx) = std::sync::mpsc::sync_channel(1);
+            board.waiting.insert(ticket, tx);
+            rx
+        };
+        rx.recv().ok()
+    }
+}
+
+/// Shared state of one running daemon.
+struct Shared {
+    engine: ServeEngine,
+    board: TicketBoard,
+    /// Wakes the dispatcher; any message is a nudge.
+    nudge: Sender<()>,
+    shutting_down: AtomicBool,
+    /// Where the acceptors listen — the shutdown path dummy-connects
+    /// here to unblock them.
+    socket: PathBuf,
+    tcp_addr: Option<SocketAddr>,
+}
+
+impl Shared {
+    fn nudge(&self) {
+        let _ = self.nudge.send(());
+    }
+
+    /// Unblocks both acceptors after the shutdown flag is up: `accept`
+    /// returns, the loop re-checks the flag, and exits.
+    fn unblock_acceptors(&self) {
+        let _ = UnixStream::connect(&self.socket);
+        if let Some(addr) = self.tcp_addr {
+            let _ = TcpStream::connect(addr);
+        }
+    }
+}
+
+/// A bound, not-yet-running daemon: [`Daemon::bind`], then
+/// [`Daemon::run`].
+pub struct Daemon {
+    unix: UnixListener,
+    tcp: Option<TcpListener>,
+    shared: Arc<Shared>,
+    nudge_rx: Receiver<()>,
+}
+
+impl Daemon {
+    /// Opens the store (if configured), binds the sockets, and builds
+    /// the engine on the production [`SystemClock`].
+    ///
+    /// A pre-existing file at the socket path is treated as stale and
+    /// replaced — the lane for "the previous daemon died without
+    /// cleanup".
+    ///
+    /// # Errors
+    ///
+    /// Store-directory and socket-bind I/O errors.
+    pub fn bind(options: DaemonOptions) -> io::Result<Self> {
+        let store = match &options.cache_dir {
+            Some(dir) => Some(ResultStore::open(dir)?),
+            None => None,
+        };
+        if options.socket.exists() {
+            std::fs::remove_file(&options.socket)?;
+        }
+        let unix = UnixListener::bind(&options.socket)?;
+        let tcp = match &options.tcp {
+            Some(addr) => Some(TcpListener::bind(addr)?),
+            None => None,
+        };
+        let tcp_addr = match &tcp {
+            Some(listener) => Some(listener.local_addr()?),
+            None => None,
+        };
+        let (nudge, nudge_rx) = std::sync::mpsc::channel();
+        let engine = ServeEngine::new(
+            options.engine,
+            store,
+            Arc::new(SystemClock::new()) as Arc<dyn Clock + Send + Sync>,
+        );
+        Ok(Daemon {
+            unix,
+            tcp,
+            shared: Arc::new(Shared {
+                engine,
+                board: TicketBoard::default(),
+                nudge,
+                shutting_down: AtomicBool::new(false),
+                socket: options.socket,
+                tcp_addr,
+            }),
+            nudge_rx,
+        })
+    }
+
+    /// The TCP address actually bound (useful after binding `:0`).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.shared.tcp_addr
+    }
+
+    /// Serves until a `shutdown` request arrives and in-flight work
+    /// drains, then removes the socket file and returns the final
+    /// statistics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Unix-socket accept errors.
+    pub fn run(self) -> io::Result<StatsSnapshot> {
+        let Daemon {
+            unix,
+            tcp,
+            shared,
+            nudge_rx,
+        } = self;
+
+        // Dispatcher: drains the engine on every nudge and posts the
+        // responses. Exits once shutdown is flagged and the engine is
+        // quiescent (the shutdown path nudges after flagging, so the
+        // final drain is guaranteed to run).
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                while nudge_rx.recv().is_ok() {
+                    for (ticket, response) in shared.engine.dispatch() {
+                        shared.board.deliver(ticket, response);
+                    }
+                    if shared.shutting_down.load(Ordering::SeqCst) && shared.engine.is_idle() {
+                        break;
+                    }
+                }
+                // Nudge channel closed or shutdown: one last drain so no
+                // admitted ticket is left unanswered.
+                for (ticket, response) in shared.engine.dispatch() {
+                    shared.board.deliver(ticket, response);
+                }
+            })
+        };
+
+        // Optional TCP acceptor.
+        if let Some(listener) = tcp {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.shutting_down.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let shared = Arc::clone(&shared);
+                    std::thread::spawn(move || {
+                        let _ = serve_tcp_connection(&shared, stream);
+                    });
+                }
+            });
+        }
+
+        // Unix acceptor on the calling thread.
+        for stream in unix.incoming() {
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = stream?;
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                let _ = serve_unix_connection(&shared, stream);
+            });
+        }
+
+        // Let the dispatcher finish draining before reporting.
+        shared.nudge();
+        let _ = dispatcher.join();
+        let stats = shared.engine.stats();
+        let _ = std::fs::remove_file(&shared.socket);
+        Ok(stats)
+    }
+}
+
+fn serve_unix_connection(shared: &Shared, stream: UnixStream) -> io::Result<()> {
+    let writer = stream.try_clone()?;
+    serve_connection(shared, BufReader::new(stream), writer)
+}
+
+fn serve_tcp_connection(shared: &Shared, stream: TcpStream) -> io::Result<()> {
+    let writer = stream.try_clone()?;
+    serve_connection(shared, BufReader::new(stream), writer)
+}
+
+/// The per-connection request–response loop, shared by both transports.
+fn serve_connection<R: BufRead, W: Write>(
+    shared: &Shared,
+    mut reader: R,
+    mut writer: W,
+) -> io::Result<()> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // EOF: client closed.
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match serde_json::from_str::<Request>(line.trim()) {
+            Err(err) => Response::error(
+                "",
+                ServeError::new(ErrorCode::BadRequest, format!("unparseable request: {err}")),
+            ),
+            Ok(request) => handle_request(shared, &request),
+        };
+        // Responses are plain string/number trees; serialization cannot
+        // fail on them.
+        let mut payload = serde_json::to_string(&response)
+            .expect("responses serialize"); // cim-lint: allow(panic-unwrap) protocol responses are plain serializable data
+        payload.push('\n');
+        writer.write_all(payload.as_bytes())?;
+        writer.flush()?;
+        if matches!(response.body, ResponseBody::Shutdown) {
+            // Tear down only *after* the ack is flushed: unblocking the
+            // acceptor first would let `run` (and in the daemon binary,
+            // the process) win the race against this handler thread and
+            // close the connection before the ack reaches the client.
+            shared.nudge();
+            shared.unblock_acceptors();
+            return Ok(());
+        }
+    }
+}
+
+fn handle_request(shared: &Shared, request: &Request) -> Response {
+    if request.op == Op::Shutdown {
+        // Flip the flag here so no later schedule request is admitted;
+        // the connection loop wakes the dispatcher and unblocks the
+        // acceptors once the acknowledgement is on the wire.
+        shared.shutting_down.store(true, Ordering::SeqCst);
+        return Response {
+            id: request.id.clone(),
+            body: ResponseBody::Shutdown,
+        };
+    }
+    if request.op == Op::Schedule && shared.shutting_down.load(Ordering::SeqCst) {
+        return Response::error(
+            &request.id,
+            ServeError::new(ErrorCode::Overloaded, "daemon is shutting down"),
+        );
+    }
+    match shared.engine.submit(request) {
+        Submission::Immediate(response) => response,
+        Submission::Enqueued(ticket) => {
+            shared.nudge();
+            shared.board.wait(ticket).unwrap_or_else(|| {
+                Response::error(
+                    &request.id,
+                    ServeError::new(ErrorCode::Overloaded, "dispatcher exited before completion"),
+                )
+            })
+        }
+    }
+}

@@ -1,0 +1,696 @@
+//! The service engine: admission control, EDF dispatch, warm paths.
+//!
+//! [`ServeEngine`] is the daemon with the sockets removed — every policy
+//! decision of the service lives here, behind a synchronous API, so the
+//! SLO and happens-after test suites can drive it deterministically with
+//! a [`ManualClock`](cim_tune::ManualClock) and zero I/O. A request moves
+//! through four gates:
+//!
+//! 1. **Validate** — unknown models/strategies/dependencies and duplicate
+//!    or missing ids are rejected with typed errors before they cost
+//!    anything.
+//! 2. **Warm path** — a request without happens-after tags whose
+//!    `(model, arch, strategy)` fingerprint key already has a persisted
+//!    [`RunSummary`] (or a completed in-memory cache slot) is answered
+//!    immediately, bypassing the queue. Replies are built exclusively
+//!    from summary fields, so a warm reply is byte-identical to the cold
+//!    reply that seeded it.
+//! 3. **Admit** — past the configured queue depth the engine load-sheds
+//!    with a typed `overloaded` error; an identical already-queued
+//!    computation instead *coalesces* the new request onto the existing
+//!    entry (one compute, N replies) without consuming capacity.
+//! 4. **Dispatch** — admitted entries run on the PR-2 lane pool in
+//!    earliest-deadline-first order (ties broken by arrival sequence);
+//!    entries whose every deadline lapsed while queued are rejected
+//!    without computing. Requests with unmet `after` tags park until
+//!    their dependencies finish, then join the queue.
+//!
+//! Dispatch drains to quiescence in rounds; because each round finishes
+//! in EDF order and the lane pool reassembles results in item order, the
+//! full response stream is bit-for-bit independent of the worker count.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use cim_bench::runner::{parallel_map, CacheKey, ResultStore, RunSummary, ScheduleCache};
+use cim_ir::Graph;
+use cim_tune::Clock;
+use clsa_core::RunConfig;
+use parking_lot::Mutex;
+
+use crate::protocol::{ErrorCode, Op, Request, Response, ScheduleReply, ServeError};
+use crate::registry::{build_config, ModelRegistry};
+use crate::stats::{percentile, StatsSnapshot};
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineOptions {
+    /// Lane-pool worker threads for cold dispatch.
+    pub jobs: usize,
+    /// Admission limit: queued + parked entries beyond this are shed.
+    pub max_queue: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            jobs: 1,
+            max_queue: 256,
+        }
+    }
+}
+
+/// Ticket for a queued request; [`ServeEngine::dispatch`] pairs each
+/// ticket with its eventual [`Response`].
+pub type Ticket = u64;
+
+/// Outcome of [`ServeEngine::submit`].
+#[derive(Debug)]
+pub enum Submission {
+    /// Answered on the spot (warm hit, typed rejection, stats, ping).
+    Immediate(Response),
+    /// Admitted; the response arrives from a later
+    /// [`dispatch`](ServeEngine::dispatch) under this ticket.
+    Enqueued(Ticket),
+}
+
+/// One answered party of a pending entry: the original request plus any
+/// coalesced duplicates, each with its own id, ticket, and deadline.
+#[derive(Debug, Clone)]
+struct Subscriber {
+    ticket: Ticket,
+    id: String,
+    after: Vec<String>,
+    arrival: Duration,
+    /// Absolute deadline (arrival + `deadline_ms`).
+    deadline: Option<Duration>,
+    /// The request's relative deadline, kept for the error detail.
+    deadline_ms: Option<u64>,
+}
+
+/// One admitted computation: a `(model, arch, strategy)` key plus the
+/// subscribers awaiting its result.
+#[derive(Debug, Clone)]
+struct PendingEntry {
+    /// Admission sequence number — the EDF tie-breaker.
+    seq: u64,
+    key: CacheKey,
+    model: String,
+    label: String,
+    x: usize,
+    pe_min: usize,
+    t_mvm_ns: u64,
+    model_fp: u64,
+    graph: Arc<Graph>,
+    config: RunConfig,
+    /// Earliest subscriber deadline — the EDF sort key.
+    deadline: Option<Duration>,
+    /// Happens-after ids not yet completed (parked while non-empty).
+    waiting_on: BTreeSet<String>,
+    subscribers: Vec<Subscriber>,
+}
+
+impl PendingEntry {
+    fn edf_key(&self) -> (Duration, u64) {
+        (self.deadline.unwrap_or(Duration::MAX), self.seq)
+    }
+}
+
+/// Mutable engine state, guarded by one mutex.
+#[derive(Debug, Default)]
+struct EngineState {
+    /// Runnable entries (dependencies satisfied).
+    queue: Vec<PendingEntry>,
+    /// Entries waiting on happens-after ids.
+    parked: Vec<PendingEntry>,
+    /// Every id ever admitted (warm-answered, queued, or coalesced) —
+    /// the namespace `after` tags may reference.
+    registered: BTreeSet<String>,
+    /// Ids whose requests finished (ok or error).
+    completed: BTreeSet<String>,
+    /// Finish order of ids — what the happens-after tests assert on.
+    completion_log: Vec<String>,
+    next_seq: u64,
+    next_ticket: Ticket,
+}
+
+/// The scheduling service with the sockets removed. See the module docs.
+pub struct ServeEngine {
+    registry: ModelRegistry,
+    cache: ScheduleCache,
+    store: Option<ResultStore>,
+    clock: Arc<dyn Clock + Send + Sync>,
+    opts: EngineOptions,
+    state: Mutex<EngineState>,
+    latencies: Mutex<Vec<u64>>,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    ok: AtomicU64,
+    errors: AtomicU64,
+    warm_store: AtomicU64,
+    warm_cache: AtomicU64,
+    coalesced: AtomicU64,
+    shed: AtomicU64,
+    expired: AtomicU64,
+}
+
+impl std::fmt::Debug for ServeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeEngine")
+            .field("opts", &self.opts)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServeEngine {
+    /// Builds an engine over an optional persistent store and a clock
+    /// (the daemon passes [`SystemClock`](cim_tune::SystemClock); tests
+    /// pass [`ManualClock`](cim_tune::ManualClock)).
+    pub fn new(
+        opts: EngineOptions,
+        store: Option<ResultStore>,
+        clock: Arc<dyn Clock + Send + Sync>,
+    ) -> Self {
+        ServeEngine {
+            registry: ModelRegistry::new(),
+            cache: ScheduleCache::new(),
+            store,
+            clock,
+            opts,
+            state: Mutex::new(EngineState::default()),
+            latencies: Mutex::new(Vec::new()),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            ok: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            warm_store: AtomicU64::new(0),
+            warm_cache: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+        }
+    }
+
+    /// The engine's persistent store handle, if one was configured.
+    pub fn store(&self) -> Option<&ResultStore> {
+        self.store.as_ref()
+    }
+
+    /// Submits one request. `schedule` requests either answer
+    /// immediately (warm hit / typed rejection) or enqueue; `stats` and
+    /// `ping` always answer immediately; `shutdown` is acknowledged here
+    /// but acted on by the caller (the daemon owns process lifetime).
+    pub fn submit(&self, req: &Request) -> Submission {
+        match req.op {
+            Op::Schedule => self.submit_schedule(req),
+            Op::Stats => Submission::Immediate(Response {
+                id: req.id.clone(),
+                body: crate::protocol::ResponseBody::Stats(self.stats()),
+            }),
+            Op::Ping => Submission::Immediate(Response {
+                id: req.id.clone(),
+                body: crate::protocol::ResponseBody::Pong,
+            }),
+            Op::Shutdown => Submission::Immediate(Response {
+                id: req.id.clone(),
+                body: crate::protocol::ResponseBody::Shutdown,
+            }),
+        }
+    }
+
+    fn reject(&self, id: &str, err: ServeError) -> Submission {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        Submission::Immediate(Response::error(id, err))
+    }
+
+    fn submit_schedule(&self, req: &Request) -> Submission {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        let arrival = self.clock.now();
+
+        if req.id.is_empty() {
+            return self.reject(
+                "",
+                ServeError::new(ErrorCode::BadRequest, "schedule requests need an `id`"),
+            );
+        }
+
+        // Resolve the model and configuration before taking the state
+        // lock — canonicalization is slow and must not serialize the
+        // engine (the registry memoizes, so this is cheap after first
+        // contact per model).
+        let entry = match self.registry.resolve(&req.model) {
+            Ok(entry) => entry,
+            Err(err) => return self.reject(&req.id, err),
+        };
+        let (config, label) = match build_config(&entry, &req.strategy, req.x) {
+            Ok(built) => built,
+            Err(err) => return self.reject(&req.id, err),
+        };
+        let key = CacheKey::schedule(entry.fingerprint, &config);
+        let t_mvm_ns = config.arch.crossbar().t_mvm_ns;
+        let deadline = req.deadline_ms.map(|ms| arrival + Duration::from_millis(ms));
+
+        let mut st = self.state.lock();
+        if st.registered.contains(&req.id) {
+            drop(st);
+            return self.reject(
+                &req.id,
+                ServeError::new(
+                    ErrorCode::BadRequest,
+                    format!("duplicate request id `{}`", req.id),
+                ),
+            );
+        }
+        for dep in &req.after {
+            if !st.registered.contains(dep) {
+                drop(st);
+                return self.reject(
+                    &req.id,
+                    ServeError::new(
+                        ErrorCode::UnknownDependency,
+                        format!("`after` references unknown request id `{dep}`"),
+                    ),
+                );
+            }
+        }
+
+        // Warm path: only for requests without happens-after tags — a
+        // tagged request must wait for its dependencies even if its own
+        // result is already known.
+        if req.after.is_empty() {
+            let warm = if let Some(summary) = self.store.as_ref().and_then(|s| s.get(&key)) {
+                self.warm_store.fetch_add(1, Ordering::Relaxed);
+                Some(summary)
+            } else if let Some(result) = self.cache.peek(&key) {
+                self.warm_cache.fetch_add(1, Ordering::Relaxed);
+                Some(RunSummary::of(&result))
+            } else {
+                None
+            };
+            if let Some(summary) = warm {
+                st.registered.insert(req.id.clone());
+                st.completed.insert(req.id.clone());
+                st.completion_log.push(req.id.clone());
+                drop(st);
+                self.ok.fetch_add(1, Ordering::Relaxed);
+                self.completed.fetch_add(1, Ordering::Relaxed);
+                self.record_latency(arrival);
+                let reply = ScheduleReply {
+                    model: entry.name.clone(),
+                    label,
+                    x: req.x,
+                    pe_min: entry.pe_min,
+                    total_pes: summary.total_pes,
+                    makespan_cycles: summary.makespan_cycles,
+                    makespan_ns: summary.makespan_cycles * t_mvm_ns,
+                    utilization: summary.utilization,
+                    noc_bytes: summary.noc_bytes,
+                    duplicated_layers: summary.duplicated_layers,
+                    observed: Vec::new(),
+                };
+                return Submission::Immediate(Response::ok(&req.id, reply));
+            }
+
+            // Coalesce onto a runnable entry computing the same key
+            // (never a parked one — that would order this request behind
+            // dependencies it did not declare).
+            if let Some(pos) = st.queue.iter().position(|e| e.key == key) {
+                let ticket = st.next_ticket;
+                st.next_ticket += 1;
+                let existing = &mut st.queue[pos];
+                existing.subscribers.push(Subscriber {
+                    ticket,
+                    id: req.id.clone(),
+                    after: Vec::new(),
+                    arrival,
+                    deadline,
+                    deadline_ms: req.deadline_ms,
+                });
+                existing.deadline = match (existing.deadline, deadline) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+                st.registered.insert(req.id.clone());
+                drop(st);
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                return Submission::Enqueued(ticket);
+            }
+        }
+
+        // Admission control: shed past the configured depth. Shed
+        // requests are *not* registered — the client may retry the id.
+        if st.queue.len() + st.parked.len() >= self.opts.max_queue {
+            drop(st);
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            self.errors.fetch_add(1, Ordering::Relaxed);
+            return Submission::Immediate(Response::error(
+                &req.id,
+                ServeError::new(
+                    ErrorCode::Overloaded,
+                    format!("admission queue at capacity ({})", self.opts.max_queue),
+                ),
+            ));
+        }
+
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        let waiting_on: BTreeSet<String> = req
+            .after
+            .iter()
+            .filter(|dep| !st.completed.contains(*dep))
+            .cloned()
+            .collect();
+        let pending = PendingEntry {
+            seq,
+            key,
+            model: entry.name.clone(),
+            label,
+            x: req.x,
+            pe_min: entry.pe_min,
+            t_mvm_ns,
+            model_fp: entry.fingerprint,
+            graph: Arc::clone(&entry.graph),
+            config,
+            deadline,
+            waiting_on,
+            subscribers: vec![Subscriber {
+                ticket,
+                id: req.id.clone(),
+                after: req.after.clone(),
+                arrival,
+                deadline,
+                deadline_ms: req.deadline_ms,
+            }],
+        };
+        st.registered.insert(req.id.clone());
+        if pending.waiting_on.is_empty() {
+            st.queue.push(pending);
+        } else {
+            st.parked.push(pending);
+        }
+        Submission::Enqueued(ticket)
+    }
+
+    /// Resolves one entry: store → cache → compute → store.
+    fn compute(&self, entry: &PendingEntry) -> Result<RunSummary, ServeError> {
+        if let Some(store) = &self.store {
+            if let Some(summary) = store.get(&entry.key) {
+                return Ok(summary);
+            }
+        }
+        let result = self
+            .cache
+            .run(entry.model_fp, &entry.graph, &entry.config)
+            .map_err(|e| {
+                ServeError::new(
+                    ErrorCode::ScheduleFailed,
+                    format!("scheduling `{}` ({}) failed: {e}", entry.model, entry.label),
+                )
+            })?;
+        let summary = RunSummary::of(&result);
+        if let Some(store) = &self.store {
+            store.put(&entry.key, &summary);
+        }
+        Ok(summary)
+    }
+
+    fn record_latency(&self, arrival: Duration) {
+        let elapsed = self.clock.now().saturating_sub(arrival);
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.latencies.lock().push(ns);
+    }
+
+    /// Drains the queue to quiescence, returning `(ticket, response)`
+    /// pairs in completion order.
+    ///
+    /// Each round takes the current queue, sorts it
+    /// earliest-deadline-first (arrival sequence breaks ties), runs it on
+    /// the lane pool, finishes in EDF order, and unparks any entries
+    /// whose dependencies completed — repeating until nothing is
+    /// runnable. The response stream is deterministic for any
+    /// `jobs` count.
+    pub fn dispatch(&self) -> Vec<(Ticket, Response)> {
+        let mut out = Vec::new();
+        loop {
+            let mut batch = {
+                let mut st = self.state.lock();
+                if st.queue.is_empty() {
+                    break;
+                }
+                std::mem::take(&mut st.queue)
+            };
+            batch.sort_by_key(PendingEntry::edf_key);
+
+            // One clock read per round: every deadline decision in the
+            // round sees the same instant, so outcomes are reproducible
+            // under ManualClock and independent of per-item timing.
+            let now = self.clock.now();
+            let outcomes = parallel_map(&batch, self.opts.jobs, |_, entry| {
+                let any_live = entry
+                    .subscribers
+                    .iter()
+                    .any(|s| s.deadline.is_none_or(|d| now <= d));
+                if !any_live {
+                    // Every subscriber's deadline lapsed while queued:
+                    // reject without paying for the computation.
+                    return Err(ServeError::new(
+                        ErrorCode::DeadlineExpired,
+                        "all deadlines elapsed before dispatch",
+                    ));
+                }
+                self.compute(entry)
+            });
+            let done = self.clock.now();
+
+            let mut st = self.state.lock();
+            for (entry, outcome) in batch.into_iter().zip(outcomes) {
+                for sub in &entry.subscribers {
+                    let response = match (&outcome, sub.deadline) {
+                        (_, Some(d)) if now > d => {
+                            self.expired.fetch_add(1, Ordering::Relaxed);
+                            self.errors.fetch_add(1, Ordering::Relaxed);
+                            Response::error(
+                                &sub.id,
+                                ServeError::new(
+                                    ErrorCode::DeadlineExpired,
+                                    format!(
+                                        "deadline_ms {} elapsed before dispatch",
+                                        sub.deadline_ms.unwrap_or(0)
+                                    ),
+                                ),
+                            )
+                        }
+                        (Ok(summary), _) => {
+                            self.ok.fetch_add(1, Ordering::Relaxed);
+                            Response::ok(
+                                &sub.id,
+                                ScheduleReply {
+                                    model: entry.model.clone(),
+                                    label: entry.label.clone(),
+                                    x: entry.x,
+                                    pe_min: entry.pe_min,
+                                    total_pes: summary.total_pes,
+                                    makespan_cycles: summary.makespan_cycles,
+                                    makespan_ns: summary.makespan_cycles * entry.t_mvm_ns,
+                                    utilization: summary.utilization,
+                                    noc_bytes: summary.noc_bytes,
+                                    duplicated_layers: summary.duplicated_layers,
+                                    observed: sub.after.clone(),
+                                },
+                            )
+                        }
+                        (Err(err), _) => {
+                            if err.code == ErrorCode::DeadlineExpired {
+                                self.expired.fetch_add(1, Ordering::Relaxed);
+                            }
+                            self.errors.fetch_add(1, Ordering::Relaxed);
+                            Response::error(&sub.id, err.clone())
+                        }
+                    };
+                    self.completed.fetch_add(1, Ordering::Relaxed);
+                    let latency = done.saturating_sub(sub.arrival);
+                    self.latencies
+                        .lock()
+                        .push(u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX));
+                    st.completed.insert(sub.id.clone());
+                    st.completion_log.push(sub.id.clone());
+                    out.push((sub.ticket, response));
+                }
+            }
+
+            // Unpark entries whose every dependency has now finished —
+            // they join the next round's EDF sort.
+            let parked = std::mem::take(&mut st.parked);
+            for mut entry in parked {
+                entry.waiting_on.retain(|dep| !st.completed.contains(dep));
+                if entry.waiting_on.is_empty() {
+                    st.queue.push(entry);
+                } else {
+                    st.parked.push(entry);
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether nothing is queued or parked.
+    pub fn is_idle(&self) -> bool {
+        let st = self.state.lock();
+        st.queue.is_empty() && st.parked.is_empty()
+    }
+
+    /// The ids of finished requests, in finish order.
+    pub fn completion_order(&self) -> Vec<String> {
+        self.state.lock().completion_log.clone()
+    }
+
+    /// A point-in-time statistics snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        let (queue_depth, parked) = {
+            let st = self.state.lock();
+            (st.queue.len() as u64, st.parked.len() as u64)
+        };
+        let mut samples = self.latencies.lock().clone();
+        samples.sort_unstable();
+        let completed = self.completed.load(Ordering::Relaxed);
+        let elapsed = self.clock.now();
+        let throughput_rps = if elapsed > Duration::ZERO {
+            completed as f64 / elapsed.as_secs_f64()
+        } else {
+            0.0
+        };
+        let store_stats = self.store.as_ref().map(ResultStore::stats).unwrap_or_default();
+        let cache_stats = self.cache.stats();
+        StatsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed,
+            ok: self.ok.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            warm_store: self.warm_store.load(Ordering::Relaxed),
+            warm_cache: self.warm_cache.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            queue_depth,
+            parked,
+            p50_ns: percentile(&samples, 50.0),
+            p99_ns: percentile(&samples, 99.0),
+            throughput_rps,
+            store_hits: store_stats.hits,
+            store_lookups: store_stats.lookups,
+            cache_hits: cache_stats.hits(),
+            cache_lookups: cache_stats.stage_lookups + cache_stats.schedule_lookups,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_tune::ManualClock;
+
+    fn engine(jobs: usize, max_queue: usize) -> (ServeEngine, Arc<ManualClock>) {
+        let clock = Arc::new(ManualClock::new());
+        let engine = ServeEngine::new(
+            EngineOptions { jobs, max_queue },
+            None,
+            Arc::clone(&clock) as Arc<dyn Clock + Send + Sync>,
+        );
+        (engine, clock)
+    }
+
+    fn ok_reply(sub: Submission, engine: &ServeEngine) -> Response {
+        match sub {
+            Submission::Immediate(resp) => resp,
+            Submission::Enqueued(ticket) => {
+                let mut responses = engine.dispatch();
+                let pos = responses
+                    .iter()
+                    .position(|(t, _)| *t == ticket)
+                    .expect("dispatch answers the ticket");
+                responses.swap_remove(pos).1
+            }
+        }
+    }
+
+    #[test]
+    fn cold_then_cache_warm_same_reply() {
+        let (engine, _) = engine(1, 16);
+        let cold = ok_reply(
+            engine.submit(&Request::schedule("a", "fig5", "xinf", 0)),
+            &engine,
+        );
+        let warm = match engine.submit(&Request::schedule("b", "fig5", "xinf", 0)) {
+            Submission::Immediate(resp) => resp,
+            Submission::Enqueued(_) => panic!("second identical request must be warm"),
+        };
+        assert!(cold.as_schedule().unwrap().makespan_cycles > 0);
+        // Same payload modulo the echoed id.
+        assert_eq!(cold.as_schedule(), warm.as_schedule());
+        assert_eq!(engine.stats().warm_cache, 1);
+    }
+
+    #[test]
+    fn validation_rejections_are_typed() {
+        let (engine, _) = engine(1, 16);
+        let cases = [
+            (Request::schedule("", "fig5", "xinf", 0), ErrorCode::BadRequest),
+            (Request::schedule("a", "nope", "xinf", 0), ErrorCode::UnknownModel),
+            (Request::schedule("a", "fig5", "nope", 0), ErrorCode::UnknownStrategy),
+            (
+                Request {
+                    after: vec!["ghost".into()],
+                    ..Request::schedule("a", "fig5", "xinf", 0)
+                },
+                ErrorCode::UnknownDependency,
+            ),
+        ];
+        for (req, code) in cases {
+            let resp = ok_reply(engine.submit(&req), &engine);
+            assert_eq!(resp.as_error().expect("typed rejection").code, code);
+        }
+        // A rejected id is not registered, so it can be retried.
+        let retry = ok_reply(
+            engine.submit(&Request::schedule("a", "fig5", "xinf", 0)),
+            &engine,
+        );
+        assert!(retry.as_schedule().is_some());
+        // ...but a *successful* id cannot be reused.
+        let dup = ok_reply(
+            engine.submit(&Request::schedule("a", "fig5", "xinf", 0)),
+            &engine,
+        );
+        assert_eq!(dup.as_error().unwrap().code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn identical_queued_requests_coalesce() {
+        let (engine, _) = engine(1, 16);
+        let t1 = match engine.submit(&Request::schedule("a", "fig5", "wdup", 1)) {
+            Submission::Enqueued(t) => t,
+            Submission::Immediate(r) => panic!("cold request must queue, got {r:?}"),
+        };
+        let t2 = match engine.submit(&Request::schedule("b", "fig5", "wdup", 1)) {
+            Submission::Enqueued(t) => t,
+            Submission::Immediate(r) => panic!("identical request must coalesce, got {r:?}"),
+        };
+        let responses = engine.dispatch();
+        assert_eq!(responses.len(), 2);
+        assert_eq!(responses[0].0, t1);
+        assert_eq!(responses[1].0, t2);
+        assert_eq!(
+            responses[0].1.as_schedule(),
+            responses[1].1.as_schedule(),
+            "coalesced subscribers share one computation's payload"
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.coalesced, 1);
+        assert!(stats.cache_lookups > 0);
+    }
+}

@@ -1,0 +1,496 @@
+//! The wire protocol: newline-delimited JSON requests and responses.
+//!
+//! One request per line, one response per line, in request order per
+//! connection. Requests tolerate missing optional fields (a bare
+//! `{"id":"r1","model":"fig5"}` is a valid schedule request); responses
+//! always serialize the same fields in the same order, so a reply is
+//! **byte-identical** whether it was computed cold, replayed from the
+//! persistent [`ResultStore`](cim_bench::runner::ResultStore), or served
+//! from the in-memory schedule cache — the property the protocol test
+//! suite pins.
+//!
+//! ```text
+//! → {"id":"r1","op":"schedule","model":"fig5","strategy":"xinf","x":0,"deadline_ms":null,"after":[]}
+//! ← {"id":"r1","status":"ok","result":{"model":"fig5","label":"xinf",...}}
+//! → {"id":"s1","op":"stats"}
+//! ← {"id":"s1","status":"ok","stats":{"completed":1,...,"p99_ns":...}}
+//! ```
+//!
+//! Errors are **typed**: the `error` field carries a stable machine-
+//! readable code (see [`ErrorCode`]), `detail` a human-readable line.
+
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+
+use crate::stats::StatsSnapshot;
+
+/// What a request asks the daemon to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Schedule a `(model, strategy, x)` configuration (the default).
+    Schedule,
+    /// Report the daemon's service-level statistics.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Ask the daemon to finish queued work and exit.
+    Shutdown,
+}
+
+impl Op {
+    /// The wire name of the operation.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Op::Schedule => "schedule",
+            Op::Stats => "stats",
+            Op::Ping => "ping",
+            Op::Shutdown => "shutdown",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "schedule" => Some(Op::Schedule),
+            "stats" => Some(Op::Stats),
+            "ping" => Some(Op::Ping),
+            "shutdown" => Some(Op::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+/// One scheduling request.
+///
+/// Deserialization fills defaults for everything except what the
+/// operation actually needs, so clients send only the fields they care
+/// about; serialization always emits every field (deterministic bytes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Client-chosen request id — echoed in the response, referenced by
+    /// `after` tags, unique over a daemon's lifetime. Required for
+    /// `schedule` requests.
+    pub id: String,
+    /// The operation (wire default: `schedule`).
+    pub op: Op,
+    /// Model name: any zoo registry entry or `fig5`.
+    pub model: String,
+    /// Strategy name: `layer-by-layer`, `xinf`, `wdup`, or `wdup+xinf`
+    /// (wire default: `xinf`).
+    pub strategy: String,
+    /// Extra PEs over the model's `PE_min` (the paper's `x`).
+    pub x: usize,
+    /// Relative deadline in milliseconds from arrival. A request still
+    /// queued past its deadline is rejected with
+    /// [`ErrorCode::DeadlineExpired`] instead of being scheduled.
+    pub deadline_ms: Option<u64>,
+    /// Happens-after tags: ids of previously submitted requests this one
+    /// must observe. The request is dispatched only after every tagged
+    /// request finished (successfully or not).
+    pub after: Vec<String>,
+}
+
+impl Request {
+    /// A schedule request with defaults for the optional fields.
+    pub fn schedule(id: &str, model: &str, strategy: &str, x: usize) -> Self {
+        Request {
+            id: id.to_string(),
+            op: Op::Schedule,
+            model: model.to_string(),
+            strategy: strategy.to_string(),
+            x,
+            deadline_ms: None,
+            after: Vec::new(),
+        }
+    }
+
+    /// A bare operation request (`stats`, `ping`, `shutdown`).
+    pub fn bare(id: &str, op: Op) -> Self {
+        Request {
+            id: id.to_string(),
+            op,
+            model: String::new(),
+            strategy: String::new(),
+            x: 0,
+            deadline_ms: None,
+            after: Vec::new(),
+        }
+    }
+}
+
+impl Serialize for Request {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("id".into(), Value::Str(self.id.clone())),
+            ("op".into(), Value::Str(self.op.as_str().into())),
+            ("model".into(), Value::Str(self.model.clone())),
+            ("strategy".into(), Value::Str(self.strategy.clone())),
+            ("x".into(), Value::U64(self.x as u64)),
+            ("deadline_ms".into(), self.deadline_ms.to_value()),
+            ("after".into(), self.after.to_value()),
+        ])
+    }
+}
+
+/// `map[key]` as a string, or `default` when absent.
+fn str_or<'a>(
+    map: &'a [(String, Value)],
+    key: &str,
+    default: &'a str,
+) -> Result<&'a str, SerdeError> {
+    match Value::map_get(map, key) {
+        None | Some(Value::Null) => Ok(default),
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| SerdeError::custom(format!("field `{key}` must be a string"))),
+    }
+}
+
+impl Deserialize for Request {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| SerdeError::custom("request must be a JSON object"))?;
+        let op_name = str_or(map, "op", "schedule")?;
+        let op = Op::parse(op_name)
+            .ok_or_else(|| SerdeError::custom(format!("unknown op `{op_name}`")))?;
+        let x = match Value::map_get(map, "x") {
+            None | Some(Value::Null) => 0,
+            Some(v) => usize::from_value(v)
+                .map_err(|_| SerdeError::custom("field `x` must be an unsigned integer"))?,
+        };
+        let deadline_ms = match Value::map_get(map, "deadline_ms") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(u64::from_value(v).map_err(|_| {
+                SerdeError::custom("field `deadline_ms` must be an unsigned integer")
+            })?),
+        };
+        let after = match Value::map_get(map, "after") {
+            None | Some(Value::Null) => Vec::new(),
+            Some(v) => Vec::<String>::from_value(v)
+                .map_err(|_| SerdeError::custom("field `after` must be an array of ids"))?,
+        };
+        Ok(Request {
+            id: str_or(map, "id", "")?.to_string(),
+            op,
+            model: str_or(map, "model", "")?.to_string(),
+            strategy: str_or(map, "strategy", "xinf")?.to_string(),
+            x,
+            deadline_ms,
+            after,
+        })
+    }
+}
+
+/// Stable machine-readable error codes of the service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Malformed request (unparseable line, missing id, duplicate id, …).
+    BadRequest,
+    /// The `model` names no registry entry.
+    UnknownModel,
+    /// The `strategy` names no known configuration family.
+    UnknownStrategy,
+    /// An `after` tag references an id the daemon never admitted.
+    UnknownDependency,
+    /// The request sat queued past its relative deadline.
+    DeadlineExpired,
+    /// Load shed: the admission queue is at its configured depth.
+    Overloaded,
+    /// The scheduling pipeline itself failed for this configuration.
+    ScheduleFailed,
+}
+
+impl ErrorCode {
+    /// The wire name of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownModel => "unknown_model",
+            ErrorCode::UnknownStrategy => "unknown_strategy",
+            ErrorCode::UnknownDependency => "unknown_dependency",
+            ErrorCode::DeadlineExpired => "deadline_expired",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::ScheduleFailed => "schedule_failed",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "bad_request" => Some(ErrorCode::BadRequest),
+            "unknown_model" => Some(ErrorCode::UnknownModel),
+            "unknown_strategy" => Some(ErrorCode::UnknownStrategy),
+            "unknown_dependency" => Some(ErrorCode::UnknownDependency),
+            "deadline_expired" => Some(ErrorCode::DeadlineExpired),
+            "overloaded" => Some(ErrorCode::Overloaded),
+            "schedule_failed" => Some(ErrorCode::ScheduleFailed),
+            _ => None,
+        }
+    }
+}
+
+/// A typed service error: a stable code plus a human-readable detail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError {
+    /// The machine-readable code.
+    pub code: ErrorCode,
+    /// The human-readable explanation (deterministic for a given
+    /// request/engine state, so error replies are reproducible too).
+    pub detail: String,
+}
+
+impl ServeError {
+    /// Builds an error of `code` with `detail`.
+    pub fn new(code: ErrorCode, detail: impl Into<String>) -> Self {
+        ServeError {
+            code,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code.as_str(), self.detail)
+    }
+}
+
+/// The payload of a successful schedule response — built exclusively
+/// from the persisted [`RunSummary`](cim_bench::runner::RunSummary)
+/// fields plus request metadata, so cold and warm replies serialize to
+/// identical bytes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleReply {
+    /// Model name, echoed.
+    pub model: String,
+    /// Canonical configuration label (sweep notation).
+    pub label: String,
+    /// Extra PEs over `PE_min`, echoed.
+    pub x: usize,
+    /// `PE_min` of the model on the case-study crossbar.
+    pub pe_min: usize,
+    /// Total PEs of the architecture evaluated.
+    pub total_pes: usize,
+    /// Makespan in crossbar cycles.
+    pub makespan_cycles: u64,
+    /// Makespan in nanoseconds (cycles × t_MVM).
+    pub makespan_ns: u64,
+    /// Eq. 2 utilization.
+    pub utilization: f64,
+    /// Bytes forwarded over cross-layer dependency edges per inference.
+    pub noc_bytes: u64,
+    /// Layers duplicated by the mapping.
+    pub duplicated_layers: usize,
+    /// The request's happens-after tags, all of which completed before
+    /// this request was dispatched.
+    pub observed: Vec<String>,
+}
+
+/// The body of a response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseBody {
+    /// A completed schedule request.
+    Schedule(ScheduleReply),
+    /// A statistics snapshot.
+    Stats(StatsSnapshot),
+    /// Reply to `ping`.
+    Pong,
+    /// Acknowledgement of `shutdown`.
+    Shutdown,
+    /// A typed error.
+    Error(ServeError),
+}
+
+/// One response line: the echoed request id plus the body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The request id this response answers (empty for unparseable
+    /// requests, which carry no usable id).
+    pub id: String,
+    /// The response body.
+    pub body: ResponseBody,
+}
+
+impl Response {
+    /// A successful schedule response.
+    pub fn ok(id: impl Into<String>, reply: ScheduleReply) -> Self {
+        Response {
+            id: id.into(),
+            body: ResponseBody::Schedule(reply),
+        }
+    }
+
+    /// A typed error response.
+    pub fn error(id: impl Into<String>, err: ServeError) -> Self {
+        Response {
+            id: id.into(),
+            body: ResponseBody::Error(err),
+        }
+    }
+
+    /// The error body, if this is an error response.
+    pub fn as_error(&self) -> Option<&ServeError> {
+        match &self.body {
+            ResponseBody::Error(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The schedule payload, if this is a successful schedule response.
+    pub fn as_schedule(&self) -> Option<&ScheduleReply> {
+        match &self.body {
+            ResponseBody::Schedule(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The stats payload, if this is a stats response.
+    pub fn as_stats(&self) -> Option<&StatsSnapshot> {
+        match &self.body {
+            ResponseBody::Stats(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl Serialize for Response {
+    fn to_value(&self) -> Value {
+        let mut map = vec![("id".into(), Value::Str(self.id.clone()))];
+        match &self.body {
+            ResponseBody::Schedule(reply) => {
+                map.push(("status".into(), Value::Str("ok".into())));
+                map.push(("result".into(), reply.to_value()));
+            }
+            ResponseBody::Stats(snapshot) => {
+                map.push(("status".into(), Value::Str("ok".into())));
+                map.push(("stats".into(), snapshot.to_value()));
+            }
+            ResponseBody::Pong => {
+                map.push(("status".into(), Value::Str("ok".into())));
+                map.push(("pong".into(), Value::Bool(true)));
+            }
+            ResponseBody::Shutdown => {
+                map.push(("status".into(), Value::Str("ok".into())));
+                map.push(("shutdown".into(), Value::Bool(true)));
+            }
+            ResponseBody::Error(err) => {
+                map.push(("status".into(), Value::Str("error".into())));
+                map.push(("error".into(), Value::Str(err.code.as_str().into())));
+                map.push(("detail".into(), Value::Str(err.detail.clone())));
+            }
+        }
+        Value::Map(map)
+    }
+}
+
+impl Deserialize for Response {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| SerdeError::custom("response must be a JSON object"))?;
+        let id = str_or(map, "id", "")?.to_string();
+        let status = str_or(map, "status", "")?;
+        let body = if status == "error" {
+            let code_name = str_or(map, "error", "")?;
+            let code = ErrorCode::parse(code_name)
+                .ok_or_else(|| SerdeError::custom(format!("unknown error code `{code_name}`")))?;
+            ResponseBody::Error(ServeError::new(code, str_or(map, "detail", "")?))
+        } else if let Some(result) = Value::map_get(map, "result") {
+            ResponseBody::Schedule(ScheduleReply::from_value(result)?)
+        } else if let Some(stats) = Value::map_get(map, "stats") {
+            ResponseBody::Stats(StatsSnapshot::from_value(stats)?)
+        } else if Value::map_get(map, "pong").is_some() {
+            ResponseBody::Pong
+        } else if Value::map_get(map, "shutdown").is_some() {
+            ResponseBody::Shutdown
+        } else {
+            return Err(SerdeError::custom("response has no recognizable body"));
+        };
+        Ok(Response { id, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_request_fills_defaults() {
+        let req: Request =
+            serde_json::from_str(r#"{"id":"r1","model":"fig5"}"#).expect("parses");
+        assert_eq!(req.id, "r1");
+        assert_eq!(req.op, Op::Schedule);
+        assert_eq!(req.model, "fig5");
+        assert_eq!(req.strategy, "xinf");
+        assert_eq!(req.x, 0);
+        assert_eq!(req.deadline_ms, None);
+        assert!(req.after.is_empty());
+    }
+
+    #[test]
+    fn full_request_round_trips() {
+        let mut req = Request::schedule("r2", "TinyYOLOv4", "wdup+xinf", 8);
+        req.deadline_ms = Some(250);
+        req.after = vec!["r0".into(), "r1".into()];
+        let json = serde_json::to_string(&req).unwrap();
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn bad_fields_are_typed_parse_errors() {
+        assert!(serde_json::from_str::<Request>(r#"{"op":"fly"}"#).is_err());
+        assert!(serde_json::from_str::<Request>(r#"{"x":"many"}"#).is_err());
+        assert!(serde_json::from_str::<Request>(r#"{"after":"r0"}"#).is_err());
+        assert!(serde_json::from_str::<Request>(r#"[1,2]"#).is_err());
+    }
+
+    #[test]
+    fn response_bodies_round_trip() {
+        let reply = ScheduleReply {
+            model: "fig5".into(),
+            label: "xinf".into(),
+            x: 0,
+            pe_min: 2,
+            total_pes: 2,
+            makespan_cycles: 10,
+            makespan_ns: 14000,
+            utilization: 0.625,
+            noc_bytes: 96,
+            duplicated_layers: 0,
+            observed: vec!["r0".into()],
+        };
+        for resp in [
+            Response::ok("a", reply),
+            Response::error("b", ServeError::new(ErrorCode::Overloaded, "queue full")),
+            Response {
+                id: "c".into(),
+                body: ResponseBody::Pong,
+            },
+            Response {
+                id: "d".into(),
+                body: ResponseBody::Shutdown,
+            },
+        ] {
+            let json = serde_json::to_string(&resp).unwrap();
+            let back: Response = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, resp, "round trip of {json}");
+        }
+    }
+
+    #[test]
+    fn error_codes_round_trip_their_wire_names() {
+        for code in [
+            ErrorCode::BadRequest,
+            ErrorCode::UnknownModel,
+            ErrorCode::UnknownStrategy,
+            ErrorCode::UnknownDependency,
+            ErrorCode::DeadlineExpired,
+            ErrorCode::Overloaded,
+            ErrorCode::ScheduleFailed,
+        ] {
+            assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
+        }
+        assert_eq!(ErrorCode::parse("nope"), None);
+    }
+}

@@ -1,0 +1,107 @@
+//! Service-level statistics: latency percentiles, throughput, hit rates.
+//!
+//! The engine records one end-to-end latency sample (arrival → response,
+//! in [`Clock`](cim_tune::Clock) nanoseconds) per completed request;
+//! [`StatsSnapshot`] reduces the samples with nearest-rank percentiles.
+//! Everything here is plain arithmetic over engine counters — a snapshot
+//! under [`ManualClock`](cim_tune::ManualClock) is fully deterministic,
+//! which is what lets the SLO test suite pin exact p50/p99 values.
+
+use serde::{Deserialize, Serialize};
+
+/// Nearest-rank percentile (`p` in `[0, 100]`) of **sorted** samples.
+/// Returns 0 for an empty slice — the "no data yet" reading a `stats`
+/// probe sees right after startup.
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// One point-in-time reading of the daemon's service-level counters —
+/// the payload of a `stats` response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Requests accepted for processing (including warm-path answers).
+    pub submitted: u64,
+    /// Requests answered (ok or error), excluding shed ones.
+    pub completed: u64,
+    /// Successful schedule responses.
+    pub ok: u64,
+    /// Typed error responses (expired deadlines, failed schedules, …).
+    pub errors: u64,
+    /// Requests answered from the persistent store without queueing.
+    pub warm_store: u64,
+    /// Requests answered from the in-memory schedule cache without
+    /// queueing.
+    pub warm_cache: u64,
+    /// Requests coalesced onto an already-queued identical computation.
+    pub coalesced: u64,
+    /// Requests rejected with `overloaded` at admission.
+    pub shed: u64,
+    /// Requests rejected with `deadline_expired` at dispatch.
+    pub expired: u64,
+    /// Entries currently admitted and runnable.
+    pub queue_depth: u64,
+    /// Entries currently parked on unmet happens-after tags.
+    pub parked: u64,
+    /// Median end-to-end latency in nanoseconds (0 until data exists).
+    pub p50_ns: u64,
+    /// 99th-percentile end-to-end latency in nanoseconds.
+    pub p99_ns: u64,
+    /// Completed requests per second of clock time (0 until data exists).
+    pub throughput_rps: f64,
+    /// Persistent-store hits over the daemon's lifetime (all paths).
+    pub store_hits: u64,
+    /// Persistent-store lookups over the daemon's lifetime.
+    pub store_lookups: u64,
+    /// In-memory schedule-cache hits over the daemon's lifetime.
+    pub cache_hits: u64,
+    /// In-memory schedule-cache lookups over the daemon's lifetime.
+    pub cache_lookups: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let samples: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&samples, 50.0), 50);
+        assert_eq!(percentile(&samples, 99.0), 99);
+        assert_eq!(percentile(&samples, 100.0), 100);
+        assert_eq!(percentile(&samples, 0.0), 1);
+        assert_eq!(percentile(&[7], 99.0), 7);
+        assert_eq!(percentile(&[], 99.0), 0);
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let snap = StatsSnapshot {
+            submitted: 10,
+            completed: 8,
+            ok: 7,
+            errors: 1,
+            warm_store: 2,
+            warm_cache: 1,
+            coalesced: 1,
+            shed: 2,
+            expired: 1,
+            queue_depth: 0,
+            parked: 0,
+            p50_ns: 1_000,
+            p99_ns: 9_000,
+            throughput_rps: 12.5,
+            store_hits: 2,
+            store_lookups: 5,
+            cache_hits: 1,
+            cache_lookups: 4,
+        };
+        let back: StatsSnapshot =
+            serde_json::from_str(&serde_json::to_string(&snap).unwrap()).unwrap();
+        assert_eq!(back, snap);
+    }
+}

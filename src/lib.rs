@@ -14,7 +14,11 @@
 //!   archive, budgeted evaluation (the `autotune` binary's engine);
 //! * [`verify`] — static verification: the `cim-lint` determinism lint
 //!   engine, the exhaustive concurrency interleaving checker, and (in
-//!   [`core`]) the schedule-IR diagnostics pass.
+//!   [`core`]) the schedule-IR diagnostics pass;
+//! * [`serve`] — scheduling as a service: the `cim-serve` daemon
+//!   answering newline-delimited JSON requests over a Unix socket with
+//!   latency SLOs (EDF dispatch, admission control, warm paths through
+//!   the persistent result store).
 //!
 //! # Quickstart
 //!
@@ -74,8 +78,10 @@
 //!            ├── cim-models (also ► frontend)
 //!            └── cim-tune (also ► mapping, arch)
 //! cim-bench depends on all of the above;
+//! cim-serve layers on cim-bench (lane pool, caches, store) + cim-tune
+//! (the Clock trait);
 //! cim-verify stands alone (it reads source text, not schedules);
-//! clsa-cim (this facade) re-exports all ten crates.
+//! clsa-cim (this facade) re-exports all eleven crates.
 //! ```
 //!
 //! # Reproducing the paper
@@ -94,6 +100,7 @@ pub use cim_frontend as frontend;
 pub use cim_ir as ir;
 pub use cim_mapping as mapping;
 pub use cim_models as models;
+pub use cim_serve as serve;
 pub use cim_sim as sim;
 pub use cim_tune as tune;
 pub use cim_verify as verify;

@@ -204,3 +204,56 @@ fn two_processes_share_one_cache_dir() {
     assert_eq!(store.len() as u64, HAMMER_KEYS);
     let _ = fs::remove_dir_all(&dir);
 }
+
+/// The daemon-vs-straggler scenario: one process (say `cim-serve`) is
+/// mid-write — its `.tmp-{pid}-…` file sits in the cache dir — when a
+/// second process (a straggler CLI run) opens the same `--cache-dir`.
+/// The second open must sweep only *orphaned* temp files (writer pid no
+/// longer alive), never a live peer's in-flight write; a later open by
+/// the original process reclaims its own leftovers.
+#[test]
+fn concurrent_open_spares_live_writers_in_flight_temps() {
+    let dir = tmp_dir("liveorphan");
+    fs::create_dir_all(&dir).unwrap();
+
+    // This process's in-flight write, interrupted mid-stream…
+    let live = dir.join(format!(".tmp-{}-999-inflight.json", std::process::id()));
+    fs::write(&live, "{\"version\":").unwrap();
+    // …and a leftover from a long-dead writer (pid far above any real one).
+    let orphan = dir.join(".tmp-4000000001-0-orphan.json");
+    fs::write(&orphan, "{}").unwrap();
+
+    // A *different* process opens the same directory and works in it.
+    let status = Command::new(std::env::current_exe().expect("own path"))
+        .args(["child_store_hammer", "--exact", "--test-threads=1"])
+        .env(HAMMER_ENV, &dir)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .expect("child runs");
+    assert!(status.success(), "child process hammer failed: {status:?}");
+
+    assert!(
+        live.exists(),
+        "a live peer's in-flight temp must survive a concurrent open"
+    );
+    assert!(!orphan.exists(), "a dead writer's temp must be swept");
+
+    // The child's rows all landed despite the stray temps.
+    let store = ResultStore::open(&dir).unwrap();
+    for n in 0..HAMMER_KEYS {
+        assert_eq!(
+            store.get(&hammer_key(n)),
+            Some(hammer_summary(n)),
+            "key {n} lost alongside the temp sweep"
+        );
+    }
+    // The re-open above ran in *this* process — the same pid that owns
+    // the "live" temp — so the store treats it as its own leftover and
+    // reclaims it.
+    assert!(
+        !live.exists(),
+        "an open by the owning pid reclaims its own stale temp"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
