@@ -25,7 +25,10 @@
 //! * `tuner_throughput` — design-space-exploration speed: a 32-candidate
 //!   grid prefix of the `case-study` tuning space on the lane-pool
 //!   evaluator, reported as configs evaluated/sec (the number the
-//!   autotuner's budget is spent against).
+//!   autotuner's budget is spent against). Two points: a cold evaluator
+//!   per exploration (`grid32_case_study`) and a long-lived warm one
+//!   (`grid32_case_study_warm`) whose schedule cache survives across
+//!   explorations — their ratio is the tracked incremental-reuse speedup.
 
 use cim_arch::{place_groups, Architecture, PlacementStrategy, TileSpec};
 use cim_bench::artifacts::{case_study_graph, fig6c_results_for};
@@ -150,8 +153,8 @@ fn bench_warm_sweep(c: &mut Criterion) {
 }
 
 fn bench_tuner_throughput(c: &mut Criterion) {
-    use cim_bench::tune::autotune;
-    use cim_tune::{Budget, DesignSpace, GridSearch, TuneOptions};
+    use cim_bench::tune::{autotune, TuneEvaluator};
+    use cim_tune::{tune, Budget, DesignSpace, GridSearch, TuneOptions};
 
     const CANDIDATES: usize = 32;
     let g = case_study_graph();
@@ -177,6 +180,38 @@ fn bench_tuner_throughput(c: &mut Criterion) {
                     None,
                 )
                 .expect("tuning runs")
+            })
+        },
+    );
+    // The incremental counterpart: a *long-lived* evaluator whose
+    // schedule cache survives across explorations (the ask/tell tuner's
+    // steady state after the dirty-key work — only mutated axes
+    // recompute, everything else is served from the warm cache). The
+    // cold/warm ratio of the two `tuner_throughput` points is the PR's
+    // tracked incremental-reuse speedup.
+    let warm = TuneEvaluator::new(&g, &RunnerOptions::sequential(), None);
+    tune(
+        &space,
+        &mut GridSearch::new(),
+        &warm,
+        &Budget::candidates(CANDIDATES),
+        &TuneOptions::default(),
+    )
+    .expect("warm-up exploration");
+    group.bench_with_input(
+        BenchmarkId::new("tuner_throughput", "grid32_case_study_warm"),
+        &g,
+        |b, _| {
+            b.iter(|| {
+                let mut grid = GridSearch::new();
+                tune(
+                    &space,
+                    &mut grid,
+                    &warm,
+                    &Budget::candidates(CANDIDATES),
+                    &TuneOptions::default(),
+                )
+                .expect("warm tuning runs")
             })
         },
     );

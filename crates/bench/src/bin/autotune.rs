@@ -9,8 +9,16 @@
 //! cargo run --release -p cim-bench --bin autotune -- \
 //!     [--model TinyYOLOv4] [--space tiny|case-study|wide] \
 //!     [--strategy grid|random|anneal] [--budget N] [--wall-secs S] \
-//!     [--batch N] [--seed S] [--jobs N] [--cache-dir <path>] [--json <path>]
+//!     [--batch N] [--seed S] [--jobs N] [--cache-dir <path>] [--json <path>] \
+//!     [--shard i/n|merge]
 //! ```
+//!
+//! With `--shard i/n --cache-dir D`, the process evaluates only the
+//! candidates of the design space its fingerprint-range slice owns and
+//! persists their summaries into the shared store `D`; once every slice
+//! has run, `--shard merge --cache-dir D` performs the strategy search
+//! with every measurement replayed from disk — byte-identical to the
+//! unsharded run.
 //!
 //! The run is deterministic for a fixed `(seed, jobs)` pair — in fact the
 //! exported front is byte-identical for *every* `--jobs` value, and for
@@ -20,7 +28,8 @@
 
 use std::time::Duration;
 
-use cim_bench::tune::{autotune, AutotuneReport, ParetoRow};
+use cim_bench::runner::ShardMode;
+use cim_bench::tune::{autotune, autotune_shard, AutotuneReport, ParetoRow};
 use cim_bench::{parse_common_args, render_table, CommonArgs};
 use cim_frontend::{canonicalize, CanonOptions};
 use cim_ir::Graph;
@@ -125,6 +134,32 @@ fn main() {
     );
     let store = args.open_store();
     let runner = args.runner;
+    match args.shard {
+        ShardMode::All => {}
+        ShardMode::Slice(shard) => {
+            let store = store.as_ref().unwrap_or_else(|| {
+                panic!("--shard {shard} requires --cache-dir: the store is the merge point")
+            });
+            // A slice warms its owned subset of the *whole* space; the
+            // strategy/budget only shape the final merge run.
+            let report = autotune_shard(&graph, &space, shard, &runner, store).expect("slice runs");
+            println!("{report}");
+            println!("slice done — run the remaining slices, then `--shard merge`");
+            if args.json.is_some() {
+                eprintln!("note: --json ignored for a shard slice; export from `--shard merge`");
+            }
+            return;
+        }
+        ShardMode::Merge => {
+            // The merge is a plain strategy run against the warm store —
+            // byte-identical to unsharded by tuner determinism — but a
+            // missing store would silently recompute everything.
+            assert!(
+                store.is_some(),
+                "--shard merge requires --cache-dir: the store is the merge point"
+            );
+        }
+    }
     let (result, rows) = autotune(
         &graph,
         &space,

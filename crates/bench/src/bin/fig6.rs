@@ -8,15 +8,24 @@
 //!   `wdup+{16,32}+xinf` (paper: `xinf` Ut = 4.1 %, `wdup+32+xinf`
 //!   Ut = 28.4 %, speedup up to 21.9×).
 //!
-//! Usage: `cargo run --release -p cim-bench --bin fig6 [-- --part a|b|c] [--json <path>] [--jobs N] [--cache-dir <path>]`
+//! Usage: `cargo run --release -p cim-bench --bin fig6 [-- --part a|b|c] [--json <path>] [--jobs N] [--cache-dir <path>] [--shard i/n|merge]`
 //!
 //! With `--cache-dir`, part c's sweep summaries persist across runs: a
 //! warm re-run replays from disk (byte-identical `--json` output) and
 //! prints the store's hit/miss/evict counters.
+//!
+//! With `--shard i/n --cache-dir D`, part c evaluates only the jobs its
+//! fingerprint-range slice owns (persisting into the shared store `D`);
+//! after every slice has run, `--shard merge --cache-dir D` replays the
+//! warm store into the byte-identical unsharded figure and `--json`
+//! artifact.
 
 use cim_arch::Architecture;
-use cim_bench::artifacts::{case_study_graph, fig6c_results_for};
-use cim_bench::runner::{fingerprint, ResultStore, RunnerOptions, ScheduleCache};
+use cim_bench::artifacts::{case_study_graph, fig6c_jobs};
+use cim_bench::runner::{
+    fingerprint, run_batch_sharded, ResultStore, RunnerOptions, ScheduleCache, ShardMode,
+    ShardOutcome,
+};
 use cim_bench::{parse_common_args, render_table};
 use cim_ir::Graph;
 use cim_mapping::Solver;
@@ -85,9 +94,28 @@ fn part_b(cs: &CaseStudy) {
     println!("{}", gantt_text(&r.layers, &r.schedule, 100));
 }
 
-fn part_c(g: &Graph, runner: &RunnerOptions, store: Option<&ResultStore>, json: Option<&str>) {
+fn part_c(
+    g: &Graph,
+    runner: &RunnerOptions,
+    store: Option<&ResultStore>,
+    shard: ShardMode,
+    json: Option<&str>,
+) {
     println!("Fig. 6c — speedup and utilization (TinyYOLOv4)\n");
-    let results = fig6c_results_for(g, runner, store).expect("sweep runs");
+    let jobs = fig6c_jobs(g).expect("sweep jobs build");
+    let results = match run_batch_sharded(&jobs, runner, store, shard).expect("sweep runs") {
+        ShardOutcome::Slice(run) => {
+            // A slice only warms the store; the aggregated figure (and
+            // any --json artifact) comes from the final merge run.
+            println!("{run}");
+            println!("slice done — run the remaining slices, then `--shard merge`");
+            if json.is_some() {
+                eprintln!("note: --json ignored for a shard slice; export from `--shard merge`");
+            }
+            return;
+        }
+        ShardOutcome::Full(batch) | ShardOutcome::Merged(batch) => batch.results,
+    };
     let rows: Vec<Vec<String>> = results
         .iter()
         .map(|r| {
@@ -141,6 +169,9 @@ fn main() {
     match part {
         "a" | "b" => {
             args.note_cache_dir_unused();
+            if args.shard != ShardMode::All {
+                eprintln!("note: --shard ignored — parts a/b run no batch sweep");
+            }
             let cs = CaseStudy::new();
             if part == "a" {
                 part_a(&cs);
@@ -154,6 +185,7 @@ fn main() {
                 &case_study_graph(),
                 &args.runner,
                 store.as_ref(),
+                args.shard,
                 args.json.as_deref(),
             );
         }
@@ -166,7 +198,13 @@ fn main() {
             println!();
             // Reuse the parts' canonicalized graph — one canonicalize
             // per process.
-            part_c(&cs.g, &args.runner, store.as_ref(), args.json.as_deref());
+            part_c(
+                &cs.g,
+                &args.runner,
+                store.as_ref(),
+                args.shard,
+                args.json.as_deref(),
+            );
             println!("case-study cache: {}", cs.cache.stats());
         }
     }

@@ -8,12 +8,17 @@
 //! large models; `xinf` up to 4.4× for large models; utilization decreasing
 //! with ResNet depth.
 //!
-//! Usage: `cargo run --release -p cim-bench --bin fig7 [-- --json results/fig7.json] [--jobs N] [--cache-dir <path>]`
+//! Usage: `cargo run --release -p cim-bench --bin fig7 [-- --json results/fig7.json] [--jobs N] [--cache-dir <path>] [--shard i/n|merge]`
 //!
 //! With `--cache-dir`, the sweep's summaries persist across runs: a warm
 //! re-run replays from disk (byte-identical `--json` output).
+//!
+//! With `--shard i/n --cache-dir D`, the process evaluates only the jobs
+//! its fingerprint-range slice owns; `--shard merge --cache-dir D` then
+//! replays the fully-warm store into the byte-identical unsharded tables
+//! and `--json` artifact.
 
-use cim_bench::runner::{run_batch_with_store, sweep_jobs_for_models};
+use cim_bench::runner::{run_batch_sharded, sweep_jobs_for_models, ShardOutcome};
 use cim_bench::{parse_common_args, render_table, ConfigResult, SweepOptions};
 
 fn main() {
@@ -33,7 +38,21 @@ fn main() {
         .collect();
     let jobs = sweep_jobs_for_models(&models, &opts).expect("job construction");
     eprintln!("running {} configurations on {} workers...", jobs.len(), runner.jobs);
-    let batch = run_batch_with_store(&jobs, &runner, store.as_ref()).expect("sweep runs");
+    let batch = match run_batch_sharded(&jobs, &runner, store.as_ref(), args.shard)
+        .expect("sweep runs")
+    {
+        ShardOutcome::Slice(run) => {
+            // A slice only warms the store; the tables (and any --json
+            // artifact) come from the final `--shard merge` run.
+            println!("{run}");
+            println!("slice done — run the remaining slices, then `--shard merge`");
+            if json.is_some() {
+                eprintln!("note: --json ignored for a shard slice; export from `--shard merge`");
+            }
+            return;
+        }
+        ShardOutcome::Full(batch) | ShardOutcome::Merged(batch) => batch,
+    };
     let all: Vec<ConfigResult> = batch.results;
 
     let labels: Vec<String> = {

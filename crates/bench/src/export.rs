@@ -46,6 +46,9 @@ pub struct CommonArgs {
     /// `--seed <u64>` → seed for stochastic binaries (`None` = the flag
     /// was not given; stochastic binaries fall back to [`DEFAULT_SEED`]).
     pub seed: Option<u64>,
+    /// `--shard i/n` or `--shard merge` → sweep sharding mode
+    /// ([`ShardMode::All`](crate::runner::ShardMode::All) when absent).
+    pub shard: crate::runner::ShardMode,
 }
 
 /// The seed stochastic binaries run with when `--seed` is not given.
@@ -95,26 +98,29 @@ impl CommonArgs {
     }
 }
 
-/// Parses the four flags every experiment binary supports — `--jobs <N>`,
-/// `--json <path>`, `--cache-dir <path>`, and `--seed <u64>` — from the
-/// process arguments.
+/// Parses the five flags every experiment binary supports — `--jobs <N>`,
+/// `--json <path>`, `--cache-dir <path>`, `--seed <u64>`, and
+/// `--shard i/n|merge` — from the process arguments.
 ///
 /// # Panics
 ///
-/// Panics with a usage message on a malformed `--jobs` or `--seed` value
-/// (see [`parse_jobs_arg`] / [`parse_seed_arg`]).
+/// Panics with a usage message on a malformed `--jobs`, `--seed`, or
+/// `--shard` value (see [`parse_jobs_arg`] / [`parse_seed_arg`] /
+/// [`parse_shard_arg`]).
 pub fn parse_common_args() -> CommonArgs {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let (rest, runner) = parse_jobs_arg(&raw);
     let (rest, json) = parse_json_arg(&rest);
     let (rest, cache_dir) = parse_cache_dir_arg(&rest);
     let (rest, seed) = parse_seed_arg(&rest);
+    let (rest, shard) = parse_shard_arg(&rest);
     CommonArgs {
         rest,
         runner,
         json,
         cache_dir,
         seed,
+        shard,
     }
 }
 
@@ -188,6 +194,39 @@ pub fn parse_seed_arg(args: &[String]) -> (Vec<String>, Option<u64>) {
     (rest, seed)
 }
 
+/// Parses an optional `--shard <i/n|merge>` argument pair from a raw
+/// argument list, returning the remaining arguments and the sharding
+/// mode — [`ShardMode::All`](crate::runner::ShardMode::All) when the
+/// flag is absent.
+///
+/// # Panics
+///
+/// Panics with a usage message when the flag value is missing, `merge`
+/// is misspelled, or `i/n` does not satisfy `i < n` (the experiment
+/// binaries treat bad flags as fatal).
+pub fn parse_shard_arg(args: &[String]) -> (Vec<String>, crate::runner::ShardMode) {
+    let mut rest = Vec::new();
+    let mut mode = crate::runner::ShardMode::All;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--shard" {
+            let value = it.next().expect("--shard takes `i/n` (0 <= i < n) or `merge`"); // cim-lint: allow(panic-unwrap) CLI parse/serialize; abort with message is the contract
+            mode = if value == "merge" {
+                crate::runner::ShardMode::Merge
+            } else {
+                crate::runner::ShardSpec::parse(value)
+                    .map(crate::runner::ShardMode::Slice)
+                    .unwrap_or_else(|| {
+                        panic!("--shard {value}: expected `i/n` with 0 <= i < n, or `merge`")
+                    })
+            };
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    (rest, mode)
+}
+
 /// Parses an optional `--json <path>` argument pair from a raw argument
 /// list, returning the remaining arguments and the path if present.
 pub fn parse_json_arg(args: &[String]) -> (Vec<String>, Option<String>) {
@@ -258,6 +297,27 @@ mod tests {
         assert!(none.is_none());
         let defaulted = CommonArgs::default();
         assert_eq!(defaulted.seed_or_default(), DEFAULT_SEED);
+    }
+
+    #[test]
+    fn parses_shard_flag() {
+        use crate::runner::{ShardMode, ShardSpec};
+        let args: Vec<String> = ["--shard", "1/3", "--part", "c"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (rest, mode) = parse_shard_arg(&args);
+        assert_eq!(rest, vec!["--part".to_string(), "c".to_string()]);
+        assert_eq!(mode, ShardMode::Slice(ShardSpec::new(1, 3).unwrap()));
+
+        let merge: Vec<String> = vec!["--shard".into(), "merge".into()];
+        let (rest, mode) = parse_shard_arg(&merge);
+        assert!(rest.is_empty());
+        assert_eq!(mode, ShardMode::Merge);
+
+        let (_, absent) = parse_shard_arg(&["--part".to_string()]);
+        assert_eq!(absent, ShardMode::All);
+        assert_eq!(CommonArgs::default().shard, ShardMode::All);
     }
 
     #[test]

@@ -23,7 +23,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use cim_ir::Graph;
-use clsa_core::{prepare, run_prepared, CoreError, Prepared, RunConfig, RunResult};
+use clsa_core::{
+    prepare, run_prepared, CoreError, Invalidation, PipelineStage, Prepared, RunConfig, RunResult,
+};
 use parking_lot::Mutex;
 
 use super::fingerprint::CacheKey;
@@ -155,6 +157,40 @@ impl ScheduleCache {
         )
     }
 
+    /// Incremental re-evaluation through the cache: classifies the
+    /// mutation `old -> new` with the dirty-key protocol
+    /// ([`Invalidation::between`]) and resolves `new` through the normal
+    /// two-level lookup — by construction, a mutation whose `Prepare`
+    /// stage is *clean* maps to the same stage key, so the prepare
+    /// artifacts are served from the stage cache (a stage hit, `Arc`s
+    /// shared) instead of recomputed. The returned report says which
+    /// stages were dirty and why.
+    ///
+    /// Both configs must be for the `(model_fp, graph)` pair. In debug
+    /// builds the classification is cross-checked against the fingerprint
+    /// keys: `Prepare` clean ⟺ equal stage [`CacheKey`] — the two views
+    /// are built from the same `RunConfig` facets and must never drift.
+    ///
+    /// # Errors
+    ///
+    /// Propagates (and caches) pipeline errors for the new key.
+    pub fn run_incremental(
+        &self,
+        model_fp: u64,
+        graph: &Graph,
+        old: &RunConfig,
+        new: &RunConfig,
+    ) -> Result<(Arc<RunResult>, Invalidation), CoreError> {
+        let invalidation = Invalidation::between(old, new);
+        debug_assert_eq!(
+            !invalidation.is_dirty(PipelineStage::Prepare),
+            CacheKey::stages(model_fp, old) == CacheKey::stages(model_fp, new),
+            "dirty-key classification and stage fingerprints disagree: {invalidation}"
+        );
+        let result = self.run(model_fp, graph, new)?;
+        Ok((result, invalidation))
+    }
+
     /// Non-blocking probe of the schedule level: returns the memoized
     /// result for `key` if — and only if — a computation for it already
     /// completed successfully. Never computes, never waits on an
@@ -182,10 +218,51 @@ impl ScheduleCache {
 mod tests {
     use super::*;
     use crate::runner::fingerprint::fingerprint;
-    use cim_arch::Architecture;
+    use cim_arch::{Architecture, TileSpec};
 
     fn cfg(pes: usize) -> RunConfig {
         RunConfig::baseline(Architecture::paper_case_study(pes).unwrap())
+    }
+
+    #[test]
+    fn incremental_single_axis_mutation_reuses_stage_artifacts() {
+        let g = cim_models::fig5_example();
+        let fp = fingerprint(&g);
+        let cache = ScheduleCache::new();
+        let arch_with_hop = |hop: u64| {
+            Architecture::builder()
+                .tile(TileSpec::isaac_like())
+                .noc_hop_latency(hop)
+                .pes(2)
+                .build()
+                .unwrap()
+        };
+        let mut old = RunConfig::baseline(arch_with_hop(0)).with_cross_layer();
+        old.noc_cost = true;
+        let first = cache.run(fp, &g, &old).unwrap();
+
+        // Scheduling-side axis mutation (NoC hop latency): Prepare clean.
+        let mut new = old.clone();
+        new.arch = arch_with_hop(4);
+        let (second, inv) = cache.run_incremental(fp, &g, &old, &new).unwrap();
+        assert!(!inv.is_dirty(clsa_core::PipelineStage::Prepare), "{inv}");
+        assert!(inv.is_dirty(clsa_core::PipelineStage::Schedule));
+        assert!(
+            Arc::ptr_eq(&first.mapped_graph, &second.mapped_graph),
+            "undirtied stage artifacts must be shared, not recomputed"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.stage_computes, 1, "prepare ran once across the mutation");
+        assert_eq!(stats.stage_hits(), 1, "the mutated config hit the stage cache");
+        assert_eq!(stats.schedule_computes, 2, "the schedule itself was dirty");
+
+        // Mapping-side axis mutation (set policy): Prepare dirty.
+        let mut coarse = new.clone();
+        coarse.set_policy = clsa_core::SetPolicy::coarse(1);
+        let (third, inv) = cache.run_incremental(fp, &g, &new, &coarse).unwrap();
+        assert!(inv.is_dirty(clsa_core::PipelineStage::Prepare), "{inv}");
+        assert!(!Arc::ptr_eq(&second.mapped_graph, &third.mapped_graph));
+        assert_eq!(cache.stats().stage_computes, 2, "dirty prepare recomputed");
     }
 
     #[test]

@@ -130,39 +130,34 @@ impl CacheKey {
     /// the PE budget, plus the mapping-side strategy. Archs differing
     /// only in scheduling-side hardware (NoC hop latency, tile GPEUs)
     /// and every scheduling variant over one mapping share the entry.
+    ///
+    /// The facets come from [`RunConfig::prepare_arch_facet`] — the same
+    /// accessor the dirty-key protocol (`clsa_core::Invalidation`)
+    /// classifies with, so "`Prepare` is clean" and "the stage key is
+    /// unchanged" are one fact, not two that could drift apart.
     pub fn stages(model: u64, config: &RunConfig) -> Self {
         CacheKey {
             model,
-            arch: fingerprint(&(config.arch.crossbar(), config.arch.total_pes())),
+            arch: fingerprint(&config.prepare_arch_facet()),
             strategy: mapping_fingerprint(config),
         }
     }
 }
 
 /// Fingerprint of the mapping-side configuration prefix — everything
-/// `clsa_core::prepare` reads besides the architecture: mapping choice,
-/// Stage-I set policy, and the bit-slicing options.
+/// `clsa_core::prepare` reads besides the architecture
+/// ([`RunConfig::mapping_facet`]): mapping choice, Stage-I set policy,
+/// and the bit-slicing options.
 pub fn mapping_fingerprint(config: &RunConfig) -> u64 {
-    fingerprint(&(
-        &config.mapping,
-        &config.set_policy,
-        &config.mapping_options,
-    ))
+    fingerprint(&config.mapping_facet())
 }
 
-/// Fingerprint of the full strategy (mapping prefix plus the
-/// scheduling-side fields `run_prepared` reads: scheduling choice,
-/// NoC/GPEU cost switches, placement).
+/// Fingerprint of the full strategy: the mapping prefix plus the
+/// scheduling-side fields `run_prepared` reads
+/// ([`RunConfig::scheduling_facet`]: scheduling choice, NoC/GPEU cost
+/// switches, placement).
 pub fn strategy_fingerprint(config: &RunConfig) -> u64 {
-    fingerprint(&(
-        (&config.mapping, &config.set_policy, &config.mapping_options),
-        (
-            &config.scheduling,
-            config.noc_cost,
-            config.gpeu_cost,
-            &config.placement,
-        ),
-    ))
+    fingerprint(&(config.mapping_facet(), config.scheduling_facet()))
 }
 
 #[cfg(test)]
@@ -218,6 +213,39 @@ mod tests {
         let fast = RunConfig::baseline(arch_with_hop(0));
         assert_eq!(CacheKey::stages(1, &slow), CacheKey::stages(1, &fast));
         assert_ne!(CacheKey::schedule(1, &slow), CacheKey::schedule(1, &fast));
+    }
+
+    #[test]
+    fn facet_accessors_serialize_like_the_historical_inline_tuples() {
+        // The fingerprints moved from ad-hoc field tuples onto the
+        // RunConfig facet accessors. Every on-disk store row is named by
+        // these u64s, so the accessors must serialize byte-identically to
+        // the tuples they replaced — pinned here against the literal
+        // pre-refactor expressions.
+        let mut config = cfg(8).with_duplication(Solver::Greedy).with_cross_layer();
+        config.noc_cost = true;
+        for config in [&cfg(4), &config] {
+            assert_eq!(
+                mapping_fingerprint(config),
+                fingerprint(&(&config.mapping, &config.set_policy, &config.mapping_options))
+            );
+            assert_eq!(
+                strategy_fingerprint(config),
+                fingerprint(&(
+                    (&config.mapping, &config.set_policy, &config.mapping_options),
+                    (
+                        &config.scheduling,
+                        config.noc_cost,
+                        config.gpeu_cost,
+                        &config.placement,
+                    ),
+                ))
+            );
+            assert_eq!(
+                CacheKey::stages(1, config).arch,
+                fingerprint(&(config.arch.crossbar(), config.arch.total_pes()))
+            );
+        }
     }
 
     #[test]

@@ -51,16 +51,19 @@
 mod cache;
 mod fingerprint;
 mod lane;
+mod shard;
 pub mod store;
 mod sweep;
 
 pub use cache::{CacheStats, ScheduleCache};
 pub use fingerprint::{fingerprint, mapping_fingerprint, strategy_fingerprint, CacheKey, FnvWriter};
 pub use lane::parallel_map;
+pub use shard::{shard_of, ShardMode, ShardSpec};
 pub use store::{ResultStore, RunSummary, StoreStats, STORE_FORMAT_VERSION};
 pub use sweep::{
-    pe_min_of, run_batch, run_batch_with_store, sweep_jobs, sweep_jobs_for_models, BatchResult,
-    SweepJob, BASELINE_LABEL,
+    merge_batch, pe_min_of, run_batch, run_batch_shard, run_batch_sharded, run_batch_with_store,
+    sweep_jobs, sweep_jobs_for_models, BatchResult, ShardOutcome, ShardRun, SweepJob,
+    BASELINE_LABEL,
 };
 
 /// Worker-pool options.

@@ -41,6 +41,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, SystemTime};
 
 use clsa_core::RunResult;
 use parking_lot::Mutex;
@@ -168,6 +169,12 @@ pub struct ResultStore {
 /// Whether a `.tmp-<pid>-<nonce>-<file>` temp file belongs to no living
 /// writer and can be swept on open.
 ///
+/// Temps older than this are orphans no matter what `/proc` says: no
+/// in-flight atomic write lives this long, and pid liveness alone cannot
+/// tell the original writer from an unrelated process that recycled its
+/// pid after it died.
+const ORPHAN_TEMP_MAX_AGE: Duration = Duration::from_secs(60 * 60);
+
 /// Decision table, conservative toward *keeping* (a kept orphan costs a
 /// few stale bytes; a swept live temp costs a concurrent writer its
 /// rename):
@@ -175,9 +182,12 @@ pub struct ResultStore {
 /// * unparseable name → orphan (not written by this code; sweep);
 /// * our own pid → orphan (a previous process with the recycled pid —
 ///   *this* process has written nothing yet at open time);
+/// * mtime older than [`ORPHAN_TEMP_MAX_AGE`] → orphan (even a pid that
+///   looks alive in `/proc` may be a recycled pid, under which the dead
+///   writer's temp would otherwise be immortal);
 /// * on Linux, `/proc/<pid>` absent → orphan (the writer is gone);
 /// * otherwise → live (keep).
-fn temp_is_orphaned(name: &str) -> bool {
+fn temp_is_orphaned(name: &str, path: &Path) -> bool {
     let Some(pid) = name
         .strip_prefix(".tmp-")
         .and_then(|rest| rest.split('-').next())
@@ -188,12 +198,23 @@ fn temp_is_orphaned(name: &str) -> bool {
     if pid == std::process::id() {
         return true;
     }
+    if temp_age(path).is_some_and(|age| age > ORPHAN_TEMP_MAX_AGE) {
+        return true;
+    }
     let proc_root = Path::new("/proc");
     if proc_root.is_dir() {
         return !proc_root.join(pid.to_string()).exists();
     }
     // No /proc (non-Linux): liveness is unknowable; keep the temp.
     false
+}
+
+/// Age of a temp file by its mtime; `None` when the metadata is
+/// unreadable or the mtime sits in the future (then pid liveness alone
+/// decides — still conservative toward keeping).
+fn temp_age(path: &Path) -> Option<Duration> {
+    let modified = fs::metadata(path).ok()?.modified().ok()?;
+    SystemTime::now().duration_since(modified).ok() // cim-lint: allow(wall-clock) orphan aging compares on-disk mtimes; no schedule-visible time
 }
 
 /// File stem of a key's row: three fixed-width hex fingerprints.
@@ -233,7 +254,7 @@ impl ResultStore {
             let path = dirent?.path();
             let name = path.file_name().unwrap_or_default().to_string_lossy();
             if name.starts_with(".tmp-") {
-                if temp_is_orphaned(&name) {
+                if temp_is_orphaned(&name, &path) {
                     let _ = fs::remove_file(&path);
                 }
             } else if let Some(stem) = name.strip_suffix(".json") {
@@ -526,6 +547,35 @@ mod tests {
         assert!(!garbage.exists(), "unparseable temp must be swept");
         assert!(!own.exists(), "own-pid temp predates this open");
         // Temps are never mistaken for rows.
+        assert!(store.is_empty());
+        drop(store);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn aged_temp_is_swept_despite_a_live_looking_pid() {
+        let dir = tmp_dir("aged-orphans");
+        fs::create_dir_all(&dir).unwrap();
+        // Both temps name pid 1 (always alive on Linux) — standing in
+        // for an unrelated process that recycled a dead writer's pid.
+        let fresh = dir.join(".tmp-1-0-fresh.json");
+        let stale = dir.join(".tmp-1-1-stale.json");
+        fs::write(&fresh, "{}").unwrap();
+        fs::write(&stale, "{}").unwrap();
+        let long_ago = SystemTime::now() - 2 * ORPHAN_TEMP_MAX_AGE; // cim-lint: allow(wall-clock) backdates an mtime fixture
+        fs::File::options()
+            .write(true)
+            .open(&stale)
+            .unwrap()
+            .set_modified(long_ago)
+            .unwrap();
+
+        let store = ResultStore::open(&dir).unwrap();
+        assert!(fresh.exists(), "recent temp with a live pid is kept");
+        assert!(
+            !stale.exists(),
+            "a temp older than any in-flight write is orphaned even if its pid looks alive"
+        );
         assert!(store.is_empty());
         drop(store);
         let _ = fs::remove_dir_all(&dir);

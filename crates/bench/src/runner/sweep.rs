@@ -20,6 +20,7 @@ use clsa_core::{eq3_predicted_from_utilization, CoreError, RunConfig};
 use super::cache::{CacheStats, ScheduleCache};
 use super::fingerprint::{fingerprint, CacheKey};
 use super::lane::parallel_map;
+use super::shard::{ShardMode, ShardSpec};
 use super::store::{ResultStore, RunSummary, StoreStats};
 use super::RunnerOptions;
 use crate::experiments::{ConfigResult, SweepOptions};
@@ -198,7 +199,22 @@ pub fn run_batch_with_store(
         }
         Ok::<RunSummary, CoreError>(summary)
     });
+    Ok(BatchResult {
+        results: aggregate(jobs, outcomes)?,
+        stats: cache.stats(),
+        store_stats: store.map(ResultStore::stats),
+    })
+}
 
+/// Folds per-job summaries into the final row list — the single
+/// aggregation path shared by live runs ([`run_batch_with_store`]) and
+/// store replays ([`merge_batch`]), so a merged sharded sweep is
+/// byte-identical to an unsharded one by construction, not by parallel
+/// maintenance of two folds.
+fn aggregate(
+    jobs: &[SweepJob],
+    outcomes: Vec<Result<RunSummary, CoreError>>,
+) -> Result<Vec<ConfigResult>, CoreError> {
     // Baselines first: every other row of a model references its makespan,
     // utilization, and actual PE total (the Eq. 3 denominator).
     let mut baselines: BTreeMap<&str, (u64, f64, usize)> = BTreeMap::new();
@@ -243,11 +259,159 @@ pub fn run_batch_with_store(
             duplicated_layers: s.duplicated_layers,
         });
     }
-    Ok(BatchResult {
-        results,
+    Ok(results)
+}
+
+/// The outcome of one shard *slice* ([`run_batch_shard`]): counters, no
+/// rows — a slice deliberately produces no artifact, only warm store
+/// entries for the final merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRun {
+    /// The slice that ran.
+    pub shard: ShardSpec,
+    /// Jobs this slice owned (evaluated or replayed warm).
+    pub owned: usize,
+    /// Total jobs in the full (unsharded) list.
+    pub total: usize,
+    /// In-memory cache counters over the owned jobs.
+    pub stats: CacheStats,
+    /// Persistent-store counters (puts of fresh summaries, hits on a
+    /// warm re-run of the same slice).
+    pub store_stats: StoreStats,
+}
+
+impl std::fmt::Display for ShardRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shard {}: {} of {} jobs owned; cache {}; store {}",
+            self.shard, self.owned, self.total, self.stats, self.store_stats
+        )
+    }
+}
+
+/// Evaluates the slice of `jobs` owned by `shard`, persisting every
+/// summary into the shared `store` — one process of an `n`-way sharded
+/// sweep. Ownership is decided per job by its schedule-level
+/// [`CacheKey`] ([`ShardSpec::owns`]), so concurrent slices of the same
+/// list touch disjoint keys and never duplicate work; the store's
+/// two-process safety covers the shared directory.
+///
+/// No rows are aggregated here — aggregation needs every model's
+/// baseline, which another slice may own. Run [`merge_batch`] (or
+/// `--shard merge`) after all slices to produce the artifact.
+///
+/// # Errors
+///
+/// Propagates the first owned-job error in job order.
+pub fn run_batch_shard(
+    jobs: &[SweepJob],
+    options: &RunnerOptions,
+    store: &ResultStore,
+    shard: ShardSpec,
+) -> Result<ShardRun, CoreError> {
+    let owned: Vec<&SweepJob> = jobs
+        .iter()
+        .filter(|job| shard.owns(&CacheKey::schedule(job.model_fp, &job.config)))
+        .collect();
+    let cache = ScheduleCache::new();
+    let outcomes = parallel_map(&owned, options.jobs, |_, job| {
+        let key = CacheKey::schedule(job.model_fp, &job.config);
+        if let Some(summary) = store.get(&key) {
+            return Ok(summary);
+        }
+        let result = cache.run(job.model_fp, &job.graph, &job.config)?;
+        let summary = RunSummary::of(&result);
+        store.put(&key, &summary);
+        Ok::<RunSummary, CoreError>(summary)
+    });
+    for outcome in outcomes {
+        outcome?;
+    }
+    Ok(ShardRun {
+        shard,
+        owned: owned.len(),
+        total: jobs.len(),
         stats: cache.stats(),
-        store_stats: store.map(ResultStore::stats),
+        store_stats: store.stats(),
     })
+}
+
+/// Replays a fully-warm `store` into the unsharded [`BatchResult`]:
+/// every job's summary must already be persisted (by any combination of
+/// slice and unsharded runs). Aggregation goes through the same fold as
+/// a live run, so the rows — and any `--json` artifact serialized from
+/// them — are byte-identical to an unsharded sweep.
+///
+/// # Errors
+///
+/// A job with no persisted summary is a [`CoreError::StageMismatch`]
+/// naming the job — run the missing `--shard i/n` slices first.
+pub fn merge_batch(jobs: &[SweepJob], store: &ResultStore) -> Result<BatchResult, CoreError> {
+    let outcomes = jobs
+        .iter()
+        .map(|job| {
+            let key = CacheKey::schedule(job.model_fp, &job.config);
+            store.get(&key).ok_or_else(|| CoreError::StageMismatch {
+                detail: format!(
+                    "merge: no persisted summary for job `{} {}` (key {key:?}); \
+                     run every `--shard i/n` slice against this --cache-dir first",
+                    job.model, job.label
+                ),
+            })
+        })
+        .collect();
+    Ok(BatchResult {
+        results: aggregate(jobs, outcomes)?,
+        stats: CacheStats::default(),
+        store_stats: Some(store.stats()),
+    })
+}
+
+/// What a [`run_batch_sharded`] call produced, by [`ShardMode`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardOutcome {
+    /// `ShardMode::All`: the full batch ran here (rows + counters).
+    Full(BatchResult),
+    /// `ShardMode::Slice`: this process warmed its slice of the store.
+    Slice(ShardRun),
+    /// `ShardMode::Merge`: rows replayed from the fully-warm store —
+    /// byte-identical to a `Full` run's rows.
+    Merged(BatchResult),
+}
+
+/// The single sharded entry point the sweep binaries dispatch through:
+/// runs `jobs` under `mode` (see [`ShardMode`]).
+///
+/// # Errors
+///
+/// `Slice` and `Merge` modes require a store (`--cache-dir`) — without
+/// one there is nothing to merge through, reported as a
+/// [`CoreError::StageMismatch`]. Otherwise as [`run_batch_with_store`],
+/// [`run_batch_shard`], and [`merge_batch`].
+pub fn run_batch_sharded(
+    jobs: &[SweepJob],
+    options: &RunnerOptions,
+    store: Option<&ResultStore>,
+    mode: ShardMode,
+) -> Result<ShardOutcome, CoreError> {
+    let need_store = |what: &str| {
+        store.ok_or_else(|| CoreError::StageMismatch {
+            detail: format!("--shard {what} requires --cache-dir: the store is the merge point"),
+        })
+    };
+    match mode {
+        ShardMode::All => Ok(ShardOutcome::Full(run_batch_with_store(
+            jobs, options, store,
+        )?)),
+        ShardMode::Slice(spec) => Ok(ShardOutcome::Slice(run_batch_shard(
+            jobs,
+            options,
+            need_store(&spec.to_string())?,
+            spec,
+        )?)),
+        ShardMode::Merge => Ok(ShardOutcome::Merged(merge_batch(jobs, need_store("merge")?)?)),
+    }
 }
 
 #[cfg(test)]
@@ -299,5 +463,99 @@ mod tests {
         jobs.remove(0);
         let err = run_batch(&jobs, &RunnerOptions::sequential()).unwrap_err();
         assert!(matches!(err, CoreError::StageMismatch { .. }));
+    }
+
+    fn shard_tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("cim_shard_unit_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn slices_plus_merge_reproduce_the_unsharded_batch() {
+        let g = cim_models::fig5_example();
+        let jobs = sweep_jobs("fig5", &g, &SweepOptions { xs: vec![1], ..Default::default() }).unwrap();
+        let reference = run_batch(&jobs, &RunnerOptions::sequential()).unwrap();
+
+        let dir = shard_tmp_dir("merge");
+        let store = ResultStore::open(&dir).unwrap();
+        let mut owned_total = 0;
+        for i in 0..2 {
+            let spec = ShardSpec::new(i, 2).unwrap();
+            let slice = run_batch_shard(&jobs, &RunnerOptions::sequential(), &store, spec).unwrap();
+            assert_eq!(slice.total, jobs.len());
+            owned_total += slice.owned;
+        }
+        assert_eq!(owned_total, jobs.len(), "slices partition the job list exactly");
+
+        let merged = merge_batch(&jobs, &store).unwrap();
+        assert_eq!(merged.results, reference.results);
+        // Byte-identical through serialization — the artifact contract.
+        assert_eq!(
+            serde_json::to_string(&merged.results).unwrap(),
+            serde_json::to_string(&reference.results).unwrap()
+        );
+        assert_eq!(merged.stats.schedule_lookups, 0, "merge computes nothing");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merge_on_a_cold_store_names_the_missing_job() {
+        let g = cim_models::fig5_example();
+        let jobs = sweep_jobs("fig5", &g, &SweepOptions { xs: vec![], ..Default::default() }).unwrap();
+        let dir = shard_tmp_dir("cold");
+        let store = ResultStore::open(&dir).unwrap();
+        let err = merge_batch(&jobs, &store).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("fig5 layer-by-layer"), "{text}");
+        assert!(text.contains("--shard"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn slice_and_merge_modes_require_a_store() {
+        let g = cim_models::fig5_example();
+        let jobs = sweep_jobs("fig5", &g, &SweepOptions { xs: vec![], ..Default::default() }).unwrap();
+        for mode in [ShardMode::Slice(ShardSpec::new(0, 2).unwrap()), ShardMode::Merge] {
+            let err =
+                run_batch_sharded(&jobs, &RunnerOptions::sequential(), None, mode).unwrap_err();
+            assert!(err.to_string().contains("--cache-dir"), "{err}");
+        }
+    }
+
+    #[test]
+    fn sharded_dispatch_matches_the_direct_entry_points() {
+        let g = cim_models::fig5_example();
+        let jobs = sweep_jobs("fig5", &g, &SweepOptions { xs: vec![], ..Default::default() }).unwrap();
+        let full = match run_batch_sharded(&jobs, &RunnerOptions::sequential(), None, ShardMode::All)
+            .unwrap()
+        {
+            ShardOutcome::Full(batch) => batch,
+            other => panic!("All mode must run the full batch, got {other:?}"),
+        };
+
+        let dir = shard_tmp_dir("dispatch");
+        let store = ResultStore::open(&dir).unwrap();
+        for i in 0..2 {
+            let mode = ShardMode::Slice(ShardSpec::new(i, 2).unwrap());
+            match run_batch_sharded(&jobs, &RunnerOptions::sequential(), Some(&store), mode).unwrap()
+            {
+                ShardOutcome::Slice(run) => assert_eq!(run.total, jobs.len()),
+                other => panic!("Slice mode must not aggregate, got {other:?}"),
+            }
+        }
+        let merged = match run_batch_sharded(
+            &jobs,
+            &RunnerOptions::sequential(),
+            Some(&store),
+            ShardMode::Merge,
+        )
+        .unwrap()
+        {
+            ShardOutcome::Merged(batch) => batch,
+            other => panic!("Merge mode must aggregate, got {other:?}"),
+        };
+        assert_eq!(merged.results, full.results);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

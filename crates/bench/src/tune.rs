@@ -21,6 +21,8 @@
 //! [`autotune`] / [`pareto_rows`], the same code path the CI smoke run
 //! and the golden-style assertions consume.
 
+use std::fmt;
+
 use cim_ir::Graph;
 use cim_tune::{
     tune, Budget, Candidate, DesignSpace, Evaluator, Measurement, ParetoArchive, PeMinMemo,
@@ -30,7 +32,8 @@ use clsa_core::CoreError;
 use serde::Serialize;
 
 use crate::runner::{
-    fingerprint, parallel_map, CacheKey, ResultStore, RunSummary, RunnerOptions, ScheduleCache,
+    fingerprint, parallel_map, CacheKey, CacheStats, ResultStore, RunSummary, RunnerOptions,
+    ScheduleCache, ShardSpec, StoreStats,
 };
 
 /// Converts a persisted/aggregated [`RunSummary`] into the tuner's
@@ -77,6 +80,21 @@ impl<'a> TuneEvaluator<'a> {
     /// In-memory cache counters accumulated so far.
     pub fn cache_stats(&self) -> crate::runner::CacheStats {
         self.cache.stats()
+    }
+
+    /// The schedule-level store key identifying `candidate`'s pipeline
+    /// run — the same identity the persistent store rows are named by
+    /// and fingerprint-range sharding partitions on.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the candidate cannot even be keyed (its crossbar
+    /// cannot map the model, or its architecture is invalid) — exactly
+    /// the candidates every evaluation path counts as infeasible.
+    pub fn schedule_key(&self, candidate: &Candidate) -> Result<CacheKey, CoreError> {
+        let pe_min = self.pe_min.pe_min(self.graph, candidate)?;
+        let config = candidate.run_config(pe_min)?;
+        Ok(CacheKey::schedule(self.model_fp, &config))
     }
 
     fn eval_one(&self, candidate: &Candidate) -> Result<Measurement, CoreError> {
@@ -225,6 +243,89 @@ pub fn autotune(
     Ok((result, rows))
 }
 
+/// Outcome of warming one slice of a sharded autotune
+/// ([`autotune_shard`]): the owned subset of the design space has been
+/// evaluated and its summaries persisted into the shared store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardWarmReport {
+    /// The slice that ran.
+    pub shard: ShardSpec,
+    /// Candidates this slice owns (and evaluated).
+    pub owned: usize,
+    /// Total candidates in the design space.
+    pub total: usize,
+    /// Candidates whose pipeline run failed (nothing persisted). Counts
+    /// unkeyable candidates too, which no slice owns — so that part of
+    /// the count repeats in every slice.
+    pub infeasible: usize,
+    /// In-memory schedule-cache counters of this slice's evaluator.
+    pub stats: CacheStats,
+    /// Persistent-store counters of this slice's process.
+    pub store_stats: StoreStats,
+}
+
+impl fmt::Display for ShardWarmReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shard {}: {} of {} candidates owned, {} infeasible; cache {}; store {}",
+            self.shard, self.owned, self.total, self.infeasible, self.stats, self.store_stats
+        )
+    }
+}
+
+/// Warms one slice of an `n`-way sharded autotune: enumerates the whole
+/// design space, evaluates exactly the candidates whose schedule key
+/// this slice owns, and persists their summaries into `store`.
+///
+/// The partition is a pure function of the candidate's store key, so
+/// the slices of a space are disjoint, cover every keyable candidate,
+/// and need no coordination beyond the shared store. Once every slice
+/// has run against the same `--cache-dir`, any strategy search over the
+/// space (`--shard merge`, or a plain run with the same store) replays
+/// measurements from disk and exports the byte-identical unsharded
+/// front — candidate measurements are pure functions of the candidate,
+/// so warm and cold runs of a deterministic strategy agree exactly.
+///
+/// # Errors
+///
+/// Propagates design-space validation errors. Per-candidate pipeline
+/// failures only count as `infeasible`, mirroring [`autotune`].
+pub fn autotune_shard(
+    graph: &Graph,
+    space: &DesignSpace,
+    shard: ShardSpec,
+    runner: &RunnerOptions,
+    store: &ResultStore,
+) -> Result<ShardWarmReport, CoreError> {
+    let evaluator = TuneEvaluator::new(graph, runner, Some(store));
+    let mut owned = Vec::new();
+    let mut infeasible = 0usize;
+    for index in 0..space.len() {
+        let candidate = space.candidate(index);
+        match evaluator.schedule_key(&candidate) {
+            Ok(key) => {
+                if shard.owns(&key) {
+                    owned.push(candidate);
+                }
+            }
+            // Unkeyable candidates would fail under any strategy and
+            // never reach the store; no slice owns them.
+            Err(_) => infeasible += 1,
+        }
+    }
+    let outcomes = evaluator.evaluate(&owned);
+    infeasible += outcomes.iter().filter(|m| m.is_err()).count();
+    Ok(ShardWarmReport {
+        shard,
+        owned: owned.len(),
+        total: space.len(),
+        infeasible,
+        stats: evaluator.cache_stats(),
+        store_stats: store.stats(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,5 +375,89 @@ mod tests {
         // (tiny space: 8 candidates over 4 distinct mapping prefixes)
         let stats = &result.stats;
         assert_eq!(stats.infeasible, 0);
+    }
+
+    #[test]
+    fn evaluator_reuses_artifacts_across_ask_tell_generations() {
+        let g = fig5();
+        let space = DesignSpace::tiny();
+        let evaluator = TuneEvaluator::new(&g, &RunnerOptions::sequential(), None);
+        let batch: Vec<Candidate> = (0..space.len()).map(|i| space.candidate(i)).collect();
+
+        // Generation 1 pays for every stage prefix and schedule once.
+        let first = evaluator.evaluate(&batch);
+        let cold = evaluator.cache_stats();
+        assert!(cold.stage_computes > 0);
+
+        // Generation 2 revisits the same candidates (as an ask/tell
+        // strategy circling a region does): nothing recomputes, and the
+        // measurements are identical.
+        let second = evaluator.evaluate(&batch);
+        let warm = evaluator.cache_stats();
+        assert_eq!(warm.stage_computes, cold.stage_computes);
+        assert_eq!(warm.schedule_computes, cold.schedule_computes);
+        assert!(warm.hits() > cold.hits());
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+        }
+    }
+
+    #[test]
+    fn sharded_warmup_plus_merge_matches_the_unsharded_front() {
+        let g = fig5();
+        let space = DesignSpace::tiny();
+        let reference = autotune(
+            &g,
+            &space,
+            &mut GridSearch::new(),
+            &Budget::default(),
+            &TuneOptions::default(),
+            &RunnerOptions::sequential(),
+            None,
+        )
+        .unwrap();
+
+        let dir = std::env::temp_dir().join(format!("cim_tune_shard_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ResultStore::open(&dir).unwrap();
+
+        // Phase 1: each slice warms its owned candidates into the store.
+        let mut owned = 0;
+        for i in 0..2 {
+            let report = autotune_shard(
+                &g,
+                &space,
+                ShardSpec::new(i, 2).unwrap(),
+                &RunnerOptions::sequential(),
+                &store,
+            )
+            .unwrap();
+            assert_eq!(report.total, space.len());
+            assert_eq!(report.infeasible, 0);
+            owned += report.owned;
+        }
+        assert_eq!(owned, space.len(), "slices partition the space exactly");
+        assert_eq!(store.len(), space.len());
+
+        // Phase 2: merge — the strategy run replays every measurement
+        // from the warm store and exports the byte-identical front.
+        let hits_before = store.stats().hits;
+        let merged = autotune(
+            &g,
+            &space,
+            &mut GridSearch::new(),
+            &Budget::default(),
+            &TuneOptions::default(),
+            &RunnerOptions::sequential(),
+            Some(&store),
+        )
+        .unwrap();
+        assert_eq!(store.stats().hits - hits_before, space.len() as u64);
+        assert_eq!(merged.1, reference.1);
+        assert_eq!(
+            serde_json::to_string(&merged.1).unwrap(),
+            serde_json::to_string(&reference.1).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use cim_arch::{place_groups, Architecture, PlacementStrategy};
+use cim_arch::{place_groups, Architecture, CrossbarSpec, PlacementStrategy};
 use cim_ir::Graph;
 use cim_mapping::{
     apply_duplication, layer_costs, min_pes, optimize, DuplicationPlan, MappingOptions, Solver,
@@ -97,6 +97,36 @@ impl RunConfig {
     pub fn with_duplication(mut self, solver: Solver) -> Self {
         self.mapping = MappingChoice::WeightDuplication { solver };
         self
+    }
+
+    /// The slice of the architecture [`prepare`] actually reads: the
+    /// crossbar spec and the total PE budget. Everything else about the
+    /// architecture (tile geometry, NoC latency) only matters to the
+    /// scheduling side — two configs with equal `prepare_arch_facet`s and
+    /// equal [`mapping_facet`](Self::mapping_facet)s produce identical
+    /// stage artifacts. The dirty-key protocol
+    /// ([`Invalidation`](crate::Invalidation)) and `cim-bench`'s stage
+    /// cache key are both built on this accessor; widen it if [`prepare`]
+    /// ever reads more of the architecture.
+    pub fn prepare_arch_facet(&self) -> (&CrossbarSpec, usize) {
+        (self.arch.crossbar(), self.arch.total_pes())
+    }
+
+    /// The mapping-side configuration [`prepare`] reads besides the
+    /// architecture: mapping choice, Stage-I granularity, and bit-slicing
+    /// options, in the order the stage fingerprint serializes them.
+    pub fn mapping_facet(&self) -> (&MappingChoice, &SetPolicy, &MappingOptions) {
+        (&self.mapping, &self.set_policy, &self.mapping_options)
+    }
+
+    /// The scheduling-side configuration consumed by [`run_prepared`]:
+    /// scheduling choice, NoC/GPEU cost flags, and placement strategy, in
+    /// the order the schedule fingerprint serializes them. Note the
+    /// architecture's *scheduling-visible* facets (tile geometry, NoC hop
+    /// latency) are not part of this tuple — they live on `arch` and enter
+    /// the schedule key through the full-architecture fingerprint.
+    pub fn scheduling_facet(&self) -> (&SchedulingChoice, bool, bool, &PlacementStrategy) {
+        (&self.scheduling, self.noc_cost, self.gpeu_cost, &self.placement)
     }
 }
 

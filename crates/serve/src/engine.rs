@@ -86,8 +86,6 @@ struct Subscriber {
     arrival: Duration,
     /// Absolute deadline (arrival + `deadline_ms`).
     deadline: Option<Duration>,
-    /// The request's relative deadline, kept for the error detail.
-    deadline_ms: Option<u64>,
 }
 
 /// One admitted computation: a `(model, arch, strategy)` key plus the
@@ -142,6 +140,9 @@ pub struct ServeEngine {
     cache: ScheduleCache,
     store: Option<ResultStore>,
     clock: Arc<dyn Clock + Send + Sync>,
+    /// Clock reading at construction — throughput measures the engine's
+    /// *own* service interval, not the age of the clock it was handed.
+    started_at: Duration,
     opts: EngineOptions,
     state: Mutex<EngineState>,
     latencies: Mutex<Vec<u64>>,
@@ -174,11 +175,13 @@ impl ServeEngine {
         store: Option<ResultStore>,
         clock: Arc<dyn Clock + Send + Sync>,
     ) -> Self {
+        let started_at = clock.now();
         ServeEngine {
             registry: ModelRegistry::new(),
             cache: ScheduleCache::new(),
             store,
             clock,
+            started_at,
             opts,
             state: Mutex::new(EngineState::default()),
             latencies: Mutex::new(Vec::new()),
@@ -328,7 +331,6 @@ impl ServeEngine {
                     after: Vec::new(),
                     arrival,
                     deadline,
-                    deadline_ms: req.deadline_ms,
                 });
                 existing.deadline = match (existing.deadline, deadline) {
                     (Some(a), Some(b)) => Some(a.min(b)),
@@ -385,7 +387,6 @@ impl ServeEngine {
                 after: req.after.clone(),
                 arrival,
                 deadline,
-                deadline_ms: req.deadline_ms,
             }],
         };
         st.registered.insert(req.id.clone());
@@ -475,14 +476,18 @@ impl ServeEngine {
                         (_, Some(d)) if now > d => {
                             self.expired.fetch_add(1, Ordering::Relaxed);
                             self.errors.fetch_add(1, Ordering::Relaxed);
+                            // Report the deadline actually enforced —
+                            // the absolute instant relative to *this*
+                            // subscriber's arrival. (The request's raw
+                            // `deadline_ms` may differ for coalesced
+                            // subscribers, and the old
+                            // `unwrap_or(0)` printed `0` for them.)
+                            let effective_ms = d.saturating_sub(sub.arrival).as_millis();
                             Response::error(
                                 &sub.id,
                                 ServeError::new(
                                     ErrorCode::DeadlineExpired,
-                                    format!(
-                                        "deadline_ms {} elapsed before dispatch",
-                                        sub.deadline_ms.unwrap_or(0)
-                                    ),
+                                    format!("deadline_ms {effective_ms} elapsed before dispatch"),
                                 ),
                             )
                         }
@@ -559,7 +564,10 @@ impl ServeEngine {
         let mut samples = self.latencies.lock().clone();
         samples.sort_unstable();
         let completed = self.completed.load(Ordering::Relaxed);
-        let elapsed = self.clock.now();
+        // Measured from engine construction, not clock zero: an engine
+        // born into an already-running clock (daemon restart, shared
+        // ManualClock) must not dilute its rate with time it never saw.
+        let elapsed = self.clock.now().saturating_sub(self.started_at);
         let throughput_rps = if elapsed > Duration::ZERO {
             completed as f64 / elapsed.as_secs_f64()
         } else {
@@ -692,5 +700,37 @@ mod tests {
         let stats = engine.stats();
         assert_eq!(stats.coalesced, 1);
         assert!(stats.cache_lookups > 0);
+    }
+
+    #[test]
+    fn throughput_measures_the_engines_own_service_interval() {
+        // The engine is born into a clock that has already been running
+        // for 100 s — a restart against a long-lived clock source.
+        let clock = Arc::new(ManualClock::new());
+        clock.advance(Duration::from_secs(100));
+        let engine = ServeEngine::new(
+            EngineOptions {
+                jobs: 1,
+                max_queue: 16,
+            },
+            None,
+            Arc::clone(&clock) as Arc<dyn Clock + Send + Sync>,
+        );
+        let reply = ok_reply(
+            engine.submit(&Request::schedule("a", "fig5", "xinf", 0)),
+            &engine,
+        );
+        assert!(reply.as_schedule().is_some());
+        clock.advance(Duration::from_secs(2));
+        let stats = engine.stats();
+        assert_eq!(stats.completed, 1);
+        // One completion over the 2 s the engine has existed = 0.5 rps.
+        // The old `completed / clock.now()` math divided by the clock's
+        // full 102 s age and reported ~0.0098 rps.
+        assert!(
+            (stats.throughput_rps - 0.5).abs() < 1e-9,
+            "rps {}",
+            stats.throughput_rps
+        );
     }
 }

@@ -132,10 +132,12 @@ fn dispatch_order_is_earliest_deadline_first() {
 }
 
 /// A coalesced subscriber's tighter deadline promotes the shared entry in
-/// the EDF order — the batch inherits the minimum deadline.
+/// the EDF order — the batch inherits the minimum deadline — and when
+/// that subscriber's own budget lapses, its expiry error reports the
+/// deadline actually enforced for *it*, not a default.
 #[test]
 fn coalesced_deadline_tightens_the_entry() {
-    let (engine, _clock) = engine(1, 16);
+    let (engine, clock) = engine(1, 16);
     let t_a = ticket(engine.submit(&with_deadline(
         Request::schedule("a", "fig5", "xinf", 0),
         1_000,
@@ -150,6 +152,10 @@ fn coalesced_deadline_tightens_the_entry() {
         100,
     )));
 
+    // Only `c`'s 100 ms budget lapses; `a` keeps the shared entry live,
+    // so the computation still runs and `a`/`b` succeed.
+    clock.advance(Duration::from_millis(150));
+
     let responses = engine.dispatch();
     let order: Vec<u64> = responses.iter().map(|(t, _)| *t).collect();
     assert_eq!(
@@ -157,7 +163,20 @@ fn coalesced_deadline_tightens_the_entry() {
         vec![t_a, t_c, t_b],
         "the xinf entry (min deadline 100ms) outranks the 500ms wdup entry"
     );
-    assert_eq!(engine.stats().coalesced, 1);
+    assert!(responses[0].1.as_schedule().is_some(), "`a` is on time");
+    assert!(responses[2].1.as_schedule().is_some(), "`b` is on time");
+    let err = responses[1].1.as_error().expect("`c` expired");
+    assert_eq!(err.code, ErrorCode::DeadlineExpired);
+    assert!(
+        err.detail.contains("deadline_ms 100"),
+        "expiry names the coalesced subscriber's own enforced deadline: {}",
+        err.detail
+    );
+
+    let stats = engine.stats();
+    assert_eq!(stats.coalesced, 1);
+    assert_eq!(stats.expired, 1);
+    assert_eq!(stats.ok, 2);
 }
 
 /// Submissions past the configured queue depth are shed with a typed

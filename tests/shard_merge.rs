@@ -1,0 +1,167 @@
+//! Sharded sweeps are a pure partition: running `--shard 0/2` and
+//! `--shard 1/2` against one shared `--cache-dir`, then merging, must
+//! reproduce the unsharded artifacts **byte-for-byte** — for the fig. 6c
+//! sweep (pinned against `tests/golden/fig6c.json`) and for the autotune
+//! Pareto front. Also pins the failure modes: a merge against a store
+//! that is missing rows, and shard modes without a store at all.
+
+use std::fs;
+use std::path::PathBuf;
+
+use cim_bench::artifacts::{case_study_graph, fig6c_jobs};
+use cim_bench::runner::{
+    merge_batch, run_batch_shard, run_batch_sharded, run_batch_with_store, ResultStore,
+    RunnerOptions, ShardMode, ShardOutcome, ShardSpec,
+};
+use cim_bench::tune::{autotune, autotune_shard};
+use cim_frontend::{canonicalize, CanonOptions};
+use cim_tune::{Budget, DesignSpace, GridSearch, TuneOptions};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cim_shard_it_{tag}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn two_slices_plus_merge_reproduce_the_unsharded_fig6c_artifact() {
+    let g = case_study_graph();
+    let jobs = fig6c_jobs(&g).expect("sweep jobs build");
+    let runner = RunnerOptions::with_jobs(4);
+    let reference = run_batch_with_store(&jobs, &runner, None).expect("unsharded sweep");
+
+    // Two worker processes in spirit: each owns a fingerprint-range
+    // slice, both persist into the same store.
+    let dir = tmp_dir("fig6c");
+    let store = ResultStore::open(&dir).expect("store opens");
+    let s0 = run_batch_shard(&jobs, &runner, &store, ShardSpec::new(0, 2).unwrap())
+        .expect("slice 0 runs");
+    let s1 = run_batch_shard(&jobs, &runner, &store, ShardSpec::new(1, 2).unwrap())
+        .expect("slice 1 runs");
+    assert_eq!(
+        s0.owned + s1.owned,
+        jobs.len(),
+        "the slices partition the job list exactly"
+    );
+    assert_eq!((s0.total, s1.total), (jobs.len(), jobs.len()));
+    assert_eq!(store.len(), jobs.len(), "every job persisted exactly once");
+
+    // The merge replays the fully-warm store — a fresh handle, as the
+    // merge would run in its own process.
+    let store = ResultStore::open(&dir).expect("store reopens");
+    let merged = merge_batch(&jobs, &store).expect("merge replays");
+    assert_eq!(
+        store.stats().hits,
+        jobs.len() as u64,
+        "a merge computes nothing"
+    );
+    assert_eq!(merged.results, reference.results);
+
+    // Byte-for-byte: the merged rows serialize to the exact artifact the
+    // unsharded run exports, which is pinned by the committed golden.
+    let merged_json = serde_json::to_string_pretty(&merged.results).expect("rows serialize");
+    let reference_json = serde_json::to_string_pretty(&reference.results).expect("rows serialize");
+    assert_eq!(merged_json, reference_json);
+    let golden = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/fig6c.json");
+    let golden = fs::read_to_string(golden).expect("committed golden readable");
+    assert_eq!(
+        merged_json, golden,
+        "sharded merge drifted from tests/golden/fig6c.json"
+    );
+
+    // The dispatching entry point agrees with the piecewise calls.
+    let via_mode = match run_batch_sharded(&jobs, &runner, Some(&store), ShardMode::Merge) {
+        Ok(ShardOutcome::Merged(batch)) => batch,
+        other => panic!("expected a merged batch, got {other:?}"),
+    };
+    assert_eq!(via_mode.results, reference.results);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn merge_against_a_cold_store_names_the_missing_slice() {
+    let g = case_study_graph();
+    let jobs = fig6c_jobs(&g).expect("sweep jobs build");
+    let dir = tmp_dir("coldmerge");
+    let store = ResultStore::open(&dir).expect("store opens");
+    let err = merge_batch(&jobs, &store).expect_err("nothing persisted yet");
+    let detail = err.to_string();
+    assert!(
+        detail.contains("run every `--shard i/n` slice"),
+        "the error tells the operator what to do next: {detail}"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shard_modes_without_a_store_are_typed_errors() {
+    let g = case_study_graph();
+    let jobs = fig6c_jobs(&g).expect("sweep jobs build");
+    let runner = RunnerOptions::sequential();
+    for mode in [
+        ShardMode::Slice(ShardSpec::new(0, 2).unwrap()),
+        ShardMode::Merge,
+    ] {
+        let err = run_batch_sharded(&jobs, &runner, None, mode)
+            .expect_err("the store is the merge point");
+        assert!(
+            err.to_string().contains("--cache-dir"),
+            "error names the missing flag: {err}"
+        );
+    }
+}
+
+#[test]
+fn sharded_autotune_warmup_reproduces_the_unsharded_front() {
+    let g = canonicalize(&cim_models::fig5_example(), &CanonOptions::default())
+        .expect("fig5 canonicalizes")
+        .into_graph();
+    let space = DesignSpace::tiny();
+    let runner = RunnerOptions::with_jobs(2);
+    let budget = Budget::default();
+    let options = TuneOptions::default();
+
+    let (_, reference) = autotune(
+        &g,
+        &space,
+        &mut GridSearch::new(),
+        &budget,
+        &options,
+        &runner,
+        None,
+    )
+    .expect("unsharded autotune");
+
+    // Warm the store slice by slice, then re-run the (deterministic)
+    // search against it — every evaluation replays from disk.
+    let dir = tmp_dir("autotune");
+    let store = ResultStore::open(&dir).expect("store opens");
+    let w0 = autotune_shard(&g, &space, ShardSpec::new(0, 2).unwrap(), &runner, &store)
+        .expect("slice 0 warms");
+    let w1 = autotune_shard(&g, &space, ShardSpec::new(1, 2).unwrap(), &runner, &store)
+        .expect("slice 1 warms");
+    assert_eq!(w0.owned + w1.owned, space.len(), "slices partition the space");
+    assert_eq!(w0.infeasible + w1.infeasible, 0, "tiny space is fully feasible");
+
+    let store = ResultStore::open(&dir).expect("store reopens");
+    let (_, merged) = autotune(
+        &g,
+        &space,
+        &mut GridSearch::new(),
+        &budget,
+        &options,
+        &runner,
+        Some(&store),
+    )
+    .expect("merge run");
+    let stats = store.stats();
+    assert_eq!(stats.hits, space.len() as u64, "merge replays every row");
+    assert_eq!(stats.writes, 0, "merge computes nothing new");
+
+    assert_eq!(
+        serde_json::to_string_pretty(&merged).expect("front serializes"),
+        serde_json::to_string_pretty(&reference).expect("front serializes"),
+        "sharded warm-up changed the Pareto front"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}

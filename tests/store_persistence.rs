@@ -257,3 +257,41 @@ fn concurrent_open_spares_live_writers_in_flight_temps() {
     );
     let _ = fs::remove_dir_all(&dir);
 }
+
+/// The pid-reuse scenario: a writer dies mid-write, its pid is recycled
+/// by an unrelated long-lived process, and every later open sees "the
+/// writer" alive in `/proc` — without an age fallback the dead writer's
+/// temp would be immortal. A temp far older than any in-flight write is
+/// swept regardless of pid liveness; a recent temp under the same live
+/// pid survives.
+#[test]
+fn pid_reuse_cannot_make_a_dead_writers_temp_immortal() {
+    let dir = tmp_dir("pidreuse");
+    fs::create_dir_all(&dir).unwrap();
+
+    // Pid 1 is always alive on Linux — the stand-in for a recycled pid.
+    let recent = dir.join(".tmp-1-0-recent.json");
+    let ancient = dir.join(".tmp-1-1-ancient.json");
+    fs::write(&recent, "{}").unwrap();
+    fs::write(&ancient, "{}").unwrap();
+    let two_hours_ago =
+        std::time::SystemTime::now() - std::time::Duration::from_secs(2 * 60 * 60); // cim-lint: allow(wall-clock) backdates an mtime fixture
+    fs::File::options()
+        .write(true)
+        .open(&ancient)
+        .unwrap()
+        .set_modified(two_hours_ago)
+        .unwrap();
+
+    let store = ResultStore::open(&dir).unwrap();
+    assert!(
+        recent.exists(),
+        "a recent temp under a live pid is still treated as in-flight"
+    );
+    assert!(
+        !ancient.exists(),
+        "an hours-old temp is orphaned even though its (recycled) pid is alive"
+    );
+    assert!(store.is_empty(), "temps never masquerade as rows");
+    let _ = fs::remove_dir_all(&dir);
+}
