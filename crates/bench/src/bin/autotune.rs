@@ -10,7 +10,8 @@
 //!     [--model TinyYOLOv4] [--space tiny|case-study|wide] \
 //!     [--strategy grid|random|anneal] [--budget N] [--wall-secs S] \
 //!     [--batch N] [--seed S] [--jobs N] [--cache-dir <path>] [--json <path>] \
-//!     [--shard i/n|merge]
+//!     [--shard i/n|merge] [--resume] \
+//!     [--fault-seed S --fault-rate site=per_mille ... --fault-delay-ms MS]
 //! ```
 //!
 //! With `--shard i/n --cache-dir D`, the process evaluates only the
@@ -25,6 +26,15 @@
 //! cold vs. warm `--cache-dir` runs (the persistent store then makes
 //! re-runs nearly free: candidates evaluated by any earlier run replay
 //! from disk). The binary echoes the seed it ran with.
+//!
+//! Because the search is deterministic and every measurement persists as
+//! it completes, the store doubles as the crash-recovery journal: after a
+//! killed run, `--resume` (with the same `--cache-dir`) replays every
+//! already-measured candidate warm and picks up where the run died. The
+//! `--fault-*` flags drive deterministic chaos injection into the store's
+//! I/O paths (see `cim_bench::runner::fault`); a candidate whose pipeline
+//! evaluation panics is quarantined as infeasible instead of aborting
+//! the search.
 
 use std::time::Duration;
 
@@ -133,6 +143,20 @@ fn main() {
         strategy.name(),
     );
     let store = args.open_store();
+    if args.resume {
+        // The autotune search is deterministic, so the persistent store
+        // *is* the journal: every summary written before a crash replays
+        // warm and the search continues from the first cold candidate.
+        match &store {
+            Some(store) => println!(
+                "resume: {} measurements already persisted; the search replays them warm",
+                store.len()
+            ),
+            None => eprintln!(
+                "note: --resume ignored — requires --cache-dir (the persistent store is the resume point)"
+            ),
+        }
+    }
     let runner = args.runner;
     match args.shard {
         ShardMode::All => {}
@@ -144,6 +168,7 @@ fn main() {
             // strategy/budget only shape the final merge run.
             let report = autotune_shard(&graph, &space, shard, &runner, store).expect("slice runs");
             println!("{report}");
+            args.report_faults();
             println!("slice done — run the remaining slices, then `--shard merge`");
             if args.json.is_some() {
                 eprintln!("note: --json ignored for a shard slice; export from `--shard merge`");
@@ -181,6 +206,7 @@ fn main() {
     if let Some(store) = &store {
         println!("persistent store: {}", store.stats());
     }
+    args.report_faults();
 
     if let Some(path) = &args.json {
         let report = AutotuneReport {

@@ -8,7 +8,13 @@
 //!   `wdup+{16,32}+xinf` (paper: `xinf` Ut = 4.1 %, `wdup+32+xinf`
 //!   Ut = 28.4 %, speedup up to 21.9×).
 //!
-//! Usage: `cargo run --release -p cim-bench --bin fig6 [-- --part a|b|c] [--json <path>] [--jobs N] [--cache-dir <path>] [--shard i/n|merge]`
+//! Usage: `cargo run --release -p cim-bench --bin fig6 [-- --part a|b|c] [--json <path>] [--jobs N] [--cache-dir <path>] [--shard i/n|merge] [--resume] [--fault-seed S --fault-rate site=per_mille ... --fault-delay-ms MS]`
+//!
+//! With `--cache-dir`, part c also keeps a crash-safe sweep journal: a
+//! run killed mid-sweep (SIGKILL included) resumes with `--resume`,
+//! replaying completed jobs from the store and producing a byte-identical
+//! artifact. The `--fault-*` flags drive deterministic chaos injection
+//! (see `cim_bench::runner::fault`).
 //!
 //! With `--cache-dir`, part c's sweep summaries persist across runs: a
 //! warm re-run replays from disk (byte-identical `--json` output) and
@@ -23,10 +29,9 @@
 use cim_arch::Architecture;
 use cim_bench::artifacts::{case_study_graph, fig6c_jobs};
 use cim_bench::runner::{
-    fingerprint, run_batch_sharded, ResultStore, RunnerOptions, ScheduleCache, ShardMode,
-    ShardOutcome,
+    fingerprint, run_batch_sharded_resumable, ResultStore, ScheduleCache, ShardMode, ShardOutcome,
 };
-use cim_bench::{parse_common_args, render_table};
+use cim_bench::{parse_common_args, render_table, CommonArgs};
 use cim_ir::Graph;
 use cim_mapping::Solver;
 use clsa_core::{gantt_text, RunConfig};
@@ -94,27 +99,63 @@ fn part_b(cs: &CaseStudy) {
     println!("{}", gantt_text(&r.layers, &r.schedule, 100));
 }
 
-fn part_c(
-    g: &Graph,
-    runner: &RunnerOptions,
-    store: Option<&ResultStore>,
-    shard: ShardMode,
-    json: Option<&str>,
-) {
+/// Returns the number of quarantined jobs, so `main` can exit loudly
+/// on a partial artifact.
+fn part_c(g: &Graph, args: &CommonArgs, store: Option<&ResultStore>) -> usize {
     println!("Fig. 6c — speedup and utilization (TinyYOLOv4)\n");
+    let json = args.json.as_deref();
     let jobs = fig6c_jobs(g).expect("sweep jobs build");
-    let results = match run_batch_sharded(&jobs, runner, store, shard).expect("sweep runs") {
+    // A merge only replays the store; journaling applies to runs that
+    // evaluate jobs. Slices journal under their own tag so concurrent
+    // slices sharing one store directory never mix progress.
+    let shard_tag = match args.shard {
+        ShardMode::Slice(spec) => Some(spec.to_string().replace('/', "of")),
+        _ => None,
+    };
+    let journal = match args.shard {
+        ShardMode::Merge => None,
+        _ => args.open_journal(&jobs, shard_tag.as_deref()),
+    };
+    let hook = args.fault_hook();
+    let outcome =
+        run_batch_sharded_resumable(&jobs, &args.runner, store, args.shard, journal.as_ref(), hook.as_ref())
+            .expect("sweep runs");
+    args.report_faults();
+    let quarantined;
+    let results = match outcome {
         ShardOutcome::Slice(run) => {
             // A slice only warms the store; the aggregated figure (and
             // any --json artifact) comes from the final merge run.
             println!("{run}");
+            for failure in &run.failures {
+                eprintln!("warning: {failure}");
+            }
+            if let Some(journal) = journal {
+                if run.failures.is_empty() {
+                    journal.finish();
+                }
+            }
             println!("slice done — run the remaining slices, then `--shard merge`");
             if json.is_some() {
                 eprintln!("note: --json ignored for a shard slice; export from `--shard merge`");
             }
-            return;
+            return run.failures.len();
         }
-        ShardOutcome::Full(batch) | ShardOutcome::Merged(batch) => batch.results,
+        ShardOutcome::Full(batch) | ShardOutcome::Merged(batch) => {
+            for failure in &batch.failures {
+                eprintln!("warning: {failure}");
+            }
+            if let Some(journal) = journal {
+                // Keep the journal while failures remain: a later
+                // `--resume` replays the survivors warm and retries only
+                // the quarantined jobs.
+                if batch.failures.is_empty() {
+                    journal.finish();
+                }
+            }
+            quarantined = batch.failures.len();
+            batch.results
+        }
     };
     let rows: Vec<Vec<String>> = results
         .iter()
@@ -150,6 +191,7 @@ fn part_c(
         cim_bench::write_json(path, &results).expect("write json");
         println!("wrote {path}");
     }
+    quarantined
 }
 
 fn main() {
@@ -181,13 +223,10 @@ fn main() {
         }
         "c" => {
             let store = args.open_store();
-            part_c(
-                &case_study_graph(),
-                &args.runner,
-                store.as_ref(),
-                args.shard,
-                args.json.as_deref(),
-            );
+            if part_c(&case_study_graph(), &args, store.as_ref()) > 0 {
+                // Partial artifact: quarantined jobs were reported above.
+                std::process::exit(3);
+            }
         }
         _ => {
             let store = args.open_store();
@@ -198,14 +237,11 @@ fn main() {
             println!();
             // Reuse the parts' canonicalized graph — one canonicalize
             // per process.
-            part_c(
-                &cs.g,
-                &args.runner,
-                store.as_ref(),
-                args.shard,
-                args.json.as_deref(),
-            );
+            let quarantined = part_c(&cs.g, &args, store.as_ref());
             println!("case-study cache: {}", cs.cache.stats());
+            if quarantined > 0 {
+                std::process::exit(3);
+            }
         }
     }
 }

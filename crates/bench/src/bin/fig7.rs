@@ -8,17 +8,18 @@
 //! large models; `xinf` up to 4.4× for large models; utilization decreasing
 //! with ResNet depth.
 //!
-//! Usage: `cargo run --release -p cim-bench --bin fig7 [-- --json results/fig7.json] [--jobs N] [--cache-dir <path>] [--shard i/n|merge]`
+//! Usage: `cargo run --release -p cim-bench --bin fig7 [-- --json results/fig7.json] [--jobs N] [--cache-dir <path>] [--shard i/n|merge] [--resume] [--fault-seed S --fault-rate site=per_mille ...]`
 //!
 //! With `--cache-dir`, the sweep's summaries persist across runs: a warm
-//! re-run replays from disk (byte-identical `--json` output).
+//! re-run replays from disk (byte-identical `--json` output), and a
+//! crash-safe journal makes a killed run resumable with `--resume`.
 //!
 //! With `--shard i/n --cache-dir D`, the process evaluates only the jobs
 //! its fingerprint-range slice owns; `--shard merge --cache-dir D` then
 //! replays the fully-warm store into the byte-identical unsharded tables
 //! and `--json` artifact.
 
-use cim_bench::runner::{run_batch_sharded, sweep_jobs_for_models, ShardOutcome};
+use cim_bench::runner::{run_batch_sharded_resumable, sweep_jobs_for_models, ShardMode, ShardOutcome};
 use cim_bench::{parse_common_args, render_table, ConfigResult, SweepOptions};
 
 fn main() {
@@ -38,21 +39,62 @@ fn main() {
         .collect();
     let jobs = sweep_jobs_for_models(&models, &opts).expect("job construction");
     eprintln!("running {} configurations on {} workers...", jobs.len(), runner.jobs);
-    let batch = match run_batch_sharded(&jobs, &runner, store.as_ref(), args.shard)
-        .expect("sweep runs")
-    {
+    let shard_tag = match args.shard {
+        ShardMode::Slice(spec) => Some(spec.to_string().replace('/', "of")),
+        _ => None,
+    };
+    let journal = match args.shard {
+        ShardMode::Merge => None,
+        _ => args.open_journal(&jobs, shard_tag.as_deref()),
+    };
+    let hook = args.fault_hook();
+    let outcome = run_batch_sharded_resumable(
+        &jobs,
+        &runner,
+        store.as_ref(),
+        args.shard,
+        journal.as_ref(),
+        hook.as_ref(),
+    )
+    .expect("sweep runs");
+    args.report_faults();
+    let batch = match outcome {
         ShardOutcome::Slice(run) => {
             // A slice only warms the store; the tables (and any --json
             // artifact) come from the final `--shard merge` run.
             println!("{run}");
+            for failure in &run.failures {
+                eprintln!("warning: {failure}");
+            }
+            if let Some(journal) = journal {
+                if run.failures.is_empty() {
+                    journal.finish();
+                }
+            }
             println!("slice done — run the remaining slices, then `--shard merge`");
             if json.is_some() {
                 eprintln!("note: --json ignored for a shard slice; export from `--shard merge`");
             }
+            if !run.failures.is_empty() {
+                // Quarantined jobs: the slice is partial. Exit loudly so
+                // an orchestrator knows to re-run (with `--resume`).
+                std::process::exit(3);
+            }
             return;
         }
-        ShardOutcome::Full(batch) | ShardOutcome::Merged(batch) => batch,
+        ShardOutcome::Full(batch) | ShardOutcome::Merged(batch) => {
+            for failure in &batch.failures {
+                eprintln!("warning: {failure}");
+            }
+            if let Some(journal) = journal {
+                if batch.failures.is_empty() {
+                    journal.finish();
+                }
+            }
+            batch
+        }
     };
+    let quarantined = batch.failures.len();
     let all: Vec<ConfigResult> = batch.results;
 
     let labels: Vec<String> = {
@@ -66,10 +108,11 @@ fn main() {
         v
     };
     let models: Vec<&str> = cim_models::table2_models().iter().map(|m| m.name).collect();
+    // A quarantined job leaves a hole in the grid; render it as `-`
+    // rather than refusing to print the survivors.
     let find = |model: &str, label: &str| {
         all.iter()
             .find(|r| r.model == model && r.label == label)
-            .expect("sweep covers the grid")
     };
 
     let mut headers: Vec<&str> = vec!["configuration"];
@@ -80,11 +123,9 @@ fn main() {
         .iter()
         .map(|label| {
             let mut row = vec![label.clone()];
-            row.extend(
-                models
-                    .iter()
-                    .map(|m| format!("{:.2}x", find(m, label).speedup)),
-            );
+            row.extend(models.iter().map(|m| {
+                find(m, label).map_or_else(|| "-".into(), |r| format!("{:.2}x", r.speedup))
+            }));
             row
         })
         .collect();
@@ -95,25 +136,31 @@ fn main() {
         .iter()
         .map(|label| {
             let mut row = vec![label.clone()];
-            row.extend(
-                models
-                    .iter()
-                    .map(|m| format!("{:.2}%", find(m, label).utilization * 100.0)),
-            );
+            row.extend(models.iter().map(|m| {
+                find(m, label)
+                    .map_or_else(|| "-".into(), |r| format!("{:.2}%", r.utilization * 100.0))
+            }));
             row
         })
         .collect();
     println!("{}", render_table(&headers, &rows));
 
-    // Headline numbers and Eq. 3 consistency.
-    let best_speedup = all
-        .iter()
-        .max_by(|a, b| a.speedup.total_cmp(&b.speedup))
-        .unwrap();
-    let best_ut = all
-        .iter()
-        .max_by(|a, b| a.utilization.total_cmp(&b.utilization))
-        .unwrap();
+    // Headline numbers and Eq. 3 consistency (guarded: a fully
+    // quarantined sweep has no rows to summarize).
+    if let Some(best_speedup) = all.iter().max_by(|a, b| a.speedup.total_cmp(&b.speedup)) {
+        println!(
+            "\nbest speedup:     {:.1}x ({} {})   [paper: 29.2x, TinyYOLOv3]",
+            best_speedup.speedup, best_speedup.model, best_speedup.label
+        );
+    }
+    if let Some(best_ut) = all.iter().max_by(|a, b| a.utilization.total_cmp(&b.utilization)) {
+        println!(
+            "best utilization: {:.1}% ({} {})   [paper: 20.1 %, TinyYOLOv3]",
+            best_ut.utilization * 100.0,
+            best_ut.model,
+            best_ut.label
+        );
+    }
     let worst_eq3 = all
         .iter()
         .filter(|r| r.label != "layer-by-layer")
@@ -122,16 +169,6 @@ fn main() {
                 .map(|p| (p - r.speedup).abs() / r.speedup)
         })
         .fold(0.0f64, f64::max);
-    println!(
-        "\nbest speedup:     {:.1}x ({} {})   [paper: 29.2x, TinyYOLOv3]",
-        best_speedup.speedup, best_speedup.model, best_speedup.label
-    );
-    println!(
-        "best utilization: {:.1}% ({} {})   [paper: 20.1 %, TinyYOLOv3]",
-        best_ut.utilization * 100.0,
-        best_ut.model,
-        best_ut.label
-    );
     println!("max Eq. 3 relative deviation: {:.1}%", worst_eq3 * 100.0);
     println!("schedule cache: {}", batch.stats);
     if let Some(stats) = batch.store_stats {
@@ -141,5 +178,10 @@ fn main() {
     if let Some(path) = json {
         cim_bench::write_json(&path, &all).expect("write json");
         println!("wrote {path}");
+    }
+    if quarantined > 0 {
+        // The artifact is partial (quarantined jobs were reported above);
+        // a clean exit would let an orchestrator mistake it for complete.
+        std::process::exit(3);
     }
 }

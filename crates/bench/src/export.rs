@@ -49,6 +49,12 @@ pub struct CommonArgs {
     /// `--shard i/n` or `--shard merge` → sweep sharding mode
     /// ([`ShardMode::All`](crate::runner::ShardMode::All) when absent).
     pub shard: crate::runner::ShardMode,
+    /// `--resume` → replay the sweep journal beside `--cache-dir` and
+    /// continue a killed run instead of starting over.
+    pub resume: bool,
+    /// `--fault-seed` / `--fault-rate` / `--fault-delay-ms` → the
+    /// deterministic chaos plan, `None` outside chaos runs.
+    pub faults: Option<std::sync::Arc<crate::runner::FaultPlan>>,
 }
 
 /// The seed stochastic binaries run with when `--seed` is not given.
@@ -65,9 +71,65 @@ impl CommonArgs {
     /// experiment binaries, same as a malformed `--jobs`.
     pub fn open_store(&self) -> Option<crate::runner::ResultStore> {
         self.cache_dir.as_deref().map(|dir| {
-            crate::runner::ResultStore::open(dir)
-                .unwrap_or_else(|e| panic!("--cache-dir {dir}: {e}"))
+            let mut store = crate::runner::ResultStore::open(dir)
+                .unwrap_or_else(|e| panic!("--cache-dir {dir}: {e}"));
+            if let Some(plan) = &self.faults {
+                store.set_fault_hook(plan.clone());
+            }
+            store
         })
+    }
+
+    /// The chaos plan as the trait object the batch runners take.
+    pub fn fault_hook(&self) -> Option<std::sync::Arc<dyn crate::runner::FaultHook>> {
+        self.faults
+            .as_ref()
+            .map(|p| p.clone() as std::sync::Arc<dyn crate::runner::FaultHook>)
+    }
+
+    /// Opens the sweep journal for `jobs` beside `--cache-dir` (honoring
+    /// `--resume`), printing resume accounting. `None` without a cache
+    /// dir — there is no store to resume from — or if the journal cannot
+    /// be created (a warning is printed; the sweep itself proceeds).
+    pub fn open_journal(
+        &self,
+        jobs: &[crate::runner::SweepJob],
+        shard_tag: Option<&str>,
+    ) -> Option<crate::runner::SweepJournal> {
+        let dir = match self.cache_dir.as_deref() {
+            Some(dir) => dir,
+            None => {
+                if self.resume {
+                    eprintln!("note: --resume ignored — requires --cache-dir (the store holds the completed rows)");
+                }
+                return None;
+            }
+        };
+        match crate::runner::SweepJournal::open(std::path::Path::new(dir), jobs, shard_tag, self.resume)
+        {
+            Ok(journal) => {
+                if self.resume {
+                    println!(
+                        "resume: {} of {} jobs already journaled in {dir}",
+                        journal.resumed_count(),
+                        journal.total()
+                    );
+                }
+                Some(journal)
+            }
+            Err(e) => {
+                eprintln!("warning: sweep journal unavailable in {dir}: {e}; running unjournaled");
+                None
+            }
+        }
+    }
+
+    /// Prints the chaos plan's firing report (for CI pinning) if a plan
+    /// is active.
+    pub fn report_faults(&self) {
+        if let Some(plan) = &self.faults {
+            println!("fault plan: seed {} — {}", plan.seed(), plan.report());
+        }
     }
 
     /// Prints a note when `--cache-dir` was passed to a binary whose
@@ -114,6 +176,8 @@ pub fn parse_common_args() -> CommonArgs {
     let (rest, cache_dir) = parse_cache_dir_arg(&rest);
     let (rest, seed) = parse_seed_arg(&rest);
     let (rest, shard) = parse_shard_arg(&rest);
+    let (rest, resume) = parse_resume_arg(&rest);
+    let (rest, faults) = parse_fault_args(&rest);
     CommonArgs {
         rest,
         runner,
@@ -121,7 +185,77 @@ pub fn parse_common_args() -> CommonArgs {
         cache_dir,
         seed,
         shard,
+        resume,
+        faults: faults.map(std::sync::Arc::new),
     }
+}
+
+/// Parses an optional `--resume` flag (no value) from a raw argument
+/// list, returning the remaining arguments and whether it was present.
+pub fn parse_resume_arg(args: &[String]) -> (Vec<String>, bool) {
+    let mut rest = Vec::new();
+    let mut resume = false;
+    for a in args {
+        if a == "--resume" {
+            resume = true;
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    (rest, resume)
+}
+
+/// Parses the chaos flags — `--fault-seed <u64>`, repeatable
+/// `--fault-rate <site=per_mille>`, and `--fault-delay-ms <u64>` — into
+/// a [`FaultPlan`](crate::runner::FaultPlan). `None` when no chaos flag
+/// is given (the common case: zero injection overhead).
+///
+/// # Panics
+///
+/// Panics with a usage message on a malformed value (the experiment
+/// binaries treat bad flags as fatal).
+pub fn parse_fault_args(args: &[String]) -> (Vec<String>, Option<crate::runner::FaultPlan>) {
+    let mut rest = Vec::new();
+    let mut seed = None;
+    let mut delay_ms = None;
+    let mut rates = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fault-seed" => {
+                seed = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--fault-seed takes an unsigned 64-bit integer"), // cim-lint: allow(panic-unwrap) CLI parse/serialize; abort with message is the contract
+                );
+            }
+            "--fault-rate" => {
+                let spec = it.next().expect("--fault-rate takes site=per_mille"); // cim-lint: allow(panic-unwrap) CLI parse/serialize; abort with message is the contract
+                let parsed = crate::runner::parse_rate_spec(spec)
+                    .unwrap_or_else(|e| panic!("--fault-rate {spec}: {e}"));
+                rates.push(parsed);
+            }
+            "--fault-delay-ms" => {
+                delay_ms = Some(
+                    it.next()
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .expect("--fault-delay-ms takes an unsigned integer"), // cim-lint: allow(panic-unwrap) CLI parse/serialize; abort with message is the contract
+                );
+            }
+            _ => rest.push(a.clone()),
+        }
+    }
+    if seed.is_none() && delay_ms.is_none() && rates.is_empty() {
+        return (rest, None);
+    }
+    let mut plan = crate::runner::FaultPlan::new(seed.unwrap_or(0));
+    for (site, per_mille) in rates {
+        plan = plan.with_rate(site, per_mille);
+    }
+    if let Some(ms) = delay_ms {
+        plan = plan.with_delay(std::time::Duration::from_millis(ms));
+    }
+    (rest, Some(plan))
 }
 
 /// Parses an optional `--jobs <N>` argument pair from a raw argument
@@ -318,6 +452,47 @@ mod tests {
         let (_, absent) = parse_shard_arg(&["--part".to_string()]);
         assert_eq!(absent, ShardMode::All);
         assert_eq!(CommonArgs::default().shard, ShardMode::All);
+    }
+
+    #[test]
+    fn parses_resume_flag() {
+        let args: Vec<String> = ["--resume", "--part", "c"].iter().map(|s| s.to_string()).collect();
+        let (rest, resume) = parse_resume_arg(&args);
+        assert_eq!(rest, vec!["--part".to_string(), "c".to_string()]);
+        assert!(resume);
+        let (_, absent) = parse_resume_arg(&rest);
+        assert!(!absent);
+        assert!(!CommonArgs::default().resume);
+    }
+
+    #[test]
+    fn parses_fault_flags() {
+        use crate::runner::FaultSite;
+        let args: Vec<String> = [
+            "--fault-seed", "7", "--fault-rate", "store-read=300",
+            "--fault-rate", "job-panic=1000", "--fault-delay-ms", "25", "--part", "c",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let (rest, plan) = parse_fault_args(&args);
+        assert_eq!(rest, vec!["--part".to_string(), "c".to_string()]);
+        let plan = plan.expect("chaos flags build a plan");
+        assert_eq!(plan.seed(), 7);
+        assert!(plan.would_fire(FaultSite::JobPanic, 1, 0), "rate 1000 always fires");
+        assert!(!plan.would_fire(FaultSite::ConnDrop, 1, 0), "unset site never fires");
+
+        let (rest, none) = parse_fault_args(&rest);
+        assert_eq!(rest.len(), 2);
+        assert!(none.is_none(), "no chaos flags, no plan");
+        assert!(CommonArgs::default().faults.is_none());
+        assert!(CommonArgs::default().fault_hook().is_none());
+    }
+
+    #[test]
+    fn open_journal_without_cache_dir_is_none() {
+        let args = CommonArgs { resume: true, ..CommonArgs::default() };
+        assert!(args.open_journal(&[], None).is_none());
     }
 
     #[test]

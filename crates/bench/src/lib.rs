@@ -56,7 +56,8 @@ pub mod tune;
 
 pub use experiments::{paper_sweep, paper_sweep_stored, paper_sweep_with, ConfigResult, SweepOptions};
 pub use export::{
-    parse_args_json, parse_cache_dir_arg, parse_common_args, parse_jobs_arg, parse_json_arg,
-    parse_seed_arg, parse_shard_arg, write_json, CommonArgs, DEFAULT_SEED,
+    parse_args_json, parse_cache_dir_arg, parse_common_args, parse_fault_args, parse_jobs_arg,
+    parse_json_arg, parse_resume_arg, parse_seed_arg, parse_shard_arg, write_json, CommonArgs,
+    DEFAULT_SEED,
 };
 pub use table::render_table;

@@ -24,6 +24,13 @@
 //!    instead of re-scheduling. See [`store`] for the row format and the
 //!    corruption policy.
 //!
+//! 5. **Survivability (opt-in)** — a panic in one job is caught, retried,
+//!    and quarantined ([`run_batch_resumable`]) instead of tearing down
+//!    the batch; a [`SweepJournal`] beside the store plus `--resume`
+//!    makes a SIGKILL'd sweep resumable with byte-identical output; and a
+//!    seeded [`fault::FaultPlan`] injects deterministic store/job faults
+//!    for reproducible chaos tests.
+//!
 //! Layering: [`parallel_map`] (lane pool) → [`ScheduleCache`] (memo) →
 //! [`run_batch`] / [`run_batch_with_store`] (sweep jobs →
 //! [`BatchResult`]). The experiment binaries all sit on top and accept
@@ -49,21 +56,26 @@
 //! ```
 
 mod cache;
+pub mod fault;
 mod fingerprint;
+pub mod journal;
 mod lane;
 mod shard;
 pub mod store;
 mod sweep;
 
 pub use cache::{CacheStats, ScheduleCache};
+pub use fault::{mix64, panic_message, parse_rate_spec, FaultHook, FaultPlan, FaultSite, FAULT_SITES};
 pub use fingerprint::{fingerprint, mapping_fingerprint, strategy_fingerprint, CacheKey, FnvWriter};
+pub use journal::{sweep_fingerprint, SweepJournal, JOURNAL_FORMAT_VERSION};
 pub use lane::parallel_map;
 pub use shard::{shard_of, ShardMode, ShardSpec};
 pub use store::{ResultStore, RunSummary, StoreStats, STORE_FORMAT_VERSION};
 pub use sweep::{
-    merge_batch, pe_min_of, run_batch, run_batch_shard, run_batch_sharded, run_batch_with_store,
-    sweep_jobs, sweep_jobs_for_models, BatchResult, ShardOutcome, ShardRun, SweepJob,
-    BASELINE_LABEL,
+    merge_batch, pe_min_of, run_batch, run_batch_resumable, run_batch_shard,
+    run_batch_shard_resumable, run_batch_sharded, run_batch_sharded_resumable,
+    run_batch_with_store, sweep_jobs, sweep_jobs_for_models, BatchResult, JobFailure,
+    JobFailureKind, ShardOutcome, ShardRun, SweepJob, BASELINE_LABEL, MAX_JOB_ATTEMPTS,
 };
 
 /// Worker-pool options.

@@ -32,21 +32,35 @@
 //! (rewritten on [`open`] and on drop) — lookups probe the entry file
 //! derived from the key and the in-memory index is rebuilt by scan on
 //! every open, so a stale or corrupt `index.json` (crash, concurrent
-//! writer) affects nothing.
+//! writer) affects nothing: a truncated or invalid manifest is reported
+//! with a warning ([`index_was_rebuilt`]) and rebuilt, never an open
+//! failure.
+//!
+//! # Chaos instrumentation
+//!
+//! All four failure classes the policy above defends against are
+//! injectable deterministically — see
+//! [`set_fault_hook`](ResultStore::set_fault_hook) and
+//! [`fault`](super::fault): read errors (plain miss), failed writes
+//! (counted, swallowed), torn-but-landed writes (evicted on first
+//! contact), and failed renames (temp cleaned up, counted).
 //!
 //! [`open`]: ResultStore::open
+//! [`index_was_rebuilt`]: ResultStore::index_was_rebuilt
 
 use std::collections::BTreeSet;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, SystemTime};
 
 use clsa_core::RunResult;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
+use super::fault::{FaultHook, FaultSite};
 use super::fingerprint::CacheKey;
 
 /// Version stamp of the on-disk row format. Bump on **any change that
@@ -164,7 +178,25 @@ pub struct ResultStore {
     evictions: AtomicU64,
     writes: AtomicU64,
     write_errors: AtomicU64,
+    /// Whether `index.json` was present but unreadable at open time and
+    /// had to be rebuilt from the row scan.
+    index_rebuilt: bool,
+    /// Deterministic chaos injection ([`FaultSite::StoreRead`] ..
+    /// [`FaultSite::StoreRename`]); `None` outside chaos runs.
+    faults: Option<Arc<dyn FaultHook>>,
 }
+
+/// Fault-decision key of a row: a stable fold of its cache key, matching
+/// the sweep layer's job keying so one seed addresses the same logical
+/// work at both layers.
+fn fault_key(key: &CacheKey) -> u64 {
+    key.model ^ key.arch.rotate_left(21) ^ key.strategy.rotate_left(42)
+}
+
+/// Fault-decision key used for `index.json` writes.
+const INDEX_FAULT_KEY: u64 = u64::MAX;
+/// Fault-decision key used by the writability probe.
+const PROBE_FAULT_KEY: u64 = u64::MAX - 1;
 
 /// Whether a `.tmp-<pid>-<nonce>-<file>` temp file belongs to no living
 /// writer and can be swept on open.
@@ -238,10 +270,29 @@ impl ResultStore {
     /// # Errors
     ///
     /// Returns I/O errors from directory creation or the scan; a corrupt
-    /// index alone is not an error.
+    /// (truncated or invalid-JSON) `index.json` alone is **never** an
+    /// open failure — it is rebuilt from the row scan with a warning on
+    /// stderr, observable via [`index_was_rebuilt`](Self::index_was_rebuilt).
     pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
+
+        // The manifest is write-only for correctness, but a present-yet-
+        // unparseable one is evidence of a crash or concurrent-writer
+        // tear worth surfacing before it is silently overwritten below.
+        let index_path = dir.join("index.json");
+        let index_rebuilt = index_path.exists()
+            && fs::read_to_string(&index_path)
+                .ok()
+                .and_then(|text| serde_json::from_str::<StoreIndex>(&text).ok())
+                .is_none();
+        if index_rebuilt {
+            eprintln!(
+                "warning: result store {}: corrupt index.json (truncated or invalid JSON); \
+                 rebuilding the manifest from the row scan",
+                dir.display()
+            );
+        }
 
         // Scan: every non-index .json file is a candidate row (validated
         // on first contact). Temp files orphaned by a killed writer are
@@ -273,9 +324,44 @@ impl ResultStore {
             evictions: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             write_errors: AtomicU64::new(0),
+            index_rebuilt,
+            faults: None,
         };
         store.persist_index();
         Ok(store)
+    }
+
+    /// Installs a deterministic fault hook on this handle (chaos runs
+    /// only). Store-level sites: [`FaultSite::StoreRead`],
+    /// [`FaultSite::StoreWrite`], [`FaultSite::StoreTornWrite`],
+    /// [`FaultSite::StoreRename`].
+    pub fn set_fault_hook(&mut self, hook: Arc<dyn FaultHook>) {
+        self.faults = Some(hook);
+    }
+
+    /// Whether `index.json` was present but corrupt at open time and the
+    /// manifest was rebuilt from the row scan.
+    pub fn index_was_rebuilt(&self) -> bool {
+        self.index_rebuilt
+    }
+
+    /// Whether the store directory currently accepts writes, checked by
+    /// round-tripping a dot-prefixed probe file through the same atomic
+    /// write path rows use (so injected write/rename faults are seen
+    /// too). `cim-serve` polls this to surface degraded (cache-only)
+    /// mode; the probe file is invisible to the row scan.
+    pub fn probe_writable(&self) -> bool {
+        if let Some(h) = &self.faults {
+            if h.decide(FaultSite::StoreWrite, PROBE_FAULT_KEY, 0) {
+                return false;
+            }
+        }
+        let path = self.dir.join(".probe.json");
+        let ok = self.write_atomic(&path, "{}", PROBE_FAULT_KEY).is_ok();
+        if ok {
+            let _ = fs::remove_file(&path);
+        }
+        ok
     }
 
     /// The store's root directory.
@@ -308,6 +394,14 @@ impl ResultStore {
     pub fn get(&self, key: &CacheKey) -> Option<RunSummary> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
         let path = self.entry_path(key);
+        if let Some(h) = &self.faults {
+            // Injected read error: the row looks unreadable (EIO), which
+            // is a plain miss — the file stays on disk, like the real
+            // `fs::read_to_string` error path below.
+            if h.decide(FaultSite::StoreRead, fault_key(key), 0) {
+                return None;
+            }
+        }
         let text = fs::read_to_string(&path).ok()?;
         let trusted = serde_json::from_str::<StoreEntry>(&text)
             .ok()
@@ -342,7 +436,23 @@ impl ResultStore {
             summary: summary.clone(),
         };
         let json = serde_json::to_string(&row).expect("store rows serialize"); // cim-lint: allow(panic-unwrap) store rows are plain serializable data
-        if self.write_atomic(&self.entry_path(key), &json).is_err() {
+        let fk = fault_key(key);
+        let mut body = json.as_str();
+        if let Some(h) = &self.faults {
+            // Injected write failure: nothing reaches disk (a full disk /
+            // EACCES stand-in).
+            if h.decide(FaultSite::StoreWrite, fk, 0) {
+                self.write_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            // Injected torn write: a truncated row *lands* through a
+            // successful rename — silent corruption that only a later
+            // `get` detects (and heals by eviction + recompute).
+            if h.decide(FaultSite::StoreTornWrite, fk, 0) {
+                body = &json[..json.len() / 2];
+            }
+        }
+        if self.write_atomic(&self.entry_path(key), body, fk).is_err() {
             self.write_errors.fetch_add(1, Ordering::Relaxed);
             return;
         }
@@ -379,14 +489,18 @@ impl ResultStore {
             entries: self.index.lock().iter().cloned().collect(),
         };
         let json = serde_json::to_string(&index).expect("store index serializes"); // cim-lint: allow(panic-unwrap) store rows are plain serializable data
-        if self.write_atomic(&self.dir.join("index.json"), &json).is_err() {
+        if self
+            .write_atomic(&self.dir.join("index.json"), &json, INDEX_FAULT_KEY)
+            .is_err()
+        {
             self.write_errors.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Writes `contents` to `path` via a uniquely-named temp file in the
-    /// same directory and an atomic rename.
-    fn write_atomic(&self, path: &Path, contents: &str) -> io::Result<()> {
+    /// same directory and an atomic rename. `fk` keys the injected
+    /// rename-failure site for chaos runs.
+    fn write_atomic(&self, path: &Path, contents: &str, fk: u64) -> io::Result<()> {
         let nonce = self.tmp_counter.fetch_add(1, Ordering::Relaxed);
         let tmp = self.dir.join(format!(
             ".tmp-{}-{}-{}",
@@ -397,6 +511,14 @@ impl ResultStore {
                 .unwrap_or_default()
         ));
         fs::write(&tmp, contents)?;
+        if let Some(h) = &self.faults {
+            // Injected rename failure: the temp was written but never
+            // promoted — cleaned up exactly like a real failed rename.
+            if h.decide(FaultSite::StoreRename, fk, 0) {
+                let _ = fs::remove_file(&tmp);
+                return Err(io::Error::other("injected fault: store rename failure"));
+            }
+        }
         fs::rename(&tmp, path).inspect_err(|_| {
             let _ = fs::remove_file(&tmp);
         })
@@ -473,8 +595,113 @@ mod tests {
         drop(store);
         fs::write(dir.join("index.json"), "{ not json").unwrap();
         let store = ResultStore::open(&dir).unwrap();
+        assert!(store.index_was_rebuilt(), "invalid JSON flagged");
         assert_eq!(store.len(), 1, "scan recovers the row");
         assert_eq!(store.get(&key(7)), Some(summary(7)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_index_is_rebuilt_with_warning_never_an_open_failure() {
+        let dir = tmp_dir("tornindex");
+        let store = ResultStore::open(&dir).unwrap();
+        store.put(&key(7), &summary(7));
+        store.put(&key(8), &summary(8));
+        drop(store);
+
+        // Tear the manifest mid-document (the shape a SIGKILL during the
+        // drop-time rewrite would leave behind without the atomic rename).
+        let index_path = dir.join("index.json");
+        let text = fs::read_to_string(&index_path).unwrap();
+        fs::write(&index_path, &text[..text.len() / 2]).unwrap();
+
+        let store = ResultStore::open(&dir).expect("corrupt index is never an open failure");
+        assert!(store.index_was_rebuilt());
+        assert_eq!(store.len(), 2, "manifest rebuilt from the row scan");
+        assert_eq!(store.get(&key(7)), Some(summary(7)));
+        assert_eq!(store.get(&key(8)), Some(summary(8)));
+        drop(store);
+
+        // The rebuilt manifest is valid again: a third open is clean.
+        let healed = ResultStore::open(&dir).unwrap();
+        assert!(!healed.index_was_rebuilt());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    fn full_rate_plan(site: FaultSite) -> Arc<crate::runner::fault::FaultPlan> {
+        Arc::new(crate::runner::fault::FaultPlan::new(5).with_rate(site, 1000))
+    }
+
+    #[test]
+    fn injected_read_error_is_a_plain_miss() {
+        let dir = tmp_dir("fault-read");
+        let mut store = ResultStore::open(&dir).unwrap();
+        store.put(&key(1), &summary(1));
+        let plan = full_rate_plan(FaultSite::StoreRead);
+        store.set_fault_hook(plan.clone());
+        assert_eq!(store.get(&key(1)), None, "unreadable row is a miss");
+        assert!(store.entry_path(&key(1)).exists(), "row stays on disk");
+        assert_eq!(store.stats().evictions, 0, "a read error is not corruption");
+        assert_eq!(plan.fired(FaultSite::StoreRead), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_write_failure_is_counted_and_swallowed() {
+        let dir = tmp_dir("fault-write");
+        let mut store = ResultStore::open(&dir).unwrap();
+        store.set_fault_hook(full_rate_plan(FaultSite::StoreWrite));
+        store.put(&key(1), &summary(1));
+        assert_eq!(store.stats().write_errors, 1);
+        assert_eq!(store.stats().writes, 0);
+        assert!(!store.entry_path(&key(1)).exists());
+        assert!(!store.probe_writable(), "probe sees the same failure");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_rename_failure_leaves_no_temp_behind() {
+        let dir = tmp_dir("fault-rename");
+        let mut store = ResultStore::open(&dir).unwrap();
+        store.set_fault_hook(full_rate_plan(FaultSite::StoreRename));
+        store.put(&key(1), &summary(1));
+        assert_eq!(store.stats().write_errors, 1);
+        assert!(!store.entry_path(&key(1)).exists());
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "failed rename cleans its temp");
+        assert!(!store.probe_writable());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_lands_and_heals_by_eviction_on_read() {
+        let dir = tmp_dir("fault-torn");
+        let mut store = ResultStore::open(&dir).unwrap();
+        store.set_fault_hook(full_rate_plan(FaultSite::StoreTornWrite));
+        store.put(&key(1), &summary(1));
+        // The torn row *landed*: counted as a write, present on disk and
+        // in the manifest — silent corruption.
+        assert_eq!(store.stats().writes, 1);
+        assert!(store.entry_path(&key(1)).exists());
+        assert_eq!(store.len(), 1);
+        // First contact detects and evicts it.
+        assert_eq!(store.get(&key(1)), None);
+        assert_eq!(store.stats().evictions, 1);
+        assert!(!store.entry_path(&key(1)).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn probe_writable_is_clean_without_faults() {
+        let dir = tmp_dir("probe");
+        let store = ResultStore::open(&dir).unwrap();
+        assert!(store.probe_writable());
+        assert!(!dir.join(".probe.json").exists(), "probe cleans up");
+        assert!(store.is_empty(), "probe is not a row");
         let _ = fs::remove_dir_all(&dir);
     }
 

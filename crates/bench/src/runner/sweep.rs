@@ -8,7 +8,8 @@
 //! layer-by-layer baseline row), so jobs stay embarrassingly parallel and
 //! the batch output is bit-for-bit identical for every `--jobs` value.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use cim_arch::Architecture;
@@ -18,7 +19,9 @@ use cim_mapping::{layer_costs, min_pes, MappingOptions};
 use clsa_core::{eq3_predicted_from_utilization, CoreError, RunConfig};
 
 use super::cache::{CacheStats, ScheduleCache};
+use super::fault::{panic_message, FaultHook, FaultSite};
 use super::fingerprint::{fingerprint, CacheKey};
+use super::journal::SweepJournal;
 use super::lane::parallel_map;
 use super::shard::{ShardMode, ShardSpec};
 use super::store::{ResultStore, RunSummary, StoreStats};
@@ -27,6 +30,12 @@ use crate::experiments::{ConfigResult, SweepOptions};
 
 /// Label of the reference configuration every speedup is measured against.
 pub const BASELINE_LABEL: &str = "layer-by-layer";
+
+/// How many times a panicking job is retried (attempts total) before it
+/// is quarantined. Transient panics — an injected fault that fires on
+/// one attempt's draw, a poisoned scratch state — get a second chance;
+/// deterministic panics fail fast enough to keep batch latency bounded.
+pub const MAX_JOB_ATTEMPTS: u32 = 3;
 
 /// Closed-form `PE_min` of a canonicalized graph on the paper's 256×256
 /// crossbars (Eq. 1 over the layer costs — no probe run needed).
@@ -66,12 +75,137 @@ pub struct SweepJob {
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchResult {
     /// One row per job, in job order — identical to a sequential run.
+    /// Quarantined jobs (see [`failures`](Self::failures)) produce no
+    /// row; with zero faults this is every job.
     pub results: Vec<ConfigResult>,
     /// In-memory cache counters accumulated over the batch.
     pub stats: CacheStats,
     /// Persistent-store counters, when the batch ran against a
     /// `--cache-dir` ([`run_batch_with_store`]).
     pub store_stats: Option<StoreStats>,
+    /// Typed per-job failure report: jobs quarantined after repeated
+    /// panics, plus rows unaggregatable because their model's baseline
+    /// was quarantined. Empty on a clean run.
+    pub failures: Vec<JobFailure>,
+}
+
+/// Why a job produced no result row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobFailureKind {
+    /// The job panicked on every one of its attempts and was quarantined
+    /// so the rest of the batch could finish.
+    Quarantined {
+        /// Attempts made (always [`MAX_JOB_ATTEMPTS`]).
+        attempts: u32,
+        /// Message of the last panic.
+        message: String,
+    },
+    /// The job itself succeeded, but its model's [`BASELINE_LABEL`] job
+    /// was quarantined, so no speedup row can be aggregated for it.
+    BaselineUnavailable,
+}
+
+/// One entry of [`BatchResult::failures`], naming the failed job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// Index into the batch's job list.
+    pub index: usize,
+    /// The job's model name.
+    pub model: String,
+    /// The job's configuration label.
+    pub label: String,
+    /// What went wrong.
+    pub kind: JobFailureKind,
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            JobFailureKind::Quarantined { attempts, message } => write!(
+                f,
+                "job {} `{} {}` quarantined after {} attempts: {}",
+                self.index, self.model, self.label, attempts, message
+            ),
+            JobFailureKind::BaselineUnavailable => write!(
+                f,
+                "job {} `{} {}`: baseline `{BASELINE_LABEL}` quarantined; no speedup row",
+                self.index, self.model, self.label
+            ),
+        }
+    }
+}
+
+/// Per-job execution outcome before aggregation. `Failed` (a typed
+/// pipeline error) keeps the historical propagate-first semantics;
+/// `Panicked` is contained and reported instead of propagated.
+#[derive(Debug)]
+enum JobOutcome {
+    Done(RunSummary),
+    Failed(CoreError),
+    Panicked { attempts: u32, message: String },
+}
+
+/// The fault-decision key of a job: a stable fold of its schedule-level
+/// cache key, so a plan fires on the same jobs regardless of job-list
+/// order, thread count, or sharding.
+fn job_fault_key(key: &CacheKey) -> u64 {
+    key.model ^ key.arch.rotate_left(21) ^ key.strategy.rotate_left(42)
+}
+
+/// Runs one job with panic containment and bounded retry, consulting
+/// store, journal, and fault hook. This is the single job body shared by
+/// [`run_batch_resumable`] and [`run_batch_shard_resumable`].
+fn run_one(
+    index: usize,
+    job: &SweepJob,
+    cache: &ScheduleCache,
+    store: Option<&ResultStore>,
+    journal: Option<&SweepJournal>,
+    faults: Option<&dyn FaultHook>,
+) -> JobOutcome {
+    let key = CacheKey::schedule(job.model_fp, &job.config);
+    if let Some(store) = store {
+        if let Some(summary) = store.get(&key) {
+            if let Some(journal) = journal {
+                journal.mark(index);
+            }
+            return JobOutcome::Done(summary);
+        }
+    }
+    let fault_key = job_fault_key(&key);
+    let mut message = String::new();
+    for attempt in 0..MAX_JOB_ATTEMPTS {
+        if let Some(h) = faults {
+            if h.decide(FaultSite::JobDelay, fault_key, attempt) {
+                std::thread::sleep(h.delay());
+            }
+        }
+        let injected = faults.is_some_and(|h| h.decide(FaultSite::JobPanic, fault_key, attempt));
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            if injected {
+                panic!("injected fault: job panic (key {fault_key:016x}, attempt {attempt})");
+            }
+            cache.run(job.model_fp, &job.graph, &job.config)
+        }));
+        match caught {
+            Ok(Ok(result)) => {
+                let summary = RunSummary::of(&result);
+                if let Some(store) = store {
+                    store.put(&key, &summary);
+                }
+                if let Some(journal) = journal {
+                    journal.mark(index);
+                }
+                return JobOutcome::Done(summary);
+            }
+            Ok(Err(e)) => return JobOutcome::Failed(e),
+            Err(payload) => message = panic_message(payload.as_ref()),
+        }
+    }
+    JobOutcome::Panicked {
+        attempts: MAX_JOB_ATTEMPTS,
+        message,
+    }
 }
 
 /// Builds the paper's standard job list for one model: the layer-by-layer
@@ -184,25 +318,44 @@ pub fn run_batch_with_store(
     options: &RunnerOptions,
     store: Option<&ResultStore>,
 ) -> Result<BatchResult, CoreError> {
+    run_batch_resumable(jobs, options, store, None, None)
+}
+
+/// The fully-instrumented batch entry point: [`run_batch_with_store`]
+/// plus an optional completion [`SweepJournal`] (crash-safe `--resume`)
+/// and an optional [`FaultHook`] (deterministic chaos injection into job
+/// execution; store-level sites are installed on the store itself).
+///
+/// Each job runs under `catch_unwind` with bounded retry
+/// ([`MAX_JOB_ATTEMPTS`]); a job that panics every attempt is
+/// **quarantined** — reported in [`BatchResult::failures`] instead of
+/// tearing down the batch — and the surviving jobs aggregate through the
+/// unchanged fold, so with zero faults the rows are byte-identical to
+/// [`run_batch`].
+///
+/// # Errors
+///
+/// Same conditions as [`run_batch`]: typed pipeline errors
+/// ([`CoreError`]) still propagate first-in-job-order — containment is
+/// for panics, not for deterministic configuration errors.
+pub fn run_batch_resumable(
+    jobs: &[SweepJob],
+    options: &RunnerOptions,
+    store: Option<&ResultStore>,
+    journal: Option<&SweepJournal>,
+    faults: Option<&Arc<dyn FaultHook>>,
+) -> Result<BatchResult, CoreError> {
     let cache = ScheduleCache::new();
-    let outcomes = parallel_map(jobs, options.jobs, |_, job| {
-        let key = CacheKey::schedule(job.model_fp, &job.config);
-        if let Some(store) = store {
-            if let Some(summary) = store.get(&key) {
-                return Ok(summary);
-            }
-        }
-        let result = cache.run(job.model_fp, &job.graph, &job.config)?;
-        let summary = RunSummary::of(&result);
-        if let Some(store) = store {
-            store.put(&key, &summary);
-        }
-        Ok::<RunSummary, CoreError>(summary)
+    let hook: Option<&dyn FaultHook> = faults.map(|a| a.as_ref());
+    let outcomes = parallel_map(jobs, options.jobs, |index, job| {
+        run_one(index, job, &cache, store, journal, hook)
     });
+    let (results, failures) = aggregate(jobs, outcomes)?;
     Ok(BatchResult {
-        results: aggregate(jobs, outcomes)?,
+        results,
         stats: cache.stats(),
         store_stats: store.map(ResultStore::stats),
+        failures,
     })
 }
 
@@ -213,28 +366,54 @@ pub fn run_batch_with_store(
 /// maintenance of two folds.
 fn aggregate(
     jobs: &[SweepJob],
-    outcomes: Vec<Result<RunSummary, CoreError>>,
-) -> Result<Vec<ConfigResult>, CoreError> {
+    outcomes: Vec<JobOutcome>,
+) -> Result<(Vec<ConfigResult>, Vec<JobFailure>), CoreError> {
     // Baselines first: every other row of a model references its makespan,
-    // utilization, and actual PE total (the Eq. 3 denominator).
+    // utilization, and actual PE total (the Eq. 3 denominator). Also note
+    // which models *have* a baseline job in the list at all — that
+    // distinguishes "baseline quarantined" (a reported failure) from
+    // "baseline never part of the sweep" (a caller error).
     let mut baselines: BTreeMap<&str, (u64, f64, usize)> = BTreeMap::new();
+    let mut baseline_models: BTreeSet<&str> = BTreeSet::new();
     for (job, outcome) in jobs.iter().zip(&outcomes) {
         if job.label == BASELINE_LABEL {
-            if let Ok(s) = outcome {
+            baseline_models.insert(&job.model);
+            if let JobOutcome::Done(s) = outcome {
                 baselines.insert(&job.model, (s.makespan_cycles, s.utilization, s.total_pes));
             }
         }
     }
 
     let mut results = Vec::with_capacity(jobs.len());
-    for (job, outcome) in jobs.iter().zip(outcomes) {
-        let s = outcome?;
-        let &(base_makespan, ut_lbl, base_pes) =
-            baselines
-                .get(job.model.as_str())
-                .ok_or_else(|| CoreError::StageMismatch {
-                    detail: format!("job list for model `{}` has no `{BASELINE_LABEL}` row", job.model),
-                })?;
+    let mut failures = Vec::new();
+    for (index, (job, outcome)) in jobs.iter().zip(outcomes).enumerate() {
+        let s = match outcome {
+            JobOutcome::Done(s) => s,
+            JobOutcome::Failed(e) => return Err(e),
+            JobOutcome::Panicked { attempts, message } => {
+                failures.push(JobFailure {
+                    index,
+                    model: job.model.clone(),
+                    label: job.label.clone(),
+                    kind: JobFailureKind::Quarantined { attempts, message },
+                });
+                continue;
+            }
+        };
+        let Some(&(base_makespan, ut_lbl, base_pes)) = baselines.get(job.model.as_str()) else {
+            if baseline_models.contains(job.model.as_str()) {
+                failures.push(JobFailure {
+                    index,
+                    model: job.model.clone(),
+                    label: job.label.clone(),
+                    kind: JobFailureKind::BaselineUnavailable,
+                });
+                continue;
+            }
+            return Err(CoreError::StageMismatch {
+                detail: format!("job list for model `{}` has no `{BASELINE_LABEL}` row", job.model),
+            });
+        };
         let t_mvm = job.config.arch.crossbar().t_mvm_ns;
         results.push(ConfigResult {
             model: job.model.clone(),
@@ -259,7 +438,7 @@ fn aggregate(
             duplicated_layers: s.duplicated_layers,
         });
     }
-    Ok(results)
+    Ok((results, failures))
 }
 
 /// The outcome of one shard *slice* ([`run_batch_shard`]): counters, no
@@ -278,6 +457,10 @@ pub struct ShardRun {
     /// Persistent-store counters (puts of fresh summaries, hits on a
     /// warm re-run of the same slice).
     pub store_stats: StoreStats,
+    /// Jobs of this slice quarantined after repeated panics. A later
+    /// `--shard merge` will name them as missing rows; re-run the slice
+    /// (warm jobs replay free) to fill the gaps.
+    pub failures: Vec<JobFailure>,
 }
 
 impl std::fmt::Display for ShardRun {
@@ -310,23 +493,48 @@ pub fn run_batch_shard(
     store: &ResultStore,
     shard: ShardSpec,
 ) -> Result<ShardRun, CoreError> {
-    let owned: Vec<&SweepJob> = jobs
+    run_batch_shard_resumable(jobs, options, store, shard, None, None)
+}
+
+/// [`run_batch_shard`] with the full instrumentation of
+/// [`run_batch_resumable`]: panic quarantine (reported in
+/// [`ShardRun::failures`]), an optional journal (indices are into the
+/// **full** job list, so every slice journals against the same sweep
+/// fingerprint under its own shard tag), and an optional fault hook.
+///
+/// # Errors
+///
+/// Propagates the first owned-job [`CoreError`] in job order.
+pub fn run_batch_shard_resumable(
+    jobs: &[SweepJob],
+    options: &RunnerOptions,
+    store: &ResultStore,
+    shard: ShardSpec,
+    journal: Option<&SweepJournal>,
+    faults: Option<&Arc<dyn FaultHook>>,
+) -> Result<ShardRun, CoreError> {
+    let owned: Vec<(usize, &SweepJob)> = jobs
         .iter()
-        .filter(|job| shard.owns(&CacheKey::schedule(job.model_fp, &job.config)))
+        .enumerate()
+        .filter(|(_, job)| shard.owns(&CacheKey::schedule(job.model_fp, &job.config)))
         .collect();
     let cache = ScheduleCache::new();
-    let outcomes = parallel_map(&owned, options.jobs, |_, job| {
-        let key = CacheKey::schedule(job.model_fp, &job.config);
-        if let Some(summary) = store.get(&key) {
-            return Ok(summary);
-        }
-        let result = cache.run(job.model_fp, &job.graph, &job.config)?;
-        let summary = RunSummary::of(&result);
-        store.put(&key, &summary);
-        Ok::<RunSummary, CoreError>(summary)
+    let hook: Option<&dyn FaultHook> = faults.map(|a| a.as_ref());
+    let outcomes = parallel_map(&owned, options.jobs, |_, (index, job)| {
+        run_one(*index, job, &cache, Some(store), journal, hook)
     });
-    for outcome in outcomes {
-        outcome?;
+    let mut failures = Vec::new();
+    for ((index, job), outcome) in owned.iter().zip(outcomes) {
+        match outcome {
+            JobOutcome::Done(_) => {}
+            JobOutcome::Failed(e) => return Err(e),
+            JobOutcome::Panicked { attempts, message } => failures.push(JobFailure {
+                index: *index,
+                model: job.model.clone(),
+                label: job.label.clone(),
+                kind: JobFailureKind::Quarantined { attempts, message },
+            }),
+        }
     }
     Ok(ShardRun {
         shard,
@@ -334,6 +542,7 @@ pub fn run_batch_shard(
         total: jobs.len(),
         stats: cache.stats(),
         store_stats: store.stats(),
+        failures,
     })
 }
 
@@ -352,19 +561,24 @@ pub fn merge_batch(jobs: &[SweepJob], store: &ResultStore) -> Result<BatchResult
         .iter()
         .map(|job| {
             let key = CacheKey::schedule(job.model_fp, &job.config);
-            store.get(&key).ok_or_else(|| CoreError::StageMismatch {
-                detail: format!(
-                    "merge: no persisted summary for job `{} {}` (key {key:?}); \
-                     run every `--shard i/n` slice against this --cache-dir first",
-                    job.model, job.label
-                ),
-            })
+            match store.get(&key) {
+                Some(summary) => JobOutcome::Done(summary),
+                None => JobOutcome::Failed(CoreError::StageMismatch {
+                    detail: format!(
+                        "merge: no persisted summary for job `{} {}` (key {key:?}); \
+                         run every `--shard i/n` slice against this --cache-dir first",
+                        job.model, job.label
+                    ),
+                }),
+            }
         })
         .collect();
+    let (results, failures) = aggregate(jobs, outcomes)?;
     Ok(BatchResult {
-        results: aggregate(jobs, outcomes)?,
+        results,
         stats: CacheStats::default(),
         store_stats: Some(store.stats()),
+        failures,
     })
 }
 
@@ -395,20 +609,40 @@ pub fn run_batch_sharded(
     store: Option<&ResultStore>,
     mode: ShardMode,
 ) -> Result<ShardOutcome, CoreError> {
+    run_batch_sharded_resumable(jobs, options, store, mode, None, None)
+}
+
+/// [`run_batch_sharded`] with the full instrumentation of
+/// [`run_batch_resumable`]. `Merge` mode ignores the journal and hook —
+/// a merge only replays the store.
+///
+/// # Errors
+///
+/// As [`run_batch_sharded`].
+pub fn run_batch_sharded_resumable(
+    jobs: &[SweepJob],
+    options: &RunnerOptions,
+    store: Option<&ResultStore>,
+    mode: ShardMode,
+    journal: Option<&SweepJournal>,
+    faults: Option<&Arc<dyn FaultHook>>,
+) -> Result<ShardOutcome, CoreError> {
     let need_store = |what: &str| {
         store.ok_or_else(|| CoreError::StageMismatch {
             detail: format!("--shard {what} requires --cache-dir: the store is the merge point"),
         })
     };
     match mode {
-        ShardMode::All => Ok(ShardOutcome::Full(run_batch_with_store(
-            jobs, options, store,
+        ShardMode::All => Ok(ShardOutcome::Full(run_batch_resumable(
+            jobs, options, store, journal, faults,
         )?)),
-        ShardMode::Slice(spec) => Ok(ShardOutcome::Slice(run_batch_shard(
+        ShardMode::Slice(spec) => Ok(ShardOutcome::Slice(run_batch_shard_resumable(
             jobs,
             options,
             need_store(&spec.to_string())?,
             spec,
+            journal,
+            faults,
         )?)),
         ShardMode::Merge => Ok(ShardOutcome::Merged(merge_batch(jobs, need_store("merge")?)?)),
     }
@@ -521,6 +755,166 @@ mod tests {
                 run_batch_sharded(&jobs, &RunnerOptions::sequential(), None, mode).unwrap_err();
             assert!(err.to_string().contains("--cache-dir"), "{err}");
         }
+    }
+
+    #[test]
+    fn zero_fault_resumable_run_is_byte_identical_to_run_batch() {
+        use crate::runner::fault::FaultPlan;
+        let g = cim_models::fig5_example();
+        let jobs = sweep_jobs("fig5", &g, &SweepOptions { xs: vec![1], ..Default::default() }).unwrap();
+        let reference = run_batch(&jobs, &RunnerOptions::sequential()).unwrap();
+
+        let dir = shard_tmp_dir("zerofault");
+        let store = ResultStore::open(&dir).unwrap();
+        let journal = SweepJournal::open(&dir, &jobs, None, false).unwrap();
+        let inert: Arc<dyn FaultHook> = Arc::new(FaultPlan::new(7));
+        let batch = run_batch_resumable(
+            &jobs,
+            &RunnerOptions::sequential(),
+            Some(&store),
+            Some(&journal),
+            Some(&inert),
+        )
+        .unwrap();
+        assert!(batch.failures.is_empty());
+        assert_eq!(batch.results, reference.results);
+        assert_eq!(
+            serde_json::to_string(&batch.results).unwrap(),
+            serde_json::to_string(&reference.results).unwrap()
+        );
+        assert_eq!(journal.completed_count(), jobs.len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persistent_panics_are_quarantined_not_propagated() {
+        use crate::runner::fault::{FaultPlan, FaultSite};
+        let g = cim_models::fig5_example();
+        let jobs = sweep_jobs("fig5", &g, &SweepOptions { xs: vec![], ..Default::default() }).unwrap();
+        let plan = Arc::new(FaultPlan::new(1).with_rate(FaultSite::JobPanic, 1000));
+        let hook: Arc<dyn FaultHook> = plan.clone();
+        let batch =
+            run_batch_resumable(&jobs, &RunnerOptions::sequential(), None, None, Some(&hook))
+                .unwrap();
+        assert!(batch.results.is_empty());
+        assert_eq!(batch.failures.len(), jobs.len());
+        for failure in &batch.failures {
+            assert!(matches!(
+                failure.kind,
+                JobFailureKind::Quarantined { attempts: MAX_JOB_ATTEMPTS, .. }
+            ));
+            assert!(failure.to_string().contains("quarantined"), "{failure}");
+        }
+        // Every job burned all its attempts; the count is deterministic.
+        assert_eq!(plan.fired(FaultSite::JobPanic), (jobs.len() as u64) * u64::from(MAX_JOB_ATTEMPTS));
+    }
+
+    #[test]
+    fn transient_panics_retry_to_success() {
+        use crate::runner::fault::{FaultPlan, FaultSite};
+        let g = cim_models::fig5_example();
+        let jobs = sweep_jobs("fig5", &g, &SweepOptions { xs: vec![], ..Default::default() }).unwrap();
+        let keys: Vec<u64> = jobs
+            .iter()
+            .map(|j| job_fault_key(&CacheKey::schedule(j.model_fp, &j.config)))
+            .collect();
+        // Search for a seed where at least one job panics on its first
+        // attempt but every job recovers within its retry budget — the
+        // decision function is pure, so the search is cheap and the
+        // found seed reproduces forever.
+        let seed = (0..10_000u64)
+            .find(|&s| {
+                let p = FaultPlan::new(s).with_rate(FaultSite::JobPanic, 500);
+                let fires = |k: u64, a: u32| p.would_fire(FaultSite::JobPanic, k, a);
+                keys.iter().any(|&k| fires(k, 0))
+                    && keys.iter().all(|&k| !(0..MAX_JOB_ATTEMPTS).all(|a| fires(k, a)))
+            })
+            .expect("some seed yields transient-only panics");
+        let plan = Arc::new(FaultPlan::new(seed).with_rate(FaultSite::JobPanic, 500));
+        let hook: Arc<dyn FaultHook> = plan.clone();
+        let batch =
+            run_batch_resumable(&jobs, &RunnerOptions::sequential(), None, None, Some(&hook))
+                .unwrap();
+        assert!(batch.failures.is_empty(), "transient panics must retry to success");
+        assert_eq!(batch.results.len(), jobs.len());
+        assert!(plan.fired(FaultSite::JobPanic) >= 1);
+        // Same seed, fresh run ⇒ identical rows and identical fault count.
+        let plan2 = Arc::new(FaultPlan::new(seed).with_rate(FaultSite::JobPanic, 500));
+        let hook2: Arc<dyn FaultHook> = plan2.clone();
+        let batch2 =
+            run_batch_resumable(&jobs, &RunnerOptions::sequential(), None, None, Some(&hook2))
+                .unwrap();
+        assert_eq!(batch.results, batch2.results);
+        assert_eq!(plan.fired(FaultSite::JobPanic), plan2.fired(FaultSite::JobPanic));
+    }
+
+    #[test]
+    fn quarantined_baseline_reports_dependents_instead_of_erroring() {
+        use crate::runner::fault::{FaultPlan, FaultSite};
+        let g = cim_models::fig5_example();
+        let jobs = sweep_jobs("fig5", &g, &SweepOptions { xs: vec![], ..Default::default() }).unwrap();
+        assert_eq!(jobs[0].label, BASELINE_LABEL);
+        let keys: Vec<u64> = jobs
+            .iter()
+            .map(|j| job_fault_key(&CacheKey::schedule(j.model_fp, &j.config)))
+            .collect();
+        // Seed where the baseline burns all attempts and every other job
+        // never panics at all.
+        let seed = (0..100_000u64)
+            .find(|&s| {
+                let p = FaultPlan::new(s).with_rate(FaultSite::JobPanic, 500);
+                let fires = |k: u64, a: u32| p.would_fire(FaultSite::JobPanic, k, a);
+                (0..MAX_JOB_ATTEMPTS).all(|a| fires(keys[0], a))
+                    && keys[1..]
+                        .iter()
+                        .all(|&k| (0..MAX_JOB_ATTEMPTS).all(|a| !fires(k, a)))
+            })
+            .expect("some seed quarantines exactly the baseline");
+        let hook: Arc<dyn FaultHook> =
+            Arc::new(FaultPlan::new(seed).with_rate(FaultSite::JobPanic, 500));
+        let batch =
+            run_batch_resumable(&jobs, &RunnerOptions::sequential(), None, None, Some(&hook))
+                .unwrap();
+        assert!(batch.results.is_empty());
+        assert_eq!(batch.failures.len(), jobs.len());
+        assert!(matches!(batch.failures[0].kind, JobFailureKind::Quarantined { .. }));
+        assert!(batch.failures[1..]
+            .iter()
+            .all(|f| f.kind == JobFailureKind::BaselineUnavailable));
+    }
+
+    #[test]
+    fn resumed_batch_replays_warm_and_stays_byte_identical() {
+        let g = cim_models::fig5_example();
+        let jobs = sweep_jobs("fig5", &g, &SweepOptions { xs: vec![1], ..Default::default() }).unwrap();
+        let dir = shard_tmp_dir("resume");
+        let store = ResultStore::open(&dir).unwrap();
+        let journal = SweepJournal::open(&dir, &jobs, None, false).unwrap();
+        let first =
+            run_batch_resumable(&jobs, &RunnerOptions::sequential(), Some(&store), Some(&journal), None)
+                .unwrap();
+        drop(journal);
+
+        // A second process resuming the same sweep: journal replays the
+        // completed set, the store replays every summary, nothing is
+        // recomputed, and the rows serialize byte-identically.
+        let store2 = ResultStore::open(&dir).unwrap();
+        let journal2 = SweepJournal::open(&dir, &jobs, None, true).unwrap();
+        assert_eq!(journal2.resumed_count(), jobs.len());
+        let second = run_batch_resumable(
+            &jobs,
+            &RunnerOptions::sequential(),
+            Some(&store2),
+            Some(&journal2),
+            None,
+        )
+        .unwrap();
+        assert_eq!(second.stats.schedule_computes, 0, "fully warm resume computes nothing");
+        assert_eq!(
+            serde_json::to_string(&first.results).unwrap(),
+            serde_json::to_string(&second.results).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

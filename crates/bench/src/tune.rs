@@ -22,6 +22,7 @@
 //! and the golden-style assertions consume.
 
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use cim_ir::Graph;
 use cim_tune::{
@@ -32,8 +33,8 @@ use clsa_core::CoreError;
 use serde::Serialize;
 
 use crate::runner::{
-    fingerprint, parallel_map, CacheKey, CacheStats, ResultStore, RunSummary, RunnerOptions,
-    ScheduleCache, ShardSpec, StoreStats,
+    fingerprint, panic_message, parallel_map, CacheKey, CacheStats, ResultStore, RunSummary,
+    RunnerOptions, ScheduleCache, ShardSpec, StoreStats,
 };
 
 /// Converts a persisted/aggregated [`RunSummary`] into the tuner's
@@ -120,7 +121,21 @@ impl<'a> TuneEvaluator<'a> {
 
 impl Evaluator for TuneEvaluator<'_> {
     fn evaluate(&self, batch: &[Candidate]) -> Vec<Result<Measurement, CoreError>> {
-        parallel_map(batch, self.jobs, |_, c| self.eval_one(c))
+        // A panicking candidate (a pipeline bug on a corner of the design
+        // space, or an injected chaos fault) is contained to that
+        // candidate: it counts as infeasible instead of poisoning the
+        // lane pool and aborting the whole search.
+        parallel_map(batch, self.jobs, |_, c| {
+            match catch_unwind(AssertUnwindSafe(|| self.eval_one(c))) {
+                Ok(outcome) => outcome,
+                Err(payload) => Err(CoreError::StageMismatch {
+                    detail: format!(
+                        "candidate evaluation panicked (quarantined): {}",
+                        panic_message(payload.as_ref())
+                    ),
+                }),
+            }
+        })
     }
 }
 

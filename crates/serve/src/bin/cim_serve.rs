@@ -3,6 +3,8 @@
 //! ```text
 //! cim-serve [--socket <path>] [--tcp <addr>] [--max-queue <n>]
 //!           [--jobs <n>] [--cache-dir <dir>]
+//!           [--read-timeout-ms <ms>] [--max-line-bytes <n>]
+//!           [--fault-seed S --fault-rate site=per_mille ... --fault-delay-ms MS]
 //! ```
 //!
 //! Listens on a Unix socket (default `/tmp/cim-serve.sock`) for
@@ -10,6 +12,15 @@
 //! `{"op":"shutdown"}` request arrives; then prints the final service
 //! statistics. `--cache-dir` makes results durable across daemon
 //! generations (warm restarts answer from disk).
+//!
+//! Hardening knobs: `--read-timeout-ms` bounds how long an idle
+//! connection pins its handler thread (`0` = wait forever), and
+//! `--max-line-bytes` bounds a request frame (longer lines get a typed
+//! `line_too_long` error; the connection survives). The `--fault-*`
+//! flags drive deterministic chaos injection into store I/O and
+//! connection handling (see `cim_bench::runner::fault`). If the store
+//! directory stops accepting writes the daemon degrades to cache-only
+//! mode and keeps answering — visible in `stats` and the `health` op.
 //!
 //! ```text
 //! $ cim-serve --socket /tmp/cim.sock --cache-dir /tmp/cim-store &
@@ -36,15 +47,29 @@ fn main() {
 
     let socket = flag_value(rest, "--socket").unwrap_or_else(|| "/tmp/cim-serve.sock".into());
     let tcp = flag_value(rest, "--tcp");
-    let max_queue = flag_value(rest, "--max-queue")
-        .map(|v| {
-            v.parse::<usize>().unwrap_or_else(|_| {
-                eprintln!("--max-queue expects an unsigned integer, got `{v}`");
-                std::process::exit(2);
-            })
+    let parse_unsigned = |flag: &str, v: String| -> u64 {
+        v.parse::<u64>().unwrap_or_else(|_| {
+            eprintln!("{flag} expects an unsigned integer, got `{v}`");
+            std::process::exit(2);
         })
+    };
+    let max_queue = flag_value(rest, "--max-queue")
+        .map(|v| parse_unsigned("--max-queue", v) as usize)
         .unwrap_or(256);
+    let read_timeout = match flag_value(rest, "--read-timeout-ms")
+        .map(|v| parse_unsigned("--read-timeout-ms", v))
+    {
+        Some(0) => None, // explicit 0 = wait forever
+        Some(ms) => Some(std::time::Duration::from_millis(ms)),
+        None => Some(cim_serve::DEFAULT_READ_TIMEOUT),
+    };
+    let max_line_bytes = flag_value(rest, "--max-line-bytes")
+        .map(|v| parse_unsigned("--max-line-bytes", v) as usize)
+        .unwrap_or(cim_serve::DEFAULT_MAX_LINE_BYTES);
 
+    if let Some(plan) = &common.faults {
+        println!("cim-serve: fault plan seeded with {}", plan.seed());
+    }
     let options = DaemonOptions {
         socket: socket.clone().into(),
         tcp: tcp.clone(),
@@ -53,6 +78,12 @@ fn main() {
             max_queue,
         },
         cache_dir: common.cache_dir.clone().map(Into::into),
+        read_timeout,
+        max_line_bytes,
+        faults: common
+            .faults
+            .clone()
+            .map(|plan| plan as std::sync::Arc<dyn cim_bench::runner::FaultHook>),
     };
 
     let daemon = Daemon::bind(options).unwrap_or_else(|e| {
@@ -82,6 +113,15 @@ fn main() {
                 "cim-serve: warm {} store + {} cache, coalesced {}, p50 {} ns, p99 {} ns",
                 stats.warm_store, stats.warm_cache, stats.coalesced, stats.p50_ns, stats.p99_ns
             );
+            if stats.degraded {
+                eprintln!(
+                    "cim-serve: exited degraded (cache-only): {} store writes failed",
+                    stats.store_write_errors
+                );
+            }
+            if let Some(plan) = &common.faults {
+                println!("cim-serve: fault plan: seed {} — {}", plan.seed(), plan.report());
+            }
         }
         Err(e) => {
             eprintln!("cim-serve: serve loop failed: {e}");

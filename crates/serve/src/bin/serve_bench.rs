@@ -23,11 +23,14 @@
 //! (the CI smoke job), optionally dumping the raw reply lines for
 //! byte-comparison and/or shutting the daemon down afterwards.
 
+use std::io;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use cim_bench::parse_common_args;
-use cim_serve::{Client, Daemon, DaemonOptions, EngineOptions, Op, Request, StatsSnapshot};
+use cim_serve::{
+    Client, Daemon, DaemonOptions, EngineOptions, Op, Request, RetryPolicy, StatsSnapshot,
+};
 use cim_tune::{Clock, SystemClock};
 use serde::Value;
 
@@ -76,35 +79,36 @@ struct PassResult {
 }
 
 /// Sends every line, collects raw replies, fetches stats, optionally
-/// shuts the daemon down. Panics on I/O failure — this is a driver.
-fn drive(client: &mut Client, lines: &[String], shutdown: bool) -> PassResult {
+/// shuts the daemon down. I/O and protocol failures surface as typed
+/// errors instead of panics; the typed control requests ride the
+/// client's seeded retry loop, so a load-shedding or briefly wedged
+/// daemon doesn't abort the whole pass.
+fn drive(client: &mut Client, lines: &[String], shutdown: bool) -> io::Result<PassResult> {
+    let retry = RetryPolicy::default();
     let clock = SystemClock::new();
     let mut replies = Vec::with_capacity(lines.len());
     for line in lines {
-        replies.push(client.request_line(line).expect("request answered"));
+        replies.push(client.request_line(line)?);
     }
     let elapsed = clock.now();
-    let stats_resp = client
-        .request(&Request::bare("bench-stats", Op::Stats))
-        .expect("stats answered");
+    let stats_resp = client.request_with_retry(&Request::bare("bench-stats", Op::Stats), &retry)?;
     let stats = stats_resp
         .as_stats()
-        .expect("stats response carries a snapshot")
+        .ok_or_else(|| io::Error::other(format!("stats reply carried no snapshot: {stats_resp:?}")))?
         .clone();
     if shutdown {
-        let ack = client
-            .request(&Request::bare("bench-shutdown", Op::Shutdown))
-            .expect("shutdown acknowledged");
-        assert!(
-            matches!(ack.body, cim_serve::ResponseBody::Shutdown),
-            "shutdown must be acknowledged, got {ack:?}"
-        );
+        let ack = client.request(&Request::bare("bench-shutdown", Op::Shutdown))?;
+        if !matches!(ack.body, cim_serve::ResponseBody::Shutdown) {
+            return Err(io::Error::other(format!(
+                "shutdown not acknowledged, got {ack:?}"
+            )));
+        }
     }
-    PassResult {
+    Ok(PassResult {
         replies,
         stats,
         elapsed,
-    }
+    })
 }
 
 fn rps(n: usize, elapsed: Duration) -> f64 {
@@ -139,52 +143,70 @@ fn generation(
     cache_dir: &Path,
     jobs: usize,
     lines: &[String],
-) -> PassResult {
+) -> io::Result<PassResult> {
     let daemon = Daemon::bind(DaemonOptions {
-        socket: socket.to_path_buf(),
-        tcp: None,
         engine: EngineOptions {
             jobs,
             max_queue: lines.len().max(16),
         },
         cache_dir: Some(cache_dir.to_path_buf()),
+        ..DaemonOptions::at(socket)
     })
-    .unwrap_or_else(|e| panic!("{tag}: bind {} failed: {e}", socket.display()));
-    let server = std::thread::spawn(move || daemon.run().expect("daemon run"));
-    let mut client = connect_with_retry(socket);
-    let pass = drive(&mut client, lines, true);
-    server.join().expect("daemon thread joins");
-    pass
+    .map_err(|e| io::Error::other(format!("{tag}: bind {} failed: {e}", socket.display())))?;
+    let server = std::thread::spawn(move || daemon.run());
+    let mut client = connect_with_retry(socket)?;
+    let pass = drive(&mut client, lines, true)?;
+    match server.join() {
+        Ok(Ok(_final_stats)) => Ok(pass),
+        Ok(Err(e)) => Err(io::Error::other(format!("{tag}: daemon run failed: {e}"))),
+        Err(_) => Err(io::Error::other(format!("{tag}: daemon thread panicked"))),
+    }
 }
 
-fn connect_with_retry(socket: &Path) -> Client {
+fn connect_with_retry(socket: &Path) -> io::Result<Client> {
     for _ in 0..200 {
         if let Ok(client) = Client::connect_unix(socket) {
-            return client;
+            return Ok(client);
         }
         std::thread::sleep(Duration::from_millis(5));
     }
-    panic!("daemon at {} never became connectable", socket.display());
+    Err(io::Error::new(
+        io::ErrorKind::TimedOut,
+        format!("daemon at {} never became connectable", socket.display()),
+    ))
 }
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("serve-bench: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> io::Result<()> {
     let common = parse_common_args();
     common.note_seed_unused();
     let rest = &common.rest;
-    let requests: usize = flag_value(rest, "--requests")
-        .map(|v| v.parse().expect("--requests expects an unsigned integer"))
-        .unwrap_or(24);
+    let requests: usize = match flag_value(rest, "--requests") {
+        Some(v) => v.parse().map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "--requests expects an unsigned integer",
+            )
+        })?,
+        None => 24,
+    };
     let model = flag_value(rest, "--model").unwrap_or_else(|| "fig5".into());
     let lines = request_lines(requests, &model);
 
     if let Some(socket) = flag_value(rest, "--connect") {
         // External mode: one pass against a running daemon. Retry the
         // connect — CI starts the daemon in the background and races it.
-        let mut client = connect_with_retry(&PathBuf::from(&socket));
-        let pass = drive(&mut client, &lines, has_flag(rest, "--shutdown"));
+        let mut client = connect_with_retry(&PathBuf::from(&socket))?;
+        let pass = drive(&mut client, &lines, has_flag(rest, "--shutdown"))?;
         if let Some(path) = flag_value(rest, "--replies") {
             std::fs::write(&path, pass.replies.join("\n") + "\n")
-                .unwrap_or_else(|e| panic!("write {path}: {e}"));
+                .map_err(|e| io::Error::other(format!("write {path}: {e}")))?;
         }
         assert_eq!(
             pass.stats.errors, 0,
@@ -201,21 +223,21 @@ fn main() {
             pass.stats.warm_store,
             pass.stats.warm_cache,
         );
-        return;
+        return Ok(());
     }
 
     // In-process mode: two generations over one store.
     let scratch = std::env::temp_dir().join(format!("cim-serve-bench-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&scratch);
-    std::fs::create_dir_all(&scratch).expect("scratch dir");
+    std::fs::create_dir_all(&scratch)?;
     let cache_dir = match &common.cache_dir {
         Some(dir) => PathBuf::from(dir),
         None => scratch.join("store"),
     };
     let jobs = common.runner.jobs;
 
-    let cold = generation("cold", &scratch.join("cold.sock"), &cache_dir, jobs, &lines);
-    let warm = generation("warm", &scratch.join("warm.sock"), &cache_dir, jobs, &lines);
+    let cold = generation("cold", &scratch.join("cold.sock"), &cache_dir, jobs, &lines)?;
+    let warm = generation("warm", &scratch.join("warm.sock"), &cache_dir, jobs, &lines)?;
 
     assert_eq!(
         cold.replies, warm.replies,
@@ -239,9 +261,11 @@ fn main() {
         ("byte_identical".into(), Value::Bool(true)),
     ]);
     let json_path = common.json.clone().unwrap_or_else(|| "BENCH_serve.json".into());
+    // Plain string/number trees; serialization cannot fail on them.
     let mut text = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
     text.push('\n');
-    std::fs::write(&json_path, text).unwrap_or_else(|e| panic!("write {json_path}: {e}"));
+    std::fs::write(&json_path, text)
+        .map_err(|e| io::Error::other(format!("write {json_path}: {e}")))?;
 
     println!(
         "serve-bench: {} requests × 2 generations over {} distinct keys (jobs {})",
@@ -265,4 +289,5 @@ fn main() {
     println!("  byte-identical replies: yes -> {json_path}");
 
     let _ = std::fs::remove_dir_all(&scratch);
+    Ok(())
 }

@@ -30,14 +30,23 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender};
 use std::sync::Arc;
+use std::time::Duration;
 
-use cim_bench::runner::ResultStore;
+use cim_bench::runner::{FaultHook, FaultSite, ResultStore};
 use cim_tune::{Clock, SystemClock};
 use parking_lot::Mutex;
 
 use crate::engine::{EngineOptions, ServeEngine, Submission, Ticket};
 use crate::protocol::{ErrorCode, Op, Request, Response, ResponseBody, ServeError};
 use crate::stats::StatsSnapshot;
+
+/// Default per-connection read timeout: an idle or half-closed client
+/// holds its handler thread at most this long.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Default request-frame bound. A line past this is answered with a
+/// typed `line_too_long` error instead of buffering without limit.
+pub const DEFAULT_MAX_LINE_BYTES: usize = 256 * 1024;
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -50,6 +59,16 @@ pub struct DaemonOptions {
     pub engine: EngineOptions,
     /// Optional persistent store directory (`--cache-dir`).
     pub cache_dir: Option<PathBuf>,
+    /// Per-connection read timeout; a connection idle past it is closed
+    /// (`None` = wait forever, the pre-hardening behavior).
+    pub read_timeout: Option<Duration>,
+    /// Maximum accepted request-line length in bytes. Longer lines are
+    /// discarded to the next newline and answered with `line_too_long`;
+    /// the connection stays usable.
+    pub max_line_bytes: usize,
+    /// Deterministic chaos injection for the daemon's store I/O and
+    /// connection handling (see `cim_bench::runner::fault`).
+    pub faults: Option<Arc<dyn FaultHook>>,
 }
 
 impl DaemonOptions {
@@ -60,6 +79,9 @@ impl DaemonOptions {
             tcp: None,
             engine: EngineOptions::default(),
             cache_dir: None,
+            read_timeout: Some(DEFAULT_READ_TIMEOUT),
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            faults: None,
         }
     }
 }
@@ -125,11 +147,29 @@ struct Shared {
     /// here to unblock them.
     socket: PathBuf,
     tcp_addr: Option<SocketAddr>,
+    read_timeout: Option<Duration>,
+    max_line_bytes: usize,
+    faults: Option<Arc<dyn FaultHook>>,
+    /// Per-request-line delivery counter, keyed by the line's FNV hash —
+    /// the `attempt` axis of connection-fault decisions, so a *resent*
+    /// line gets a fresh draw (a drop-once fault plan lets the client's
+    /// retry through).
+    conn_attempts: Mutex<BTreeMap<u64, u32>>,
 }
 
 impl Shared {
     fn nudge(&self) {
         let _ = self.nudge.send(());
+    }
+
+    /// The attempt number of this exact line (0-based), counted across
+    /// all connections of the daemon's lifetime.
+    fn conn_attempt(&self, key: u64) -> u32 {
+        let mut attempts = self.conn_attempts.lock();
+        let counter = attempts.entry(key).or_insert(0);
+        let attempt = *counter;
+        *counter += 1;
+        attempt
     }
 
     /// Unblocks both acceptors after the shutdown flag is up: `accept`
@@ -164,7 +204,13 @@ impl Daemon {
     /// Store-directory and socket-bind I/O errors.
     pub fn bind(options: DaemonOptions) -> io::Result<Self> {
         let store = match &options.cache_dir {
-            Some(dir) => Some(ResultStore::open(dir)?),
+            Some(dir) => {
+                let mut store = ResultStore::open(dir)?;
+                if let Some(hook) = &options.faults {
+                    store.set_fault_hook(Arc::clone(hook));
+                }
+                Some(store)
+            }
             None => None,
         };
         if options.socket.exists() {
@@ -195,6 +241,10 @@ impl Daemon {
                 shutting_down: AtomicBool::new(false),
                 socket: options.socket,
                 tcp_addr,
+                read_timeout: options.read_timeout,
+                max_line_bytes: options.max_line_bytes,
+                faults: options.faults,
+                conn_attempts: Mutex::new(BTreeMap::new()),
             }),
             nudge_rx,
         })
@@ -282,13 +332,103 @@ impl Daemon {
 }
 
 fn serve_unix_connection(shared: &Shared, stream: UnixStream) -> io::Result<()> {
+    stream.set_read_timeout(shared.read_timeout)?;
     let writer = stream.try_clone()?;
     serve_connection(shared, BufReader::new(stream), writer)
 }
 
 fn serve_tcp_connection(shared: &Shared, stream: TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(shared.read_timeout)?;
     let writer = stream.try_clone()?;
     serve_connection(shared, BufReader::new(stream), writer)
+}
+
+/// FNV-1a of a request line — the `key` axis of connection-fault
+/// decisions (the same line always hashes to the same key, so a fault
+/// schedule over a request stream is reproducible).
+fn line_key(line: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in line.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// One framed request line, read with an explicit bound.
+enum Frame {
+    /// Client closed the connection.
+    Eof,
+    /// A complete line within the bound (newline stripped).
+    Line(String),
+    /// The line exceeded the bound; input was discarded to the next
+    /// newline (or EOF), so the stream is positioned at a frame boundary.
+    TooLong,
+}
+
+/// Reads one newline-terminated frame, refusing to buffer more than
+/// `max` bytes — the unbounded `read_line` this replaces let any client
+/// grow the daemon's memory without limit.
+fn read_frame<R: BufRead>(reader: &mut R, max: usize) -> io::Result<Frame> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(available) => available,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            return Ok(if buf.is_empty() {
+                Frame::Eof
+            } else {
+                // Final unterminated line: accept it, mirroring read_line.
+                Frame::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+        if let Some(pos) = available.iter().position(|&b| b == b'\n') {
+            if buf.len() + pos > max {
+                reader.consume(pos + 1);
+                return Ok(Frame::TooLong);
+            }
+            buf.extend_from_slice(&available[..pos]);
+            reader.consume(pos + 1);
+            return Ok(Frame::Line(String::from_utf8_lossy(&buf).into_owned()));
+        }
+        let len = available.len();
+        if buf.len() + len > max {
+            reader.consume(len);
+            drain_to_newline(reader)?;
+            return Ok(Frame::TooLong);
+        }
+        buf.extend_from_slice(available);
+        reader.consume(len);
+    }
+}
+
+/// Discards input until (and including) the next newline, or EOF —
+/// re-synchronizes the stream after an oversized frame without ever
+/// holding more than the reader's internal buffer.
+fn drain_to_newline<R: BufRead>(reader: &mut R) -> io::Result<()> {
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(available) => available,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            return Ok(());
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                reader.consume(pos + 1);
+                return Ok(());
+            }
+            None => {
+                let len = available.len();
+                reader.consume(len);
+            }
+        }
+    }
 }
 
 /// The per-connection request–response loop, shared by both transports.
@@ -297,15 +437,55 @@ fn serve_connection<R: BufRead, W: Write>(
     mut reader: R,
     mut writer: W,
 ) -> io::Result<()> {
-    let mut line = String::new();
     loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            return Ok(()); // EOF: client closed.
-        }
+        let line = match read_frame(&mut reader, shared.max_line_bytes) {
+            Ok(Frame::Eof) => return Ok(()), // EOF: client closed.
+            Ok(Frame::Line(line)) => line,
+            Ok(Frame::TooLong) => {
+                let response = Response::error(
+                    "",
+                    ServeError::new(
+                        ErrorCode::LineTooLong,
+                        format!(
+                            "request line exceeds the {}-byte frame bound",
+                            shared.max_line_bytes
+                        ),
+                    ),
+                );
+                write_response(&mut writer, &response)?;
+                continue;
+            }
+            // A read timeout (an idle or half-closed client) releases the
+            // handler thread instead of pinning it forever.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
         if line.trim().is_empty() {
             continue;
         }
+
+        // Deterministic connection chaos: a fault plan may drop the
+        // connection before this line is answered (the client sees an
+        // abrupt close and must reconnect + resend) or stall the reply
+        // (a slow server from the client's point of view).
+        if let Some(faults) = &shared.faults {
+            let key = line_key(line.trim());
+            let attempt = shared.conn_attempt(key);
+            if faults.decide(FaultSite::ConnDrop, key, attempt) {
+                return Ok(());
+            }
+            if faults.decide(FaultSite::ConnDelay, key, attempt) {
+                std::thread::sleep(faults.delay());
+            }
+        }
+
         let response = match serde_json::from_str::<Request>(line.trim()) {
             Err(err) => Response::error(
                 "",
@@ -313,13 +493,7 @@ fn serve_connection<R: BufRead, W: Write>(
             ),
             Ok(request) => handle_request(shared, &request),
         };
-        // Responses are plain string/number trees; serialization cannot
-        // fail on them.
-        let mut payload = serde_json::to_string(&response)
-            .expect("responses serialize"); // cim-lint: allow(panic-unwrap) protocol responses are plain serializable data
-        payload.push('\n');
-        writer.write_all(payload.as_bytes())?;
-        writer.flush()?;
+        write_response(&mut writer, &response)?;
         if matches!(response.body, ResponseBody::Shutdown) {
             // Tear down only *after* the ack is flushed: unblocking the
             // acceptor first would let `run` (and in the daemon binary,
@@ -330,6 +504,17 @@ fn serve_connection<R: BufRead, W: Write>(
             return Ok(());
         }
     }
+}
+
+/// Serializes and flushes one response line.
+fn write_response<W: Write>(writer: &mut W, response: &Response) -> io::Result<()> {
+    // Responses are plain string/number trees; serialization cannot
+    // fail on them.
+    let mut payload = serde_json::to_string(response)
+        .expect("responses serialize"); // cim-lint: allow(panic-unwrap) protocol responses are plain serializable data
+    payload.push('\n');
+    writer.write_all(payload.as_bytes())?;
+    writer.flush()
 }
 
 fn handle_request(shared: &Shared, request: &Request) -> Response {
@@ -360,5 +545,126 @@ fn handle_request(shared: &Shared, request: &Request) -> Response {
                 )
             })
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cim_bench::runner::FaultPlan;
+    use cim_tune::ManualClock;
+    use std::io::Cursor;
+
+    /// A dispatcherless `Shared` — enough for the connection loop's
+    /// immediate ops (ping, stats, typed rejections).
+    fn test_shared(max_line_bytes: usize, faults: Option<Arc<dyn FaultHook>>) -> Shared {
+        let (nudge, _rx) = std::sync::mpsc::channel();
+        Shared {
+            engine: ServeEngine::new(
+                EngineOptions::default(),
+                None,
+                Arc::new(ManualClock::new()) as Arc<dyn Clock + Send + Sync>,
+            ),
+            board: TicketBoard::default(),
+            nudge,
+            shutting_down: AtomicBool::new(false),
+            socket: PathBuf::from("/nonexistent"),
+            tcp_addr: None,
+            read_timeout: None,
+            max_line_bytes,
+            faults,
+            conn_attempts: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn response_lines(out: &[u8]) -> Vec<Response> {
+        String::from_utf8_lossy(out)
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("response parses"))
+            .collect()
+    }
+
+    #[test]
+    fn read_frame_respects_the_bound_and_resynchronizes() {
+        let mut input = Cursor::new(b"short\nAAAAAAAAAAAAAAAAAAAAAAAA\nnext\n".to_vec());
+        let mut reader = BufReader::new(&mut input);
+        match read_frame(&mut reader, 10).unwrap() {
+            Frame::Line(l) => assert_eq!(l, "short"),
+            _ => panic!("first frame is a line"),
+        }
+        assert!(matches!(read_frame(&mut reader, 10).unwrap(), Frame::TooLong));
+        match read_frame(&mut reader, 10).unwrap() {
+            Frame::Line(l) => assert_eq!(l, "next"),
+            _ => panic!("stream re-synchronized at the next frame"),
+        }
+        assert!(matches!(read_frame(&mut reader, 10).unwrap(), Frame::Eof));
+    }
+
+    #[test]
+    fn oversized_line_gets_a_typed_error_and_the_connection_survives() {
+        let shared = test_shared(64, None);
+        let mut input = Vec::new();
+        input.extend_from_slice(&vec![b'x'; 4096]);
+        input.extend_from_slice(b"\n{\"id\":\"p\",\"op\":\"ping\"}\n");
+        let mut out = Vec::new();
+        serve_connection(&shared, BufReader::new(Cursor::new(input)), &mut out).unwrap();
+        let responses = response_lines(&out);
+        assert_eq!(responses.len(), 2, "both frames answered");
+        assert_eq!(
+            responses[0].as_error().expect("typed error").code,
+            ErrorCode::LineTooLong
+        );
+        assert!(matches!(responses[1].body, ResponseBody::Pong));
+    }
+
+    #[test]
+    fn injected_connection_drop_closes_before_answering() {
+        let plan = Arc::new(FaultPlan::new(11).with_rate(FaultSite::ConnDrop, 1000));
+        let shared = test_shared(DEFAULT_MAX_LINE_BYTES, Some(plan.clone()));
+        let input = b"{\"id\":\"p\",\"op\":\"ping\"}\n".to_vec();
+        let mut out = Vec::new();
+        serve_connection(&shared, BufReader::new(Cursor::new(input)), &mut out).unwrap();
+        assert!(out.is_empty(), "connection dropped before the reply");
+        assert_eq!(plan.fired(FaultSite::ConnDrop), 1);
+    }
+
+    #[test]
+    fn resent_line_is_a_fresh_fault_attempt() {
+        let line = "{\"id\":\"p\",\"op\":\"ping\"}";
+        let key = line_key(line);
+        // Seed search via the side-effect-free probe: some seed under
+        // 1000 drops attempt 0 of this exact line but not attempt 1.
+        let seed = (0..1000)
+            .find(|&s| {
+                let p = FaultPlan::new(s).with_rate(FaultSite::ConnDrop, 500);
+                p.would_fire(FaultSite::ConnDrop, key, 0)
+                    && !p.would_fire(FaultSite::ConnDrop, key, 1)
+            })
+            .expect("a drop-once seed exists");
+        let plan = Arc::new(FaultPlan::new(seed).with_rate(FaultSite::ConnDrop, 500));
+        let shared = test_shared(DEFAULT_MAX_LINE_BYTES, Some(plan));
+
+        // First delivery: dropped without a reply.
+        let mut out = Vec::new();
+        serve_connection(
+            &shared,
+            BufReader::new(Cursor::new(format!("{line}\n").into_bytes())),
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.is_empty());
+
+        // The client reconnects and resends the identical line: the
+        // attempt counter advanced, so this delivery goes through.
+        let mut out = Vec::new();
+        serve_connection(
+            &shared,
+            BufReader::new(Cursor::new(format!("{line}\n").into_bytes())),
+            &mut out,
+        )
+        .unwrap();
+        let responses = response_lines(&out);
+        assert_eq!(responses.len(), 1);
+        assert!(matches!(responses[0].body, ResponseBody::Pong));
     }
 }

@@ -30,17 +30,20 @@
 //! full response stream is bit-for-bit independent of the worker count.
 
 use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use cim_bench::runner::{parallel_map, CacheKey, ResultStore, RunSummary, ScheduleCache};
+use cim_bench::runner::{
+    panic_message, parallel_map, CacheKey, ResultStore, RunSummary, ScheduleCache,
+};
 use cim_ir::Graph;
 use cim_tune::Clock;
 use clsa_core::RunConfig;
 use parking_lot::Mutex;
 
-use crate::protocol::{ErrorCode, Op, Request, Response, ScheduleReply, ServeError};
+use crate::protocol::{ErrorCode, HealthReport, Op, Request, Response, ScheduleReply, ServeError};
 use crate::registry::{build_config, ModelRegistry};
 use crate::stats::{percentile, StatsSnapshot};
 
@@ -212,6 +215,10 @@ impl ServeEngine {
             Op::Stats => Submission::Immediate(Response {
                 id: req.id.clone(),
                 body: crate::protocol::ResponseBody::Stats(self.stats()),
+            }),
+            Op::Health => Submission::Immediate(Response {
+                id: req.id.clone(),
+                body: crate::protocol::ResponseBody::Health(self.health()),
             }),
             Op::Ping => Submission::Immediate(Response {
                 id: req.id.clone(),
@@ -405,15 +412,28 @@ impl ServeEngine {
                 return Ok(summary);
             }
         }
-        let result = self
-            .cache
-            .run(entry.model_fp, &entry.graph, &entry.config)
-            .map_err(|e| {
+        // Contain a panicking pipeline (a bug on one configuration, or an
+        // injected chaos fault) to this entry: its subscribers get a
+        // typed `schedule_failed`, the daemon and its queue live on.
+        let result = match catch_unwind(AssertUnwindSafe(|| {
+            self.cache.run(entry.model_fp, &entry.graph, &entry.config)
+        })) {
+            Ok(outcome) => outcome.map_err(|e| {
                 ServeError::new(
                     ErrorCode::ScheduleFailed,
                     format!("scheduling `{}` ({}) failed: {e}", entry.model, entry.label),
                 )
-            })?;
+            }),
+            Err(payload) => Err(ServeError::new(
+                ErrorCode::ScheduleFailed,
+                format!(
+                    "scheduling `{}` ({}) panicked (contained): {}",
+                    entry.model,
+                    entry.label,
+                    panic_message(payload.as_ref())
+                ),
+            )),
+        }?;
         let summary = RunSummary::of(&result);
         if let Some(store) = &self.store {
             store.put(&entry.key, &summary);
@@ -575,6 +595,7 @@ impl ServeEngine {
         };
         let store_stats = self.store.as_ref().map(ResultStore::stats).unwrap_or_default();
         let cache_stats = self.cache.stats();
+        let degraded = self.store_degraded();
         StatsSnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed,
@@ -594,6 +615,45 @@ impl ServeEngine {
             store_lookups: store_stats.lookups,
             cache_hits: cache_stats.hits(),
             cache_lookups: cache_stats.stage_lookups + cache_stats.schedule_lookups,
+            store_write_errors: store_stats.write_errors,
+            degraded,
+        }
+    }
+
+    /// Whether the engine is in cache-only degraded mode: a persistent
+    /// store is configured but its directory currently rejects writes
+    /// (probed through the store's own atomic write path, so injected
+    /// chaos faults and a read-only directory look the same). With no
+    /// store configured there is nothing to degrade.
+    fn store_degraded(&self) -> bool {
+        self.store
+            .as_ref()
+            .is_some_and(|store| !store.probe_writable())
+    }
+
+    /// The payload of a `health` probe — cheap relative to `stats` (no
+    /// latency-sample sort) but carrying the same degraded-mode verdict.
+    pub fn health(&self) -> HealthReport {
+        let (queue_depth, parked) = {
+            let st = self.state.lock();
+            (st.queue.len() as u64, st.parked.len() as u64)
+        };
+        let store_configured = self.store.is_some();
+        let store_writable = self
+            .store
+            .as_ref()
+            .is_none_or(|store| store.probe_writable());
+        HealthReport {
+            degraded: store_configured && !store_writable,
+            store_configured,
+            store_writable,
+            store_write_errors: self
+                .store
+                .as_ref()
+                .map(|s| s.stats().write_errors)
+                .unwrap_or(0),
+            queue_depth,
+            parked,
         }
     }
 }
@@ -700,6 +760,76 @@ mod tests {
         let stats = engine.stats();
         assert_eq!(stats.coalesced, 1);
         assert!(stats.cache_lookups > 0);
+    }
+
+    #[test]
+    fn degraded_store_keeps_answering_and_surfaces_in_health_and_stats() {
+        use cim_bench::runner::{FaultPlan, FaultSite};
+
+        let dir = std::env::temp_dir().join(format!("cim_serve_degraded_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Phase 1: a healthy engine persists one summary.
+        {
+            let store = ResultStore::open(&dir).expect("store opens");
+            let clock = Arc::new(ManualClock::new());
+            let engine = ServeEngine::new(
+                EngineOptions { jobs: 1, max_queue: 16 },
+                Some(store),
+                clock as Arc<dyn Clock + Send + Sync>,
+            );
+            let health = engine.health();
+            assert!(!health.degraded);
+            assert!(health.store_configured);
+            assert!(health.store_writable);
+            let reply = ok_reply(
+                engine.submit(&Request::schedule("a", "fig5", "xinf", 0)),
+                &engine,
+            );
+            assert!(reply.as_schedule().is_some());
+            assert!(!engine.stats().degraded);
+        }
+
+        // Phase 2: the same directory, but every store write now fails
+        // (deterministic injection stands in for a read-only disk, which
+        // a root test runner cannot simulate with permission bits).
+        let mut store = ResultStore::open(&dir).expect("store reopens");
+        let plan = Arc::new(
+            FaultPlan::new(7)
+                .with_rate(FaultSite::StoreWrite, 1000)
+                .with_rate(FaultSite::StoreRename, 1000),
+        );
+        store.set_fault_hook(plan);
+        let clock = Arc::new(ManualClock::new());
+        let engine = ServeEngine::new(
+            EngineOptions { jobs: 1, max_queue: 16 },
+            Some(store),
+            clock as Arc<dyn Clock + Send + Sync>,
+        );
+
+        // Warm answers still flow from the persisted row...
+        let warm = match engine.submit(&Request::schedule("w", "fig5", "xinf", 0)) {
+            Submission::Immediate(resp) => resp,
+            Submission::Enqueued(_) => panic!("persisted row must answer warm"),
+        };
+        assert!(warm.as_schedule().is_some());
+        // ...cold requests still compute (the row just fails to persist)...
+        let cold = ok_reply(
+            engine.submit(&Request::schedule("c", "fig5", "wdup", 1)),
+            &engine,
+        );
+        assert!(cold.as_schedule().is_some());
+        // ...and both surfaces report cache-only mode.
+        let health = engine.health();
+        assert!(health.degraded);
+        assert!(health.store_configured);
+        assert!(!health.store_writable);
+        assert!(health.store_write_errors > 0);
+        let stats = engine.stats();
+        assert!(stats.degraded);
+        assert!(stats.store_write_errors > 0);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

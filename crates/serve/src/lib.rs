@@ -20,11 +20,18 @@
 //!   every deadline decision deterministically with a
 //!   [`ManualClock`](cim_tune::ManualClock).
 //! * [`daemon`] — the sockets: acceptors, per-connection handlers, and
-//!   the dispatcher thread delivering queued responses.
+//!   the dispatcher thread delivering queued responses. Hardened:
+//!   per-connection read timeouts, a bounded frame reader (oversized
+//!   lines get a typed `line_too_long`, the connection survives), and
+//!   deterministic connection-fault injection via
+//!   [`FaultPlan`](cim_bench::runner::FaultPlan). When the persistent
+//!   store stops accepting writes the daemon degrades to cache-only
+//!   mode and keeps answering — `stats` and the `health` op surface it.
 //! * [`stats`] — p50/p99 latency, throughput, hit rates, queue depth —
 //!   the payload of a `stats` request.
 //! * [`client`] — a minimal blocking client (used by the `serve-bench`
-//!   driver and the end-to-end tests).
+//!   driver and the end-to-end tests), with seeded
+//!   backoff-and-reconnect retries ([`RetryPolicy`]).
 //!
 //! Binaries: `cim-serve` (the daemon) and `serve-bench` (a client
 //! driver measuring sustained cold/warm requests per second into
@@ -62,11 +69,11 @@ pub mod protocol;
 pub mod registry;
 pub mod stats;
 
-pub use client::Client;
-pub use daemon::{Daemon, DaemonOptions};
+pub use client::{Client, RetryPolicy};
+pub use daemon::{Daemon, DaemonOptions, DEFAULT_MAX_LINE_BYTES, DEFAULT_READ_TIMEOUT};
 pub use engine::{EngineOptions, ServeEngine, Submission, Ticket};
 pub use protocol::{
-    ErrorCode, Op, Request, Response, ResponseBody, ScheduleReply, ServeError,
+    ErrorCode, HealthReport, Op, Request, Response, ResponseBody, ScheduleReply, ServeError,
 };
 pub use registry::{build_config, ModelEntry, ModelRegistry, STRATEGIES};
 pub use stats::{percentile, StatsSnapshot};

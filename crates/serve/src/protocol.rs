@@ -30,6 +30,9 @@ pub enum Op {
     Schedule,
     /// Report the daemon's service-level statistics.
     Stats,
+    /// Report the daemon's health (degraded-mode flags, store
+    /// writability, queue pressure) — cheap enough for probes.
+    Health,
     /// Liveness probe.
     Ping,
     /// Ask the daemon to finish queued work and exit.
@@ -42,6 +45,7 @@ impl Op {
         match self {
             Op::Schedule => "schedule",
             Op::Stats => "stats",
+            Op::Health => "health",
             Op::Ping => "ping",
             Op::Shutdown => "shutdown",
         }
@@ -52,6 +56,7 @@ impl Op {
         match s {
             "schedule" => Some(Op::Schedule),
             "stats" => Some(Op::Stats),
+            "health" => Some(Op::Health),
             "ping" => Some(Op::Ping),
             "shutdown" => Some(Op::Shutdown),
             _ => None,
@@ -198,6 +203,9 @@ pub enum ErrorCode {
     Overloaded,
     /// The scheduling pipeline itself failed for this configuration.
     ScheduleFailed,
+    /// The request line exceeded the daemon's configured frame bound;
+    /// the oversized line was discarded, the connection stays usable.
+    LineTooLong,
 }
 
 impl ErrorCode {
@@ -211,7 +219,17 @@ impl ErrorCode {
             ErrorCode::DeadlineExpired => "deadline_expired",
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::ScheduleFailed => "schedule_failed",
+            ErrorCode::LineTooLong => "line_too_long",
         }
+    }
+
+    /// Whether a request rejected with this code is worth resending as
+    /// is: the failure reflects transient daemon state (load shed), not
+    /// the request itself. Drives the client's seeded backoff-and-retry
+    /// loop — retrying a `bad_request` or `unknown_model` forever would
+    /// only reproduce the same reply.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, ErrorCode::Overloaded)
     }
 
     /// Parses a wire name.
@@ -224,6 +242,7 @@ impl ErrorCode {
             "deadline_expired" => Some(ErrorCode::DeadlineExpired),
             "overloaded" => Some(ErrorCode::Overloaded),
             "schedule_failed" => Some(ErrorCode::ScheduleFailed),
+            "line_too_long" => Some(ErrorCode::LineTooLong),
             _ => None,
         }
     }
@@ -286,6 +305,30 @@ pub struct ScheduleReply {
     pub observed: Vec<String>,
 }
 
+/// The payload of a `health` response — the degraded-mode flags a
+/// supervisor polls to decide whether the daemon needs attention. The
+/// daemon keeps answering in degraded mode (cache-only: the persistent
+/// store stopped accepting writes), so liveness alone cannot tell the
+/// difference; this report can.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// `true` when the daemon is in cache-only degraded mode: a
+    /// persistent store is configured but writes to it fail, so answers
+    /// come from the in-memory cache and nothing persists.
+    pub degraded: bool,
+    /// Whether a persistent store is configured at all.
+    pub store_configured: bool,
+    /// Whether the configured store currently accepts writes (`true`
+    /// when no store is configured — nothing to degrade).
+    pub store_writable: bool,
+    /// Store writes that failed over the daemon's lifetime.
+    pub store_write_errors: u64,
+    /// Requests admitted but not yet completed.
+    pub queue_depth: u64,
+    /// Requests parked on unfinished `after` dependencies.
+    pub parked: u64,
+}
+
 /// The body of a response.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ResponseBody {
@@ -293,6 +336,8 @@ pub enum ResponseBody {
     Schedule(ScheduleReply),
     /// A statistics snapshot.
     Stats(StatsSnapshot),
+    /// A health report.
+    Health(HealthReport),
     /// Reply to `ping`.
     Pong,
     /// Acknowledgement of `shutdown`.
@@ -351,6 +396,14 @@ impl Response {
             _ => None,
         }
     }
+
+    /// The health payload, if this is a health response.
+    pub fn as_health(&self) -> Option<&HealthReport> {
+        match &self.body {
+            ResponseBody::Health(h) => Some(h),
+            _ => None,
+        }
+    }
 }
 
 impl Serialize for Response {
@@ -364,6 +417,10 @@ impl Serialize for Response {
             ResponseBody::Stats(snapshot) => {
                 map.push(("status".into(), Value::Str("ok".into())));
                 map.push(("stats".into(), snapshot.to_value()));
+            }
+            ResponseBody::Health(report) => {
+                map.push(("status".into(), Value::Str("ok".into())));
+                map.push(("health".into(), report.to_value()));
             }
             ResponseBody::Pong => {
                 map.push(("status".into(), Value::Str("ok".into())));
@@ -399,6 +456,8 @@ impl Deserialize for Response {
             ResponseBody::Schedule(ScheduleReply::from_value(result)?)
         } else if let Some(stats) = Value::map_get(map, "stats") {
             ResponseBody::Stats(StatsSnapshot::from_value(stats)?)
+        } else if let Some(health) = Value::map_get(map, "health") {
+            ResponseBody::Health(HealthReport::from_value(health)?)
         } else if Value::map_get(map, "pong").is_some() {
             ResponseBody::Pong
         } else if Value::map_get(map, "shutdown").is_some() {
@@ -471,6 +530,17 @@ mod tests {
                 id: "d".into(),
                 body: ResponseBody::Shutdown,
             },
+            Response {
+                id: "e".into(),
+                body: ResponseBody::Health(HealthReport {
+                    degraded: true,
+                    store_configured: true,
+                    store_writable: false,
+                    store_write_errors: 3,
+                    queue_depth: 1,
+                    parked: 0,
+                }),
+            },
         ] {
             let json = serde_json::to_string(&resp).unwrap();
             let back: Response = serde_json::from_str(&json).unwrap();
@@ -488,9 +558,35 @@ mod tests {
             ErrorCode::DeadlineExpired,
             ErrorCode::Overloaded,
             ErrorCode::ScheduleFailed,
+            ErrorCode::LineTooLong,
         ] {
             assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
         }
         assert_eq!(ErrorCode::parse("nope"), None);
+    }
+
+    #[test]
+    fn only_load_shed_is_retryable() {
+        assert!(ErrorCode::Overloaded.is_retryable());
+        for code in [
+            ErrorCode::BadRequest,
+            ErrorCode::UnknownModel,
+            ErrorCode::UnknownStrategy,
+            ErrorCode::UnknownDependency,
+            ErrorCode::DeadlineExpired,
+            ErrorCode::ScheduleFailed,
+            ErrorCode::LineTooLong,
+        ] {
+            assert!(!code.is_retryable(), "{}", code.as_str());
+        }
+    }
+
+    #[test]
+    fn health_op_round_trips() {
+        let req = Request::bare("h1", Op::Health);
+        let json = serde_json::to_string(&req).unwrap();
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(Op::parse("health"), Some(Op::Health));
     }
 }

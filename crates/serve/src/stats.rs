@@ -61,6 +61,12 @@ pub struct StatsSnapshot {
     pub cache_hits: u64,
     /// In-memory schedule-cache lookups over the daemon's lifetime.
     pub cache_lookups: u64,
+    /// Persistent-store writes that failed over the daemon's lifetime.
+    pub store_write_errors: u64,
+    /// `true` while the daemon runs cache-only: a persistent store is
+    /// configured but currently rejects writes, so answers still flow
+    /// (warm from memory, cold recomputed) but nothing persists.
+    pub degraded: bool,
 }
 
 #[cfg(test)]
@@ -99,6 +105,8 @@ mod tests {
             store_lookups: 5,
             cache_hits: 1,
             cache_lookups: 4,
+            store_write_errors: 1,
+            degraded: true,
         };
         let back: StatsSnapshot =
             serde_json::from_str(&serde_json::to_string(&snap).unwrap()).unwrap();

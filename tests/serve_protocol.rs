@@ -36,13 +36,12 @@ fn child_serve_daemon() {
         return;
     };
     let daemon = Daemon::bind(DaemonOptions {
-        socket: PathBuf::from(socket),
-        tcp: None,
         engine: EngineOptions {
             jobs: 2,
             max_queue: 64,
         },
         cache_dir: std::env::var(CACHE_ENV).ok().map(PathBuf::from),
+        ..DaemonOptions::at(PathBuf::from(socket))
     })
     .expect("daemon binds");
     daemon.run().expect("daemon runs to shutdown");
