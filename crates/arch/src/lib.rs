@@ -35,6 +35,7 @@ pub mod arch;
 pub mod crossbar;
 pub mod energy;
 pub mod error;
+pub mod fabric;
 pub mod noc;
 pub mod placement;
 pub mod tile;
@@ -43,6 +44,7 @@ pub use arch::Architecture;
 pub use crossbar::CrossbarSpec;
 pub use energy::{EnduranceTracker, EnergyLog, EnergyModel};
 pub use error::{ArchError, Result};
+pub use fabric::{CoResidency, FabricSpec};
 pub use noc::{NocSpec, TileCoord};
-pub use placement::{place_groups, PeId, Placement, PlacementStrategy};
+pub use placement::{place_groups, place_groups_at, PeId, Placement, PlacementStrategy};
 pub use tile::{TileId, TileSpec};

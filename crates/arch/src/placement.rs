@@ -133,6 +133,26 @@ pub fn place_groups(
     group_sizes: &[usize],
     strategy: PlacementStrategy,
 ) -> Result<Placement> {
+    place_groups_at(arch, group_sizes, strategy, 0)
+}
+
+/// [`place_groups`] with the PE visiting order rotated left by `start_pe`
+/// (modulo the PE count): the first group's first PE lands on
+/// `start_pe` instead of PE 0, wrapping around the chip. This is how
+/// co-resident fabric tenants get *disjoint* starting regions
+/// ([`CoResidency::Partitioned`](crate::CoResidency::Partitioned)) without
+/// changing the placement semantics within a tenant — `start_pe == 0` is
+/// exactly [`place_groups`].
+///
+/// # Errors
+///
+/// Same conditions as [`place_groups`].
+pub fn place_groups_at(
+    arch: &Architecture,
+    group_sizes: &[usize],
+    strategy: PlacementStrategy,
+    start_pe: usize,
+) -> Result<Placement> {
     let required: usize = group_sizes.iter().sum();
     if required > arch.total_pes() {
         return Err(ArchError::InsufficientPes {
@@ -146,7 +166,7 @@ pub fn place_groups(
             detail: format!("group {i} has zero PEs"),
         });
     }
-    let order: Vec<usize> = match strategy {
+    let mut order: Vec<usize> = match strategy {
         PlacementStrategy::Contiguous => (0..arch.total_pes()).collect(),
         PlacementStrategy::RoundRobinTiles => {
             // Visit PEs tile-by-tile in a striped order: tile0.pe0, tile1.pe0,
@@ -166,6 +186,10 @@ pub fn place_groups(
             order
         }
     };
+    if !order.is_empty() {
+        let shift = start_pe % order.len();
+        order.rotate_left(shift);
+    }
     let mut cursor = order.into_iter();
     let mut group_pes = Vec::with_capacity(group_sizes.len());
     let mut group_tiles = Vec::with_capacity(group_sizes.len());
@@ -212,6 +236,30 @@ mod tests {
         // Group 0 takes tile0.pe0 and tile1.pe0 — one PE on each tile.
         assert_eq!(p.tiles(0), &[TileId(0), TileId(1)]);
         assert_eq!(p.tiles(1), &[TileId(0), TileId(1)]);
+    }
+
+    #[test]
+    fn offset_placement_rotates_and_wraps() {
+        let arch = Architecture::paper_case_study(16).unwrap(); // 8 PEs/tile
+        // Offset 0 is exactly place_groups.
+        assert_eq!(
+            place_groups_at(&arch, &[4, 4], PlacementStrategy::Contiguous, 0).unwrap(),
+            place_groups(&arch, &[4, 4], PlacementStrategy::Contiguous).unwrap()
+        );
+        // Offset 8 starts the first group on tile 1.
+        let p = place_groups_at(&arch, &[4, 4], PlacementStrategy::Contiguous, 8).unwrap();
+        assert_eq!(p.pes(0)[0], PeId(8));
+        assert_eq!(p.home_tile(0), TileId(1));
+        // Wrapping: 12 + 8 PEs wrap back over tile 0.
+        let p = place_groups_at(&arch, &[8, 8], PlacementStrategy::Contiguous, 12).unwrap();
+        assert_eq!(p.pes(0)[0], PeId(12));
+        assert_eq!(p.pes(1).last().copied(), Some(PeId(11)));
+        assert_eq!(p.used_pes(), 16);
+        // Offsets beyond the chip reduce modulo the PE count.
+        assert_eq!(
+            place_groups_at(&arch, &[4], PlacementStrategy::Contiguous, 16 + 3).unwrap(),
+            place_groups_at(&arch, &[4], PlacementStrategy::Contiguous, 3).unwrap()
+        );
     }
 
     #[test]

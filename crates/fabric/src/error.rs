@@ -1,0 +1,107 @@
+//! Error type of the fabric simulation.
+
+use std::fmt;
+
+/// Errors produced while preparing or running a multi-tenant mix.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FabricError {
+    /// The tenant mix itself is malformed (empty, duplicate names, bad
+    /// `model:streams` syntax, zero stream counts).
+    BadMix {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// An architecture operation failed (placement, geometry).
+    Arch(cim_arch::ArchError),
+    /// A Stage-I/II or edge-cost computation failed.
+    Core(clsa_core::CoreError),
+    /// Graph canonicalization failed.
+    Frontend(cim_frontend::FrontendError),
+    /// The layer cost model rejected the graph.
+    Mapping(cim_mapping::MappingError),
+    /// The shared event core failed (bad workload, deadlock).
+    Sim(cim_sim::SimError),
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::BadMix { detail } => write!(f, "bad tenant mix: {detail}"),
+            FabricError::Arch(e) => write!(f, "{e}"),
+            FabricError::Core(e) => write!(f, "{e}"),
+            FabricError::Frontend(e) => write!(f, "{e}"),
+            FabricError::Mapping(e) => write!(f, "{e}"),
+            FabricError::Sim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FabricError::BadMix { .. } => None,
+            FabricError::Arch(e) => Some(e),
+            FabricError::Core(e) => Some(e),
+            FabricError::Frontend(e) => Some(e),
+            FabricError::Mapping(e) => Some(e),
+            FabricError::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<cim_arch::ArchError> for FabricError {
+    fn from(e: cim_arch::ArchError) -> Self {
+        FabricError::Arch(e)
+    }
+}
+
+impl From<clsa_core::CoreError> for FabricError {
+    fn from(e: clsa_core::CoreError) -> Self {
+        FabricError::Core(e)
+    }
+}
+
+impl From<cim_frontend::FrontendError> for FabricError {
+    fn from(e: cim_frontend::FrontendError) -> Self {
+        FabricError::Frontend(e)
+    }
+}
+
+impl From<cim_mapping::MappingError> for FabricError {
+    fn from(e: cim_mapping::MappingError) -> Self {
+        FabricError::Mapping(e)
+    }
+}
+
+impl From<cim_sim::SimError> for FabricError {
+    fn from(e: cim_sim::SimError) -> Self {
+        FabricError::Sim(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, FabricError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = FabricError::BadMix {
+            detail: "empty".into(),
+        };
+        assert!(e.to_string().contains("empty"));
+        let wrapped = FabricError::Sim(cim_sim::SimError::Deadlock {
+            completed: 1,
+            total: 2,
+        });
+        assert!(wrapped.to_string().contains("1 of 2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FabricError>();
+    }
+}

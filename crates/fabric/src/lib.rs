@@ -1,0 +1,57 @@
+//! # cim-fabric — multi-tenant fabric simulation
+//!
+//! N models sharing one CIM chip: this crate interleaves several tenants'
+//! inference streams over the shared event core of `cim-sim`
+//! ([`cim_sim::run_shared`]) and reports who got slowed down by whom.
+//!
+//! Three contention points are modelled (all off by default): tile
+//! occupancy (a tile executes one tenant's sets at a time), finite NoC
+//! link bandwidth (cross-tenant traffic serializes on shared links), and
+//! crossbar weight residency (an undersized fabric evicts
+//! least-recently-used weight blocks, charging reload latency on next
+//! use). The single-tenant simulator is literally the `N == 1` special
+//! case of the same core, so fabric results and `cim-sim` results can
+//! never drift apart.
+//!
+//! Results come back as a [`FabricResult`]: per-tenant makespan and
+//! slowdown versus running alone, Jain's fairness index, aggregate tile
+//! utilization, link-contention stalls, and eviction/reload counts — all
+//! in integer milli-units, byte-stable for any `jobs` value and tenant
+//! insertion order.
+//!
+//! # Examples
+//!
+//! ```
+//! use cim_fabric::{arch_for_mix, run_mix, FabricConfig, TenantInstance};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Two streams of the paper's Fig. 5 example on one chip.
+//! let base = TenantInstance::prepare("fig5", &cim_models::fig5_example())?;
+//! let mut second = base.clone();
+//! second.name = "fig5#1".into();
+//! let tenants = vec![base, second];
+//! let config = FabricConfig::new(arch_for_mix(&tenants, 0)?);
+//! let result = run_mix(&tenants, &config)?;
+//! assert_eq!(result.tenants.len(), 2);
+//! // Sharing the same tiles slows at least one stream down.
+//! assert!(result.worst_slowdown() >= 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod result;
+mod sim;
+mod tenant;
+
+pub use error::{FabricError, Result};
+pub use result::{FabricResult, TenantReport};
+pub use sim::{arch_for_mix, run_mix, FabricConfig, TenantInstance};
+pub use tenant::{parse_tenant_list, TenantSpec};
+
+// Re-exported so downstream callers can configure a mix without naming
+// cim-arch directly.
+pub use cim_arch::{CoResidency, FabricSpec};

@@ -1,0 +1,183 @@
+//! Fabric run results: per-tenant reports and aggregate fairness metrics.
+//!
+//! All ratios are stored as **integer milli-units** (`1000` = 1.0) computed
+//! with `u128` intermediate math, so serialized results are byte-stable
+//! across platforms and `--jobs` values — no floating-point formatting in
+//! the wire format. Float accessors are provided for display code.
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one tenant in a shared-fabric run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantReport {
+    /// Instance name (`model#stream`).
+    pub tenant: String,
+    /// Model this stream runs.
+    pub model: String,
+    /// Cycle at which the tenant's first set became eligible.
+    pub arrival: u64,
+    /// Last finish minus arrival on the shared fabric.
+    pub span_cycles: u64,
+    /// The same tenant's makespan running alone on the same fabric.
+    pub solo_cycles: u64,
+    /// `span / solo` in milli-units (`1000` = no slowdown).
+    pub slowdown_milli: u64,
+    /// Tile-ownership cycles attributed to this tenant.
+    pub busy_cycles: u64,
+    /// Cycles pushed back waiting for tiles owned by other tenants.
+    pub occupancy_stall_cycles: u64,
+    /// Cycles this tenant's messages waited for busy NoC links.
+    pub link_stall_cycles: u64,
+    /// Cycles spent re-programming evicted weight blocks.
+    pub reload_cycles: u64,
+    /// Weight blocks of this tenant evicted during the run.
+    pub evictions: u64,
+    /// Bookings that had to reload an evicted block.
+    pub reloads: u64,
+}
+
+impl TenantReport {
+    /// Slowdown versus running alone, as a float (`1.0` = no slowdown).
+    pub fn slowdown(&self) -> f64 {
+        self.slowdown_milli as f64 / 1000.0
+    }
+}
+
+/// Aggregate outcome of one multi-tenant fabric run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FabricResult {
+    /// Per-tenant reports, sorted by instance name (insertion-order
+    /// independent).
+    pub tenants: Vec<TenantReport>,
+    /// Last finish over all tenants (absolute fabric time).
+    pub makespan_cycles: u64,
+    /// Largest per-tenant [`TenantReport::slowdown_milli`].
+    pub worst_slowdown_milli: u64,
+    /// Jain's fairness index over per-tenant speeds (`solo / span`), in
+    /// milli-units: `1000` = perfectly fair, `1000 / n` = one tenant
+    /// monopolizes the chip.
+    pub jain_fairness_milli: u64,
+    /// Σ tenant busy cycles over `tiles × makespan`, in milli-units —
+    /// aggregate tile-occupancy utilization of the fabric.
+    pub utilization_milli: u64,
+    /// Total cycles messages waited for busy NoC links, over all tenants.
+    pub link_stall_cycles: u64,
+    /// Total weight-block evictions.
+    pub evictions: u64,
+    /// Total weight-block reloads paid.
+    pub reloads: u64,
+}
+
+impl FabricResult {
+    /// Worst tenant slowdown as a float.
+    pub fn worst_slowdown(&self) -> f64 {
+        self.worst_slowdown_milli as f64 / 1000.0
+    }
+
+    /// Jain's fairness index as a float in `(0, 1]`.
+    pub fn jain_fairness(&self) -> f64 {
+        self.jain_fairness_milli as f64 / 1000.0
+    }
+
+    /// Aggregate tile utilization as a float in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        self.utilization_milli as f64 / 1000.0
+    }
+}
+
+/// `span / solo` in milli-units, floor division over `u128`. A zero solo
+/// baseline (degenerate empty workload) reports `1000`.
+pub(crate) fn slowdown_milli(span_cycles: u64, solo_cycles: u64) -> u64 {
+    if solo_cycles == 0 {
+        return 1000;
+    }
+    (span_cycles as u128 * 1000 / solo_cycles as u128) as u64
+}
+
+/// Jain's fairness index `(Σx)² / (n · Σx²)` in milli-units over integer
+/// speed samples. Scale-invariant, so the milli-unit speeds feed in
+/// directly. Empty or all-zero samples report `1000` (vacuously fair).
+pub(crate) fn jain_milli(speeds: &[u64]) -> u64 {
+    let n = speeds.len() as u128;
+    let sum: u128 = speeds.iter().map(|&x| x as u128).sum();
+    let sum_sq: u128 = speeds.iter().map(|&x| x as u128 * x as u128).sum();
+    if n == 0 || sum_sq == 0 {
+        return 1000;
+    }
+    (sum * sum * 1000 / (n * sum_sq)) as u64
+}
+
+/// `num · 1000 / den` in milli-units over `u128` (0 when `den` is 0).
+pub(crate) fn milli_ratio(num: u128, den: u128) -> u64 {
+    if den == 0 {
+        return 0;
+    }
+    (num * 1000 / den) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slowdown_floors_and_guards() {
+        assert_eq!(slowdown_milli(1500, 1000), 1500);
+        assert_eq!(slowdown_milli(1000, 1000), 1000);
+        assert_eq!(slowdown_milli(1234, 0), 1000);
+        // Floor division: 1001/3 = 333.67 → 333_666 milli ÷ ... stays exact
+        // in u128 (no overflow at u64 extremes).
+        assert_eq!(slowdown_milli(u64::MAX, u64::MAX), 1000);
+    }
+
+    #[test]
+    fn jain_bounds() {
+        // Equal speeds: perfectly fair.
+        assert_eq!(jain_milli(&[700, 700, 700]), 1000);
+        // One tenant monopolizes: 1/n.
+        assert_eq!(jain_milli(&[1000, 0, 0, 0]), 250);
+        // Skew lands strictly between.
+        let j = jain_milli(&[1000, 500]);
+        assert!(j > 500 && j < 1000, "{j}");
+        // Degenerate inputs are vacuously fair.
+        assert_eq!(jain_milli(&[]), 1000);
+        assert_eq!(jain_milli(&[0, 0]), 1000);
+    }
+
+    #[test]
+    fn milli_ratio_guards_zero() {
+        assert_eq!(milli_ratio(1, 0), 0);
+        assert_eq!(milli_ratio(3, 4), 750);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let result = FabricResult {
+            tenants: vec![TenantReport {
+                tenant: "fig5#0".into(),
+                model: "fig5".into(),
+                arrival: 0,
+                span_cycles: 10,
+                solo_cycles: 10,
+                slowdown_milli: 1000,
+                busy_cycles: 10,
+                occupancy_stall_cycles: 0,
+                link_stall_cycles: 0,
+                reload_cycles: 0,
+                evictions: 0,
+                reloads: 0,
+            }],
+            makespan_cycles: 10,
+            worst_slowdown_milli: 1000,
+            jain_fairness_milli: 1000,
+            utilization_milli: 500,
+            link_stall_cycles: 0,
+            evictions: 0,
+            reloads: 0,
+        };
+        let s = serde_json::to_string(&result).unwrap();
+        assert_eq!(serde_json::from_str::<FabricResult>(&s).unwrap(), result);
+        assert!((result.jain_fairness() - 1.0).abs() < 1e-12);
+        assert!((result.utilization() - 0.5).abs() < 1e-12);
+        assert!((result.tenants[0].slowdown() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,111 @@
+//! Tenant mix parsing: the `model:streams,model:streams,…` CLI syntax.
+
+use crate::error::{FabricError, Result};
+
+/// One entry of a tenant mix: a model and how many independent inference
+/// streams of it share the chip.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// Model name (resolved by the caller, e.g. against `cim-models`).
+    pub model: String,
+    /// Independent streams of this model (each stream is its own tenant).
+    pub streams: usize,
+}
+
+impl TenantSpec {
+    /// Instance names of this spec's streams: `model#0`, `model#1`, …
+    /// Stream indices make names unique within one spec; [`parse_tenant_list`]
+    /// rejects duplicate models, making them unique across the whole mix.
+    pub fn instance_names(&self) -> Vec<String> {
+        (0..self.streams)
+            .map(|i| format!("{}#{i}", self.model))
+            .collect()
+    }
+}
+
+/// Parses `model[:streams],model[:streams],…` (streams defaults to 1).
+///
+/// # Errors
+///
+/// Returns [`FabricError::BadMix`] on empty input, empty model names,
+/// non-numeric or zero stream counts, more than 64 total streams, or a
+/// model listed twice (merge the counts instead — instance names must be
+/// unique).
+pub fn parse_tenant_list(list: &str) -> Result<Vec<TenantSpec>> {
+    let mut specs: Vec<TenantSpec> = Vec::new();
+    let mut total = 0usize;
+    for entry in list.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            return Err(FabricError::BadMix {
+                detail: format!("empty entry in tenant list {list:?}"),
+            });
+        }
+        let (model, streams) = match entry.split_once(':') {
+            None => (entry, 1),
+            Some((m, c)) => {
+                let streams = c.parse::<usize>().map_err(|_| FabricError::BadMix {
+                    detail: format!("stream count {c:?} of {m:?} is not a positive integer"),
+                })?;
+                (m, streams)
+            }
+        };
+        if model.is_empty() {
+            return Err(FabricError::BadMix {
+                detail: format!("missing model name in entry {entry:?}"),
+            });
+        }
+        if streams == 0 {
+            return Err(FabricError::BadMix {
+                detail: format!("model {model:?} requests zero streams"),
+            });
+        }
+        if specs.iter().any(|s| s.model == model) {
+            return Err(FabricError::BadMix {
+                detail: format!("model {model:?} listed twice; merge the stream counts"),
+            });
+        }
+        total += streams;
+        if total > 64 {
+            return Err(FabricError::BadMix {
+                detail: "tenant mix exceeds 64 streams".into(),
+            });
+        }
+        specs.push(TenantSpec {
+            model: model.to_string(),
+            streams,
+        });
+    }
+    Ok(specs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_counts_and_defaults() {
+        let specs = parse_tenant_list("fig5:2, lenet").unwrap();
+        assert_eq!(
+            specs,
+            vec![
+                TenantSpec {
+                    model: "fig5".into(),
+                    streams: 2
+                },
+                TenantSpec {
+                    model: "lenet".into(),
+                    streams: 1
+                },
+            ]
+        );
+        assert_eq!(specs[0].instance_names(), vec!["fig5#0", "fig5#1"]);
+    }
+
+    #[test]
+    fn rejects_malformed_mixes() {
+        for bad in ["", "fig5:", "fig5:0", ":2", "fig5,,lenet", "a,a", "a:65"] {
+            assert!(parse_tenant_list(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cim-serve [--socket <path>] [--tcp <addr>] [--max-queue <n>]
-//!           [--jobs <n>] [--cache-dir <dir>]
+//!           [--tenant-quota <n>] [--jobs <n>] [--cache-dir <dir>]
 //!           [--read-timeout-ms <ms>] [--max-line-bytes <n>]
 //!           [--fault-seed S --fault-rate site=per_mille ... --fault-delay-ms MS]
 //! ```
@@ -11,7 +11,10 @@
 //! newline-delimited JSON requests and serves until a
 //! `{"op":"shutdown"}` request arrives; then prints the final service
 //! statistics. `--cache-dir` makes results durable across daemon
-//! generations (warm restarts answer from disk).
+//! generations (warm restarts answer from disk). `--tenant-quota`
+//! bounds how many pending computations any single model may hold in
+//! the queue at once — excess requests get a retryable
+//! `quota_exceeded` error instead of starving the other tenants.
 //!
 //! Hardening knobs: `--read-timeout-ms` bounds how long an idle
 //! connection pins its handler thread (`0` = wait forever), and
@@ -56,6 +59,14 @@ fn main() {
     let max_queue = flag_value(rest, "--max-queue")
         .map(|v| parse_unsigned("--max-queue", v) as usize)
         .unwrap_or(256);
+    let tenant_quota = flag_value(rest, "--tenant-quota").map(|v| {
+        let quota = parse_unsigned("--tenant-quota", v) as usize;
+        if quota == 0 {
+            eprintln!("--tenant-quota must be at least 1 (omit the flag to disable)");
+            std::process::exit(2);
+        }
+        quota
+    });
     let read_timeout = match flag_value(rest, "--read-timeout-ms")
         .map(|v| parse_unsigned("--read-timeout-ms", v))
     {
@@ -76,6 +87,7 @@ fn main() {
         engine: EngineOptions {
             jobs: common.runner.jobs,
             max_queue,
+            tenant_quota,
         },
         cache_dir: common.cache_dir.clone().map(Into::into),
         read_timeout,
@@ -91,12 +103,16 @@ fn main() {
         std::process::exit(1);
     });
     println!(
-        "cim-serve: listening on {socket}{} (jobs {}, max-queue {max_queue}{})",
+        "cim-serve: listening on {socket}{} (jobs {}, max-queue {max_queue}{}{})",
         match daemon.tcp_addr() {
             Some(addr) => format!(" + tcp {addr}"),
             None => String::new(),
         },
         common.runner.jobs,
+        match tenant_quota {
+            Some(quota) => format!(", tenant-quota {quota}"),
+            None => String::new(),
+        },
         match &common.cache_dir {
             Some(dir) => format!(", cache-dir {dir}"),
             None => String::new(),

@@ -148,6 +148,7 @@ fn generation(
         engine: EngineOptions {
             jobs,
             max_queue: lines.len().max(16),
+            tenant_quota: None,
         },
         cache_dir: Some(cache_dir.to_path_buf()),
         ..DaemonOptions::at(socket)

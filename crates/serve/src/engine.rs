@@ -29,7 +29,7 @@
 //! in EDF order and the lane pool reassembles results in item order, the
 //! full response stream is bit-for-bit independent of the worker count.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -45,7 +45,7 @@ use parking_lot::Mutex;
 
 use crate::protocol::{ErrorCode, HealthReport, Op, Request, Response, ScheduleReply, ServeError};
 use crate::registry::{build_config, ModelRegistry};
-use crate::stats::{percentile, StatsSnapshot};
+use crate::stats::{percentile, StatsSnapshot, TenantStat};
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -54,6 +54,13 @@ pub struct EngineOptions {
     pub jobs: usize,
     /// Admission limit: queued + parked entries beyond this are shed.
     pub max_queue: usize,
+    /// Per-tenant admission limit: with `Some(n)`, one tenant (a
+    /// request's resolved model) may hold at most `n` pending
+    /// computations across the queue and the parked set; excess requests
+    /// are shed with a retryable `quota_exceeded` error. `None` disables
+    /// the gate. Coalescing onto an existing computation never counts —
+    /// it consumes no new slot.
+    pub tenant_quota: Option<usize>,
 }
 
 impl Default for EngineOptions {
@@ -61,6 +68,7 @@ impl Default for EngineOptions {
         EngineOptions {
             jobs: 1,
             max_queue: 256,
+            tenant_quota: None,
         }
     }
 }
@@ -119,6 +127,16 @@ impl PendingEntry {
     }
 }
 
+/// Lifetime counters for one tenant (queued depth is derived from the
+/// queue/parked sets at snapshot time instead).
+#[derive(Debug, Clone, Copy, Default)]
+struct TenantCounters {
+    submitted: u64,
+    ok: u64,
+    errors: u64,
+    quota_shed: u64,
+}
+
 /// Mutable engine state, guarded by one mutex.
 #[derive(Debug, Default)]
 struct EngineState {
@@ -135,6 +153,8 @@ struct EngineState {
     completion_log: Vec<String>,
     next_seq: u64,
     next_ticket: Ticket,
+    /// Per-tenant lifetime counters, keyed by resolved model name.
+    tenants: BTreeMap<String, TenantCounters>,
 }
 
 /// The scheduling service with the sockets removed. See the module docs.
@@ -265,7 +285,9 @@ impl ServeEngine {
         let deadline = req.deadline_ms.map(|ms| arrival + Duration::from_millis(ms));
 
         let mut st = self.state.lock();
+        st.tenants.entry(entry.name.clone()).or_default().submitted += 1;
         if st.registered.contains(&req.id) {
+            st.tenants.entry(entry.name.clone()).or_default().errors += 1;
             drop(st);
             return self.reject(
                 &req.id,
@@ -277,6 +299,7 @@ impl ServeEngine {
         }
         for dep in &req.after {
             if !st.registered.contains(dep) {
+                st.tenants.entry(entry.name.clone()).or_default().errors += 1;
                 drop(st);
                 return self.reject(
                     &req.id,
@@ -302,6 +325,7 @@ impl ServeEngine {
                 None
             };
             if let Some(summary) = warm {
+                st.tenants.entry(entry.name.clone()).or_default().ok += 1;
                 st.registered.insert(req.id.clone());
                 st.completed.insert(req.id.clone());
                 st.completion_log.push(req.id.clone());
@@ -347,6 +371,33 @@ impl ServeEngine {
                 drop(st);
                 self.coalesced.fetch_add(1, Ordering::Relaxed);
                 return Submission::Enqueued(ticket);
+            }
+        }
+
+        // Per-tenant admission: with a quota configured, one tenant may
+        // hold at most that many pending computations across the queue
+        // and the parked set. Checked before the global depth so a noisy
+        // tenant hears `quota_exceeded` (its own doing) rather than
+        // `overloaded` (everyone's problem). Shed requests are *not*
+        // registered — the id may be retried once earlier work drains.
+        if let Some(quota) = self.opts.tenant_quota {
+            let held = st
+                .queue
+                .iter()
+                .chain(st.parked.iter())
+                .filter(|e| e.model == entry.name)
+                .count();
+            if held >= quota {
+                st.tenants.entry(entry.name.clone()).or_default().quota_shed += 1;
+                drop(st);
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                return Submission::Immediate(Response::error(
+                    &req.id,
+                    ServeError::new(
+                        ErrorCode::QuotaExceeded,
+                        format!("tenant `{}` at its queue quota ({quota})", entry.name),
+                    ),
+                ));
             }
         }
 
@@ -539,6 +590,12 @@ impl ServeEngine {
                         }
                     };
                     self.completed.fetch_add(1, Ordering::Relaxed);
+                    let tenant = st.tenants.entry(entry.model.clone()).or_default();
+                    if response.as_error().is_some() {
+                        tenant.errors += 1;
+                    } else {
+                        tenant.ok += 1;
+                    }
                     let latency = done.saturating_sub(sub.arrival);
                     self.latencies
                         .lock()
@@ -577,9 +634,25 @@ impl ServeEngine {
 
     /// A point-in-time statistics snapshot.
     pub fn stats(&self) -> StatsSnapshot {
-        let (queue_depth, parked) = {
+        let (queue_depth, parked, tenants) = {
             let st = self.state.lock();
-            (st.queue.len() as u64, st.parked.len() as u64)
+            let mut queued_by_model: BTreeMap<&str, u64> = BTreeMap::new();
+            for e in st.queue.iter().chain(st.parked.iter()) {
+                *queued_by_model.entry(e.model.as_str()).or_default() += 1;
+            }
+            let tenants: Vec<TenantStat> = st
+                .tenants
+                .iter()
+                .map(|(model, c)| TenantStat {
+                    model: model.clone(),
+                    submitted: c.submitted,
+                    ok: c.ok,
+                    errors: c.errors,
+                    quota_shed: c.quota_shed,
+                    queued: queued_by_model.get(model.as_str()).copied().unwrap_or(0),
+                })
+                .collect();
+            (st.queue.len() as u64, st.parked.len() as u64, tenants)
         };
         let mut samples = self.latencies.lock().clone();
         samples.sort_unstable();
@@ -617,6 +690,7 @@ impl ServeEngine {
             cache_lookups: cache_stats.stage_lookups + cache_stats.schedule_lookups,
             store_write_errors: store_stats.write_errors,
             degraded,
+            tenants,
         }
     }
 
@@ -666,7 +740,11 @@ mod tests {
     fn engine(jobs: usize, max_queue: usize) -> (ServeEngine, Arc<ManualClock>) {
         let clock = Arc::new(ManualClock::new());
         let engine = ServeEngine::new(
-            EngineOptions { jobs, max_queue },
+            EngineOptions {
+                jobs,
+                max_queue,
+                tenant_quota: None,
+            },
             None,
             Arc::clone(&clock) as Arc<dyn Clock + Send + Sync>,
         );
@@ -774,7 +852,11 @@ mod tests {
             let store = ResultStore::open(&dir).expect("store opens");
             let clock = Arc::new(ManualClock::new());
             let engine = ServeEngine::new(
-                EngineOptions { jobs: 1, max_queue: 16 },
+                EngineOptions {
+                    jobs: 1,
+                    max_queue: 16,
+                    tenant_quota: None,
+                },
                 Some(store),
                 clock as Arc<dyn Clock + Send + Sync>,
             );
@@ -802,7 +884,11 @@ mod tests {
         store.set_fault_hook(plan);
         let clock = Arc::new(ManualClock::new());
         let engine = ServeEngine::new(
-            EngineOptions { jobs: 1, max_queue: 16 },
+            EngineOptions {
+                jobs: 1,
+                max_queue: 16,
+                tenant_quota: None,
+            },
             Some(store),
             clock as Arc<dyn Clock + Send + Sync>,
         );
@@ -833,6 +919,72 @@ mod tests {
     }
 
     #[test]
+    fn tenant_quota_sheds_then_frees_after_dispatch() {
+        let clock = Arc::new(ManualClock::new());
+        let engine = ServeEngine::new(
+            EngineOptions {
+                jobs: 1,
+                max_queue: 16,
+                tenant_quota: Some(1),
+            },
+            None,
+            Arc::clone(&clock) as Arc<dyn Clock + Send + Sync>,
+        );
+        // First fig5 computation occupies the tenant's single slot.
+        let t1 = match engine.submit(&Request::schedule("a", "fig5", "wdup", 1)) {
+            Submission::Enqueued(t) => t,
+            Submission::Immediate(r) => panic!("cold request must queue, got {r:?}"),
+        };
+        // A *different* fig5 computation exceeds the quota: typed,
+        // retryable, and the id stays reusable.
+        let shed = match engine.submit(&Request::schedule("b", "fig5", "xinf", 0)) {
+            Submission::Immediate(resp) => resp,
+            Submission::Enqueued(_) => panic!("over-quota request must shed"),
+        };
+        let err = shed.as_error().expect("typed shed");
+        assert_eq!(err.code, ErrorCode::QuotaExceeded);
+        assert!(err.code.is_retryable());
+        // An *identical* computation still coalesces — no new slot.
+        let t2 = match engine.submit(&Request::schedule("c", "fig5", "wdup", 1)) {
+            Submission::Enqueued(t) => t,
+            Submission::Immediate(r) => panic!("identical request must coalesce, got {r:?}"),
+        };
+        // Another tenant is unaffected by fig5's full quota.
+        let t3 = match engine.submit(&Request::schedule("d", "TinyYOLOv3", "xinf", 0)) {
+            Submission::Enqueued(t) => t,
+            Submission::Immediate(r) => panic!("other tenant must admit, got {r:?}"),
+        };
+        let snap = engine.stats();
+        let fig5 = snap.tenants.iter().find(|t| t.model == "fig5").unwrap();
+        assert_eq!((fig5.submitted, fig5.quota_shed, fig5.queued), (3, 1, 1));
+
+        let responses = engine.dispatch();
+        assert_eq!(responses.len(), 3);
+        for ticket in [t1, t2, t3] {
+            let resp = &responses.iter().find(|(t, _)| *t == ticket).unwrap().1;
+            assert!(resp.as_schedule().is_some());
+        }
+        // Dispatch drained the tenant's slot: the shed id retries fine
+        // (and answers warm — the wdup row seeded the cache, xinf is a
+        // fresh computation, so it queues).
+        match engine.submit(&Request::schedule("b", "fig5", "xinf", 0)) {
+            Submission::Enqueued(_) => {}
+            Submission::Immediate(r) => {
+                assert!(r.as_schedule().is_some(), "retry must succeed, got {r:?}")
+            }
+        }
+        let snap = engine.stats();
+        let fig5 = snap.tenants.iter().find(|t| t.model == "fig5").unwrap();
+        assert_eq!(fig5.ok, 2, "both fig5 subscribers answered ok");
+        assert_eq!(fig5.errors, 0);
+        let yolo = snap.tenants.iter().find(|t| t.model == "TinyYOLOv3").unwrap();
+        assert_eq!((yolo.submitted, yolo.ok, yolo.quota_shed), (1, 1, 0));
+        // Rows arrive sorted by model name.
+        let names: Vec<&str> = snap.tenants.iter().map(|t| t.model.as_str()).collect();
+        assert_eq!(names, ["TinyYOLOv3", "fig5"]);
+    }
+
+    #[test]
     fn throughput_measures_the_engines_own_service_interval() {
         // The engine is born into a clock that has already been running
         // for 100 s — a restart against a long-lived clock source.
@@ -842,6 +994,7 @@ mod tests {
             EngineOptions {
                 jobs: 1,
                 max_queue: 16,
+                tenant_quota: None,
             },
             None,
             Arc::clone(&clock) as Arc<dyn Clock + Send + Sync>,

@@ -76,4 +76,4 @@ pub use protocol::{
     ErrorCode, HealthReport, Op, Request, Response, ResponseBody, ScheduleReply, ServeError,
 };
 pub use registry::{build_config, ModelEntry, ModelRegistry, STRATEGIES};
-pub use stats::{percentile, StatsSnapshot};
+pub use stats::{percentile, StatsSnapshot, TenantStat};

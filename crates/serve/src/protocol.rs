@@ -201,6 +201,9 @@ pub enum ErrorCode {
     DeadlineExpired,
     /// Load shed: the admission queue is at its configured depth.
     Overloaded,
+    /// Per-tenant load shed: the requesting model already has its
+    /// configured quota of pending computations queued.
+    QuotaExceeded,
     /// The scheduling pipeline itself failed for this configuration.
     ScheduleFailed,
     /// The request line exceeded the daemon's configured frame bound;
@@ -218,18 +221,19 @@ impl ErrorCode {
             ErrorCode::UnknownDependency => "unknown_dependency",
             ErrorCode::DeadlineExpired => "deadline_expired",
             ErrorCode::Overloaded => "overloaded",
+            ErrorCode::QuotaExceeded => "quota_exceeded",
             ErrorCode::ScheduleFailed => "schedule_failed",
             ErrorCode::LineTooLong => "line_too_long",
         }
     }
 
     /// Whether a request rejected with this code is worth resending as
-    /// is: the failure reflects transient daemon state (load shed), not
-    /// the request itself. Drives the client's seeded backoff-and-retry
-    /// loop — retrying a `bad_request` or `unknown_model` forever would
-    /// only reproduce the same reply.
+    /// is: the failure reflects transient daemon state (global or
+    /// per-tenant load shed), not the request itself. Drives the
+    /// client's seeded backoff-and-retry loop — retrying a `bad_request`
+    /// or `unknown_model` forever would only reproduce the same reply.
     pub fn is_retryable(self) -> bool {
-        matches!(self, ErrorCode::Overloaded)
+        matches!(self, ErrorCode::Overloaded | ErrorCode::QuotaExceeded)
     }
 
     /// Parses a wire name.
@@ -241,6 +245,7 @@ impl ErrorCode {
             "unknown_dependency" => Some(ErrorCode::UnknownDependency),
             "deadline_expired" => Some(ErrorCode::DeadlineExpired),
             "overloaded" => Some(ErrorCode::Overloaded),
+            "quota_exceeded" => Some(ErrorCode::QuotaExceeded),
             "schedule_failed" => Some(ErrorCode::ScheduleFailed),
             "line_too_long" => Some(ErrorCode::LineTooLong),
             _ => None,
@@ -557,6 +562,7 @@ mod tests {
             ErrorCode::UnknownDependency,
             ErrorCode::DeadlineExpired,
             ErrorCode::Overloaded,
+            ErrorCode::QuotaExceeded,
             ErrorCode::ScheduleFailed,
             ErrorCode::LineTooLong,
         ] {
@@ -568,6 +574,7 @@ mod tests {
     #[test]
     fn only_load_shed_is_retryable() {
         assert!(ErrorCode::Overloaded.is_retryable());
+        assert!(ErrorCode::QuotaExceeded.is_retryable());
         for code in [
             ErrorCode::BadRequest,
             ErrorCode::UnknownModel,

@@ -20,6 +20,26 @@ pub fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
+/// Per-tenant service counters — one row per model name that reached the
+/// engine's state machine, sorted by model in [`StatsSnapshot::tenants`].
+/// A tenant is a request's resolved `model` field: the fabric's notion of
+/// "who shares the chip" carried over to the service layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantStat {
+    /// Registry model name identifying the tenant.
+    pub model: String,
+    /// Requests for this tenant admitted to the state machine.
+    pub submitted: u64,
+    /// Successful schedule responses (warm or dispatched).
+    pub ok: u64,
+    /// Typed error responses (excluding quota sheds).
+    pub errors: u64,
+    /// Requests shed with `quota_exceeded` at admission.
+    pub quota_shed: u64,
+    /// Pending computations (queued + parked) held right now.
+    pub queued: u64,
+}
+
 /// One point-in-time reading of the daemon's service-level counters —
 /// the payload of a `stats` response.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -67,6 +87,9 @@ pub struct StatsSnapshot {
     /// configured but currently rejects writes, so answers still flow
     /// (warm from memory, cold recomputed) but nothing persists.
     pub degraded: bool,
+    /// Per-tenant counters, sorted by model name. Empty until a request
+    /// resolves a model.
+    pub tenants: Vec<TenantStat>,
 }
 
 #[cfg(test)]
@@ -107,6 +130,14 @@ mod tests {
             cache_lookups: 4,
             store_write_errors: 1,
             degraded: true,
+            tenants: vec![TenantStat {
+                model: "fig5".into(),
+                submitted: 10,
+                ok: 7,
+                errors: 1,
+                quota_shed: 2,
+                queued: 0,
+            }],
         };
         let back: StatsSnapshot =
             serde_json::from_str(&serde_json::to_string(&snap).unwrap()).unwrap();

@@ -5,16 +5,17 @@
 //! sets have *arrived* (finish time plus the NoC forwarding delay under the
 //! data-movement extension). Completions are the only events; the heap is
 //! ordered by time with `(layer, set)` as a deterministic tie-breaker.
+//!
+//! Since the multi-tenant fabric extension, the event loop itself lives in
+//! [`crate::shared`]: [`Simulator::run_costed`] is the `N == 1` special
+//! case of the shared ready-queue/heap core, run on an uncontended fabric.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
-use cim_arch::EnergyLog;
-use clsa_core::{CostedDeps, Dependencies, EdgeCost, LayerSets, Schedule, SetTime};
+use clsa_core::{CostedDeps, Dependencies, EdgeCost, LayerSets, Schedule};
 use serde::{Deserialize, Serialize};
 
 use crate::error::{Result, SimError};
-use crate::stats::{GroupStats, SimStats};
+use crate::shared::{run_shared, FabricContention, TenantWorkload};
+use crate::stats::SimStats;
 
 /// The simulator: borrows a Stage-I/II workload and executes it.
 #[derive(Debug)]
@@ -75,156 +76,25 @@ impl<'a> Simulator<'a> {
     ///
     /// Same conditions as [`run`](Self::run).
     pub fn run_costed(&self, costed: &CostedDeps) -> Result<SimResult> {
-        let layers = self.layers;
-        if self.deps.num_layers() != layers.len() {
-            return Err(SimError::BadWorkload {
-                detail: format!(
-                    "dependencies cover {} layers, sets cover {}",
-                    self.deps.num_layers(),
-                    layers.len()
-                ),
-            });
-        }
-        if !costed.matches(self.deps) {
-            return Err(SimError::BadWorkload {
-                detail: "cost table was built from different dependencies".into(),
-            });
-        }
-        if !costed.has_fanout() {
-            return Err(SimError::BadWorkload {
-                detail: "event engine needs a cost table built with the fan-out CSR \
-                         (use CostedDeps::build, not a consumer-only table)"
-                    .into(),
-            });
-        }
-        let space = costed.space();
-        let total = space.total_sets();
-        let idx = |l: usize, s: usize| space.index(l, s);
-
-        let mut indegree = vec![0u32; total];
-        for (l, layer) in layers.iter().enumerate() {
-            for s in 0..layer.sets.len() {
-                indegree[idx(l, s)] = self.deps.of(l, s).len() as u32;
-            }
-        }
-        let mut ready_time = vec![0u64; total];
-        let mut next = vec![0usize; layers.len()];
-        let mut group_free = vec![0u64; layers.len()];
-        let mut first_start = vec![u64::MAX; layers.len()];
-        let mut started = vec![false; total];
-        let mut times = vec![
-            SetTime {
-                start: 0,
-                finish: 0
-            };
-            total
-        ];
-
-        // Buffer-pressure bookkeeping: bytes of a produced set stay live
-        // until all consuming edges have fired (8-bit activations) — byte
-        // counts come precomputed per set.
-        let mut pending_consumers: Vec<u32> = vec![0; total];
-        let mut live_bytes = 0u64;
-        let mut peak_live_bytes = 0u64;
-
-        let mut stats = SimStats {
-            groups: vec![GroupStats::default(); layers.len()],
-            ..SimStats::default()
+        // The single-tenant run is the N = 1 special case of the shared
+        // fabric core: arrival 0, no home tiles, no contention.
+        let workload = TenantWorkload {
+            layers: self.layers,
+            deps: self.deps,
+            costed,
+            arrival: 0,
+            home_tiles: None,
         };
-        let mut energy = EnergyLog::new();
-
-        // Event heap: Reverse ordering on (finish, layer, set).
-        let mut heap: BinaryHeap<Reverse<(u64, usize, usize)>> = BinaryHeap::new();
-        let mut completed = 0usize;
-
-        // Attempts to start layer `l`'s current set; pushes its completion.
-        macro_rules! try_start {
-            ($l:expr) => {{
-                let l = $l;
-                let s = next[l];
-                if s < layers[l].sets.len() {
-                    let i = idx(l, s);
-                    if !started[i] && indegree[i] == 0 {
-                        let start = group_free[l].max(ready_time[i]);
-                        let finish = start + layers[l].sets[s].duration;
-                        started[i] = true;
-                        times[i] = SetTime { start, finish };
-                        group_free[l] = finish;
-                        first_start[l] = first_start[l].min(start);
-                        heap.push(Reverse((finish, l, s)));
-                    }
-                }
-            }};
+        let mut outcome = run_shared(
+            std::slice::from_ref(&workload),
+            &FabricContention::uncontended(),
+        )?;
+        match outcome.tenants.pop() {
+            Some(tenant) => Ok(tenant.result),
+            None => Err(SimError::BadWorkload {
+                detail: "shared core returned no tenant outcome".into(),
+            }),
         }
-
-        for l in 0..layers.len() {
-            try_start!(l);
-        }
-
-        let mut makespan = 0u64;
-        let mut last_finish = vec![0u64; layers.len()];
-        while let Some(Reverse((t, l, s))) = heap.pop() {
-            stats.events += 1;
-            completed += 1;
-            makespan = makespan.max(t);
-            last_finish[l] = last_finish[l].max(t);
-            let g = &mut stats.groups[l];
-            g.active_cycles += layers[l].sets[s].duration;
-            g.sets_executed += 1;
-            energy.record_mvms(layers[l].sets[s].duration * layers[l].pes as u64);
-
-            // Chain: the group moves on to its next set.
-            next[l] = s + 1;
-            try_start!(l);
-
-            // Data edges: deliver this set to its consumers — latency,
-            // byte count, and hop count all precomputed.
-            let produced = idx(l, s);
-            let bytes = costed.set_bytes(l, s);
-            let (consumers, latencies, hops) = costed.outgoing(produced);
-            if !consumers.is_empty() {
-                pending_consumers[produced] = consumers.len() as u32;
-                live_bytes += bytes;
-                peak_live_bytes = peak_live_bytes.max(live_bytes);
-            }
-            for ((c, &delay), &edge_hops) in consumers.iter().zip(latencies).zip(hops) {
-                let ci = idx(c.layer, c.set);
-                ready_time[ci] = ready_time[ci].max(t + delay);
-                indegree[ci] -= 1;
-                stats.messages += 1;
-                stats.bytes_moved += bytes;
-                if costed.tracks_transfers() {
-                    energy.record_transfer(bytes, edge_hops);
-                }
-                try_start!(c.layer);
-            }
-
-            // Release producer buffers whose last consuming edge was this
-            // completed set's own dependencies.
-            for p in self.deps.of(l, s) {
-                let pi = idx(p.layer, p.set);
-                pending_consumers[pi] -= 1;
-                if pending_consumers[pi] == 0 {
-                    live_bytes -= costed.set_bytes(p.layer, p.set);
-                }
-            }
-        }
-
-        if completed != total {
-            return Err(SimError::Deadlock { completed, total });
-        }
-        for l in 0..layers.len() {
-            if first_start[l] != u64::MAX {
-                let span = last_finish[l] - first_start[l];
-                stats.groups[l].stall_cycles = span - stats.groups[l].active_cycles;
-            }
-        }
-        stats.peak_live_bytes = peak_live_bytes;
-        stats.energy = energy;
-        Ok(SimResult {
-            schedule: Schedule::from_arena(space.clone(), times, makespan),
-            stats,
-        })
     }
 }
 

@@ -48,8 +48,10 @@
 
 pub mod engine;
 pub mod error;
+pub mod shared;
 pub mod stats;
 
 pub use engine::{SimResult, Simulator};
 pub use error::{Result, SimError};
-pub use stats::{GroupStats, SimStats};
+pub use shared::{run_shared, FabricContention, SharedOutcome, TenantOutcome, TenantWorkload};
+pub use stats::{GroupStats, HopClassStats, SimStats};

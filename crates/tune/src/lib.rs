@@ -10,6 +10,9 @@
 //! * [`DesignSpace`] — the enumerable joint space (tiling × duplication ×
 //!   architecture × cost model), flat-indexed so every strategy
 //!   manipulates plain `usize`s;
+//! * [`MixSpace`] — the multi-tenant fabric's knob space (co-residency
+//!   policy × link bandwidth × weight capacity × reload cost), same flat
+//!   indexing, evaluated by `cim-bench`'s `fabric-sim --mix-sweep`;
 //! * [`SearchStrategy`] — batched ask/tell proposers: [`GridSearch`],
 //!   [`RandomSearch`], and [`Annealing`] (seeded, deterministic);
 //! * [`ParetoArchive`] — the dominance-pruned front over
@@ -61,6 +64,7 @@ mod budget;
 mod clock;
 mod driver;
 mod eval;
+mod mix;
 mod space;
 mod strategy;
 
@@ -69,6 +73,7 @@ pub use budget::{Budget, TuneStats};
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use driver::{tune, tune_with_clock, TuneOptions, TuneResult};
 pub use eval::{Evaluator, PeMinMemo, PipelineEvaluator};
+pub use mix::{mix_measurement, MixPoint, MixSpace};
 pub use space::{Candidate, Coords, CostModelAxis, DesignSpace, MappingAxis};
 pub use strategy::{
     strategy_by_name, AnnealOptions, Annealing, GridSearch, RandomSearch, SearchStrategy,

@@ -1,0 +1,242 @@
+//! Tenant-mix tuning: the co-residency knob space of the multi-tenant
+//! fabric and its mapping onto the [`ParetoArchive`](crate::ParetoArchive)
+//! objectives.
+//!
+//! [`DesignSpace`](crate::DesignSpace) is a frozen 7-axis contract over
+//! single-tenant scheduling; the fabric asks a different question — how
+//! should N tenants *share* a chip? — with its own axes: the co-residency
+//! policy, the NoC link bandwidth, the weight-residency capacity, and the
+//! reload cost. [`MixSpace`] enumerates that joint space with the same
+//! flat mixed-radix indexing (last axis fastest), so the existing search
+//! strategies work on it unchanged.
+//!
+//! The evaluation side lives in `cim-bench` (the `fabric-sim --mix-sweep`
+//! mode): it runs each [`MixPoint`] through `cim_fabric::run_mix` and
+//! archives [`mix_measurement`] values — (worst-tenant slowdown ↓,
+//! aggregate utilization ↑, evictions ↓).
+
+use cim_arch::{CoResidency, FabricSpec};
+use clsa_core::CoreError;
+use serde::{Deserialize, Serialize};
+
+use crate::Measurement;
+
+/// The tenant-mix knob space: one explicit option list per axis, flat
+/// mixed-radix indexed with the **last axis fastest**.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixSpace {
+    /// Co-residency policies to consider.
+    pub policies: Vec<CoResidency>,
+    /// NoC link bandwidths in bytes/cycle (`0` = unbounded).
+    pub link_bandwidths: Vec<u64>,
+    /// Weight-residency capacities in PEs (`0` = unbounded).
+    pub capacities_pes: Vec<usize>,
+    /// Reload costs in cycles per PE of an evicted block.
+    pub reload_cycles: Vec<u64>,
+}
+
+/// One fully decoded point of a [`MixSpace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MixPoint {
+    /// Flat index within the originating space.
+    pub index: usize,
+    /// Co-residency policy.
+    pub policy: CoResidency,
+    /// NoC link bandwidth in bytes/cycle.
+    pub link_bandwidth: u64,
+    /// Weight-residency capacity in PEs.
+    pub capacity_pes: usize,
+    /// Reload cost in cycles per PE.
+    pub reload: u64,
+}
+
+impl MixPoint {
+    /// The fabric limits this point configures.
+    pub fn fabric_spec(&self) -> FabricSpec {
+        FabricSpec {
+            link_bandwidth_bytes_per_cycle: self.link_bandwidth,
+            capacity_pes: self.capacity_pes,
+            reload_cycles_per_pe: self.reload,
+        }
+    }
+
+    /// Human-readable label (`policy/bw/cap/reload`).
+    pub fn label(&self) -> String {
+        format!(
+            "{}/bw{}/cap{}/reload{}",
+            self.policy, self.link_bandwidth, self.capacity_pes, self.reload
+        )
+    }
+}
+
+impl MixSpace {
+    /// Validates the space: every axis must offer at least one option and
+    /// the flat index must fit a `usize`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadPolicy`] for an empty axis or an
+    /// overflowing product.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let bad = |detail: String| CoreError::BadPolicy { detail };
+        let mut total = 1usize;
+        for (name, len) in self.axis_lens_named() {
+            if len == 0 {
+                return Err(bad(format!("mix-space axis `{name}` is empty")));
+            }
+            total = total
+                .checked_mul(len)
+                .ok_or_else(|| bad(format!("mix-space size overflows at axis `{name}`")))?;
+        }
+        Ok(())
+    }
+
+    /// Option count per axis, in mixed-radix order.
+    pub fn axis_lens(&self) -> [usize; 4] {
+        [
+            self.policies.len(),
+            self.link_bandwidths.len(),
+            self.capacities_pes.len(),
+            self.reload_cycles.len(),
+        ]
+    }
+
+    fn axis_lens_named(&self) -> [(&'static str, usize); 4] {
+        let l = self.axis_lens();
+        [
+            ("policies", l[0]),
+            ("link_bandwidths", l[1]),
+            ("capacities_pes", l[2]),
+            ("reload_cycles", l[3]),
+        ]
+    }
+
+    /// Number of points in the space.
+    pub fn len(&self) -> usize {
+        self.axis_lens().iter().product()
+    }
+
+    /// Whether the space has no points (some axis is empty).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Decodes the point at `index` (last axis fastest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn point(&self, index: usize) -> MixPoint {
+        assert!(
+            index < self.len(),
+            "mix index {index} out of range for a space of {}",
+            self.len()
+        );
+        let lens = self.axis_lens();
+        let mut digits = [0usize; 4];
+        let mut rest = index;
+        for axis in (0..4).rev() {
+            digits[axis] = rest % lens[axis];
+            rest /= lens[axis];
+        }
+        MixPoint {
+            index,
+            policy: self.policies[digits[0]],
+            link_bandwidth: self.link_bandwidths[digits[1]],
+            capacity_pes: self.capacities_pes[digits[2]],
+            reload: self.reload_cycles[digits[3]],
+        }
+    }
+
+    /// A deliberately tiny smoke space (8 points) — the CI and test
+    /// preset: both policies × {unbounded, 4 B/cycle} links × {unbounded,
+    /// tight} capacity on a free reload.
+    pub fn tiny() -> Self {
+        MixSpace {
+            policies: vec![CoResidency::Shared, CoResidency::Partitioned],
+            link_bandwidths: vec![0, 4],
+            capacities_pes: vec![0, 8],
+            reload_cycles: vec![50],
+        }
+    }
+}
+
+/// Maps one fabric outcome onto the archive's objectives: worst-tenant
+/// slowdown (milli-units) as the latency to minimize, aggregate tile
+/// utilization to maximize, evictions as the traffic-like count to
+/// minimize. The `crossbars` area axis is pinned to 1 — mix points share
+/// one chip, so area never differs.
+pub fn mix_measurement(
+    worst_slowdown_milli: u64,
+    utilization_milli: u64,
+    evictions: u64,
+) -> Measurement {
+    Measurement {
+        latency_cycles: worst_slowdown_milli,
+        utilization: utilization_milli as f64 / 1000.0,
+        noc_bytes: evictions,
+        crossbars: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_every_index() {
+        let space = MixSpace::tiny();
+        assert_eq!(space.len(), 8);
+        assert!(space.validate().is_ok());
+        for i in 0..space.len() {
+            let p = space.point(i);
+            assert_eq!(p.index, i);
+            assert!(!p.label().is_empty());
+        }
+        // Last axis fastest: indices 0 and 1 differ only in the last
+        // non-singleton axis (capacity).
+        let (a, b) = (space.point(0), space.point(1));
+        assert_eq!(a.policy, b.policy);
+        assert_ne!(a.capacity_pes, b.capacity_pes);
+    }
+
+    #[test]
+    fn empty_axis_rejected() {
+        let mut space = MixSpace::tiny();
+        space.link_bandwidths.clear();
+        assert!(space.validate().is_err());
+        assert!(space.is_empty());
+    }
+
+    #[test]
+    fn fabric_spec_carries_the_point() {
+        let p = MixPoint {
+            index: 0,
+            policy: CoResidency::Partitioned,
+            link_bandwidth: 4,
+            capacity_pes: 8,
+            reload: 50,
+        };
+        let spec = p.fabric_spec();
+        assert_eq!(spec.link_bandwidth_bytes_per_cycle, 4);
+        assert_eq!(spec.capacity_pes, 8);
+        assert_eq!(spec.reload_cycles_per_pe, 50);
+        assert!(!spec.is_uncontended());
+    }
+
+    #[test]
+    fn measurement_maps_objectives() {
+        let m = mix_measurement(1500, 750, 3);
+        assert_eq!(m.latency_cycles, 1500);
+        assert!((m.utilization - 0.75).abs() < 1e-12);
+        assert_eq!(m.noc_bytes, 3);
+        assert_eq!(m.crossbars, 1);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let space = MixSpace::tiny();
+        let s = serde_json::to_string(&space).unwrap();
+        assert_eq!(serde_json::from_str::<MixSpace>(&s).unwrap(), space);
+    }
+}

@@ -9,6 +9,9 @@
 //! * [`mapping`] — Eq. 1 PE costs, im2col, weight duplication;
 //! * [`core`] — the CLSA-CIM scheduler (Stages I–IV), baseline, metrics;
 //! * [`sim`] — discrete-event system-level simulator;
+//! * [`fabric`] — multi-tenant fabric simulation: N models sharing one
+//!   chip with tile/link/weight-residency contention, per-tenant slowdown
+//!   and Jain-fairness reporting;
 //! * [`models`] — the benchmark zoo (TinyYOLO, VGG, ResNet);
 //! * [`tune`] — design-space exploration: search strategies, Pareto
 //!   archive, budgeted evaluation (the `autotune` binary's engine);
@@ -77,11 +80,12 @@
 //!            ├── cim-sim ─────────────┘
 //!            ├── cim-models (also ► frontend)
 //!            └── cim-tune (also ► mapping, arch)
+//! cim-fabric layers on cim-sim (the shared event core) + frontend/mapping;
 //! cim-bench depends on all of the above;
 //! cim-serve layers on cim-bench (lane pool, caches, store) + cim-tune
 //! (the Clock trait);
 //! cim-verify stands alone (it reads source text, not schedules);
-//! clsa-cim (this facade) re-exports all eleven crates.
+//! clsa-cim (this facade) re-exports all twelve crates.
 //! ```
 //!
 //! # Reproducing the paper
@@ -96,6 +100,7 @@
 
 pub use cim_arch as arch;
 pub use cim_bench as bench;
+pub use cim_fabric as fabric;
 pub use cim_frontend as frontend;
 pub use cim_ir as ir;
 pub use cim_mapping as mapping;

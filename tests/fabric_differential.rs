@@ -1,0 +1,189 @@
+//! Differential suite for the multi-tenant fabric: the shared event core
+//! against the single-tenant engine, and the mix runner against its own
+//! determinism laws.
+//!
+//! The fabric's credibility rests on two claims. First, `run_shared` is
+//! not a *second* simulator that could drift from `Simulator` — with one
+//! tenant and no contention it reproduces `run_costed` byte-for-byte
+//! (indeed the engine delegates to it). Second, a contended mix is a pure
+//! function of the *set* of tenants and the config: worker count and
+//! insertion order must never leak into the result. Both claims are
+//! checked here on real models, the second across random mixes.
+
+use clsa_cim::arch::{place_groups_at, PlacementStrategy};
+use clsa_cim::core::{CostedDeps, EdgeCost};
+use clsa_cim::fabric::{
+    arch_for_mix, run_mix, CoResidency, FabricConfig, FabricResult, TenantInstance, TenantSpec,
+};
+use clsa_cim::sim::{run_shared, FabricContention, Simulator, TenantWorkload};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Stage-I/II artifacts are model-dependent but case-independent —
+/// prepare each model once for the whole suite.
+fn fig5() -> &'static TenantInstance {
+    static CELL: OnceLock<TenantInstance> = OnceLock::new();
+    CELL.get_or_init(|| {
+        TenantInstance::prepare("fig5", &clsa_cim::models::fig5_example()).expect("fig5 prepares")
+    })
+}
+
+fn toy_cnn() -> &'static TenantInstance {
+    static CELL: OnceLock<TenantInstance> = OnceLock::new();
+    CELL.get_or_init(|| {
+        TenantInstance::prepare("toy_cnn", &clsa_cim::models::toy_cnn(None))
+            .expect("toy_cnn prepares")
+    })
+}
+
+/// N = 1, no contention: the shared core must reproduce the single-tenant
+/// engine byte-for-byte — same schedule, same statistics, same wire
+/// format. Checked both with the fabric context disabled (`home_tiles:
+/// None`) and with tile-occupancy tracking active but uncontended: a
+/// lone tenant never waits for itself, so the windows must be invisible.
+#[test]
+fn single_tenant_uncontended_matches_engine_bytes() {
+    for instance in [fig5(), toy_cnn()] {
+        let arch = arch_for_mix(std::slice::from_ref(instance), 0).expect("arch fits");
+        let sizes: Vec<usize> = instance.layers.iter().map(|l| l.pes).collect();
+        let placement =
+            place_groups_at(&arch, &sizes, PlacementStrategy::Contiguous, 0).expect("placement");
+        let home_tiles: Vec<_> = (0..sizes.len()).map(|g| placement.home_tile(g)).collect();
+        let costed = CostedDeps::build(
+            &instance.layers,
+            &instance.deps,
+            &EdgeCost::NocHops {
+                arch: arch.clone(),
+                placement,
+            },
+        )
+        .expect("cost tables");
+
+        let engine = Simulator::new(&instance.layers, &instance.deps)
+            .run_costed(&costed)
+            .expect("engine run");
+        let engine_json = serde_json::to_string(&engine).expect("serializes");
+
+        for (tag, homes, contention) in [
+            ("no fabric context", None, FabricContention::uncontended()),
+            (
+                "occupancy tracked, uncontended",
+                Some(home_tiles.clone()),
+                FabricContention {
+                    noc: Some(*arch.noc()),
+                    spec: clsa_cim::fabric::FabricSpec::uncontended(),
+                },
+            ),
+        ] {
+            let workload = TenantWorkload {
+                layers: &instance.layers,
+                deps: &instance.deps,
+                costed: &costed,
+                arrival: 0,
+                home_tiles: homes,
+            };
+            let shared =
+                run_shared(std::slice::from_ref(&workload), &contention).expect("shared run");
+            assert_eq!(shared.tenants.len(), 1);
+            assert_eq!(
+                serde_json::to_string(&shared.tenants[0].result).expect("serializes"),
+                engine_json,
+                "{}: {tag} must be byte-identical to the engine",
+                instance.model
+            );
+            assert_eq!(shared.makespan, shared.tenants[0].span_cycles);
+            assert_eq!(shared.tenants[0].occupancy_stall_cycles, 0);
+            assert_eq!(shared.tenants[0].link_stall_cycles, 0);
+            assert_eq!(shared.tenants[0].evictions, 0);
+        }
+    }
+}
+
+/// The invariants every mix result must satisfy, contended or not.
+fn check_invariants(result: &FabricResult, expected_tenants: usize, tiles: u128) {
+    assert_eq!(result.tenants.len(), expected_tenants);
+    for t in &result.tenants {
+        // No starvation: every tenant finishes real work.
+        assert!(t.span_cycles > 0, "tenant {} starved", t.tenant);
+        assert!(t.solo_cycles > 0, "tenant {} has no solo baseline", t.tenant);
+        // Contention only ever delays — never accelerates.
+        assert!(t.slowdown_milli >= 1000, "tenant {} sped up?", t.tenant);
+    }
+    // Conservation: tiles execute one tenant at a time, so attributed
+    // busy windows cannot exceed the chip's cycle budget.
+    let busy: u128 = result.tenants.iter().map(|t| t.busy_cycles as u128).sum();
+    assert!(busy <= tiles * result.makespan_cycles as u128, "busy overflow");
+    assert!(result.utilization_milli <= 1000);
+    assert!(result.jain_fairness_milli <= 1000);
+    assert!(result.worst_slowdown_milli >= 1000);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random ≤ 4-tenant mixes across both policies and all three
+    /// contention knobs: the result is byte-identical for `jobs` 1 vs 4
+    /// and for any insertion order, and every invariant holds.
+    #[test]
+    fn prop_mixes_are_deterministic_and_fair(
+        fig5_streams in 1usize..3,
+        toy_streams in 0usize..3,
+        stagger in 0u64..40,
+        seed in 0u64..1_000_000,
+        // Packed: low bit = policy, high bits = insertion rotation (the
+        // vendored proptest caps strategy tuples at 8 elements).
+        policy_and_rotation in 0usize..8,
+        bw_sel in 0usize..3,
+        cap_sel in 0usize..3,
+        reload in 1u64..60,
+    ) {
+        let policy_bit = policy_and_rotation & 1;
+        let rotation = policy_and_rotation >> 1;
+        let mut instances = fig5().streams_of(&TenantSpec {
+            model: "fig5".into(),
+            streams: fig5_streams,
+        });
+        if toy_streams > 0 {
+            instances.extend(toy_cnn().streams_of(&TenantSpec {
+                model: "toy_cnn".into(),
+                streams: toy_streams,
+            }));
+        }
+        let n = instances.len();
+
+        let mut config = FabricConfig::new(arch_for_mix(&instances, 0).expect("arch fits"));
+        config.policy = if policy_bit == 0 {
+            CoResidency::Shared
+        } else {
+            CoResidency::Partitioned
+        };
+        config.stagger = stagger;
+        config.seed = seed;
+        config.fabric.link_bandwidth_bytes_per_cycle = [0, 4, 16][bw_sel];
+        config.fabric.capacity_pes = match cap_sel {
+            0 => 0, // unbounded
+            _ => {
+                // Tight: roughly one tenant's weights stay resident.
+                let largest: usize = instances
+                    .iter()
+                    .map(|i| i.layers.iter().map(|l| l.pes).sum())
+                    .max()
+                    .unwrap_or(1);
+                largest + cap_sel
+            }
+        };
+        config.fabric.reload_cycles_per_pe = reload;
+
+        let baseline = run_mix(&instances, &config).expect("mix runs");
+        let baseline_json = serde_json::to_string(&baseline).expect("serializes");
+
+        // Same mix, rotated insertion order, parallel solo baselines.
+        let mut rotated = instances.clone();
+        rotated.rotate_left(rotation % n);
+        config.jobs = 4;
+        let alt = run_mix(&rotated, &config).expect("mix runs");
+        prop_assert_eq!(serde_json::to_string(&alt).expect("serializes"), baseline_json);
+
+        check_invariants(&baseline, n, config.arch.num_tiles() as u128);
+    }
+}

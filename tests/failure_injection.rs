@@ -346,6 +346,7 @@ fn daemon_survives_malformed_and_oversized_frames() {
         engine: EngineOptions {
             jobs: 1,
             max_queue: 16,
+            tenant_quota: None,
         },
         max_line_bytes: 128,
         ..DaemonOptions::at(&socket)
@@ -407,6 +408,7 @@ fn injected_connection_drop_heals_through_client_retry() {
         engine: EngineOptions {
             jobs: 1,
             max_queue: 16,
+            tenant_quota: None,
         },
         faults: Some(plan.clone() as Arc<dyn FaultHook>),
         ..DaemonOptions::at(&socket)
@@ -451,6 +453,7 @@ fn degraded_daemon_keeps_answering_and_reports_health() {
         engine: EngineOptions {
             jobs: 1,
             max_queue: 16,
+            tenant_quota: None,
         },
         cache_dir: Some(dir.join("store")),
         faults: Some(plan as Arc<dyn FaultHook>),

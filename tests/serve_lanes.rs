@@ -19,6 +19,7 @@ fn engine(jobs: usize) -> ServeEngine {
         EngineOptions {
             jobs,
             max_queue: 64,
+            tenant_quota: None,
         },
         None,
         Arc::new(ManualClock::new()) as Arc<dyn Clock + Send + Sync>,

@@ -39,6 +39,7 @@ fn child_serve_daemon() {
         engine: EngineOptions {
             jobs: 2,
             max_queue: 64,
+            tenant_quota: None,
         },
         cache_dir: std::env::var(CACHE_ENV).ok().map(PathBuf::from),
         ..DaemonOptions::at(PathBuf::from(socket))

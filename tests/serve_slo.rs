@@ -16,7 +16,11 @@ use clsa_cim::tune::{Clock, ManualClock};
 fn engine(jobs: usize, max_queue: usize) -> (ServeEngine, Arc<ManualClock>) {
     let clock = Arc::new(ManualClock::new());
     let engine = ServeEngine::new(
-        EngineOptions { jobs, max_queue },
+        EngineOptions {
+            jobs,
+            max_queue,
+            tenant_quota: None,
+        },
         None,
         Arc::clone(&clock) as Arc<dyn Clock + Send + Sync>,
     );
